@@ -1,0 +1,285 @@
+package rhsc
+
+// One testing.B benchmark per experiment in EXPERIMENTS.md (E1–E10), plus
+// micro-benchmarks of the hot kernels (conservative-to-primitive
+// inversion, reconstruction, Riemann fluxes). Run with:
+//
+//	go test -bench=. -benchmem
+//
+// The E-benchmarks measure a fixed, small unit of each experiment's work
+// so they are stable under -benchtime; the full sweeps that regenerate
+// the tables live in cmd/benchsuite.
+
+import (
+	"math/rand"
+	"testing"
+
+	"rhsc/internal/amr"
+	"rhsc/internal/c2p"
+	"rhsc/internal/cluster"
+	"rhsc/internal/core"
+	"rhsc/internal/eos"
+	"rhsc/internal/hetero"
+	"rhsc/internal/par"
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+	"rhsc/internal/state"
+	"rhsc/internal/testprob"
+)
+
+// newSolver builds a ready-to-step solver for a problem.
+func newSolver(b *testing.B, p *testprob.Problem, n int, cfg core.Config) *core.Solver {
+	b.Helper()
+	g := p.NewGrid(n, cfg.Recon.Ghost())
+	s, err := core.New(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	s.InitFromPrim(p.Init)
+	return s
+}
+
+// BenchmarkE1_ShockTubeStep measures one full RK2 step of the Sod tube at
+// N = 400 — the unit of work behind Table 1.
+func BenchmarkE1_ShockTubeStep(b *testing.B) {
+	s := newSolver(b, testprob.Sod, 400, core.DefaultConfig())
+	dt := s.MaxDt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(dt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(400*2), "zones/op")
+}
+
+// BenchmarkE3_SmoothWaveWENO5 measures the high-order path of Table 2.
+func BenchmarkE3_SmoothWaveWENO5(b *testing.B) {
+	cfg := core.DefaultConfig()
+	cfg.Recon = recon.WENO5{}
+	cfg.Integrator = core.RK3
+	s := newSolver(b, testprob.SmoothWave, 256, cfg)
+	dt := s.MaxDt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(dt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE4_RHS2D measures one RHS evaluation of the 2-D blast at 128²,
+// serial and pooled — the kernel behind Table 3.
+func BenchmarkE4_RHS2D(b *testing.B) {
+	for _, threads := range []int{1, 4} {
+		name := map[int]string{1: "serial", 4: "pool4"}[threads]
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			if threads > 1 {
+				cfg.Pool = par.NewPool(threads)
+			}
+			s := newSolver(b, testprob.Blast2D, 128, cfg)
+			s.RecoverPrimitives()
+			rhs := state.NewFields(s.G.NCells())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ComputeRHS(rhs)
+			}
+			b.ReportMetric(128*128, "zones/op")
+		})
+	}
+}
+
+// BenchmarkE5_StrongScaling runs a fixed distributed step set at 4 ranks
+// (the measurement unit of Fig 4).
+func BenchmarkE5_StrongScaling(b *testing.B) {
+	cfg := core.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(testprob.Sod, 1024, cfg, cluster.Options{
+			Ranks: 4, Mode: cluster.Async, Net: cluster.Infiniband(), Steps: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE6_WeakScaling runs the weak-scaling unit of Fig 5.
+func BenchmarkE6_WeakScaling(b *testing.B) {
+	cfg := core.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(testprob.Sod, 512*4, cfg, cluster.Options{
+			Ranks: 4, Mode: cluster.Sync, Net: cluster.Infiniband(), Steps: 2,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE7_DeviceStep measures a device-scheduled step of the 2-D
+// blast (Table 4's unit).
+func BenchmarkE7_DeviceStep(b *testing.B) {
+	s := newSolver(b, testprob.Blast2D, 64, core.DefaultConfig())
+	ex := hetero.NewExecutor(hetero.Static, hetero.NewDevice(hetero.SpecK20GPU()))
+	ex.Attach(s)
+	dt := s.MaxDt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(dt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE8_HeteroDynamicStep measures the CPU+GPU dynamic-queue step
+// (Fig 6's unit).
+func BenchmarkE8_HeteroDynamicStep(b *testing.B) {
+	s := newSolver(b, testprob.Blast2D, 64, core.DefaultConfig())
+	ex := hetero.NewExecutor(hetero.Dynamic,
+		hetero.NewDevice(hetero.SpecHostCPU(4)),
+		hetero.NewDevice(hetero.SpecK20GPU()))
+	ex.Attach(s)
+	dt := s.MaxDt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := s.Step(dt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE9_AMRStep measures one adaptive step of the 1-D blast tree
+// (Fig 7's unit).
+func BenchmarkE9_AMRStep(b *testing.B) {
+	ac := amr.DefaultConfig(core.DefaultConfig())
+	ac.MaxLevel = 2
+	tr, err := amr.NewTree(testprob.Blast, 8, ac)
+	if err != nil {
+		b.Fatal(err)
+	}
+	dt := tr.MaxDt()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := tr.Step(dt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkE10_Ablation measures one RHS per reconstruction × Riemann
+// combination on a 1-D grid (Table 5's unit).
+func BenchmarkE10_Ablation(b *testing.B) {
+	recons := map[string]recon.Scheme{
+		"pcm":   recon.PCM{},
+		"plm":   recon.PLM{Lim: recon.MonotonizedCentral},
+		"ppm":   recon.PPM{},
+		"weno5": recon.WENO5{},
+	}
+	solvers := map[string]riemann.Solver{
+		"llf": riemann.LLF{}, "hll": riemann.HLL{}, "hllc": riemann.HLLC{},
+	}
+	for rn, rc := range recons {
+		for sn, rs := range solvers {
+			b.Run(rn+"_"+sn, func(b *testing.B) {
+				cfg := core.DefaultConfig()
+				cfg.Recon = rc
+				cfg.Riemann = rs
+				s := newSolver(b, testprob.Sod, 4096, cfg)
+				s.RecoverPrimitives()
+				rhs := state.NewFields(s.G.NCells())
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					s.ComputeRHS(rhs)
+				}
+				b.ReportMetric(4096, "zones/op")
+			})
+		}
+	}
+}
+
+// BenchmarkFusedKernel contrasts the generic (interface-dispatched) sweep
+// with the specialised PLM+HLLC+ideal-gas kernel — the single-kernel
+// analogue of the paper's per-device code specialisation.
+func BenchmarkFusedKernel(b *testing.B) {
+	for _, fused := range []bool{false, true} {
+		name := map[bool]string{false: "generic", true: "fused"}[fused]
+		b.Run(name, func(b *testing.B) {
+			cfg := core.DefaultConfig()
+			cfg.Fused = fused
+			s := newSolver(b, testprob.Blast2D, 128, cfg)
+			s.RecoverPrimitives()
+			rhs := state.NewFields(s.G.NCells())
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				s.ComputeRHS(rhs)
+			}
+			b.ReportMetric(128*128, "zones/op")
+		})
+	}
+}
+
+// --- kernel micro-benchmarks ---------------------------------------------
+
+// BenchmarkC2PRecover measures the conservative→primitive inversion.
+func BenchmarkC2PRecover(b *testing.B) {
+	g := eos.NewIdealGas(5.0 / 3.0)
+	s := c2p.NewSolver(g)
+	rng := rand.New(rand.NewSource(1))
+	const n = 1024
+	cs := make([]state.Cons, n)
+	for i := range cs {
+		v := 0.95 * rng.Float64()
+		p := state.Prim{Rho: 1 + rng.Float64(), Vx: v, P: 0.1 + rng.Float64()}
+		cs[i] = p.ToCons(g)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c := cs[i%n]
+		if _, err := s.Recover(c, 0); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkReconRow measures one row reconstruction per scheme.
+func BenchmarkReconRow(b *testing.B) {
+	u := make([]float64, 1024)
+	for i := range u {
+		u[i] = float64(i % 17)
+	}
+	uL := make([]float64, len(u)+1)
+	uR := make([]float64, len(u)+1)
+	for _, sch := range recon.All() {
+		b.Run(sch.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				sch.Reconstruct(u, uL, uR)
+			}
+			b.ReportMetric(float64(len(u)), "zones/op")
+		})
+	}
+}
+
+// BenchmarkRiemannFlux measures a single face flux per solver.
+func BenchmarkRiemannFlux(b *testing.B) {
+	g := eos.NewIdealGas(5.0 / 3.0)
+	pl := state.Prim{Rho: 10, Vx: 0.1, P: 13.33}
+	pr := state.Prim{Rho: 1, Vx: -0.2, P: 0.1}
+	for _, s := range riemann.All() {
+		b.Run(s.Name(), func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				_ = s.Flux(g, pl, pr, state.X)
+			}
+		})
+	}
+}
+
+// BenchmarkHaloExchange measures the distributed ghost-fill round trip.
+func BenchmarkHaloExchange(b *testing.B) {
+	cfg := core.DefaultConfig()
+	for i := 0; i < b.N; i++ {
+		if _, err := cluster.Run(testprob.Sod, 256, cfg, cluster.Options{
+			Ranks: 2, Steps: 1,
+		}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

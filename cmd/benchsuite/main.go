@@ -1,0 +1,112 @@
+// Command benchsuite regenerates every table and figure of the
+// reproduction (see DESIGN.md §4 and EXPERIMENTS.md). Each subcommand
+// prints the experiment's table to stdout and, with -outdir, writes the
+// underlying series as CSV.
+//
+// Usage:
+//
+//	benchsuite [flags] <experiment>
+//
+// Experiments: table1 fig2 table2 table3 fig4 fig5 table4 fig6 fig7
+// table5, or "all".
+//
+// Flags:
+//
+//	-quick    reduce resolutions/steps for a fast smoke run
+//	-outdir   directory for CSV artefacts (created if missing)
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"path/filepath"
+	"time"
+)
+
+type experiment struct {
+	name string
+	desc string
+	run  func(s *suite) error
+}
+
+var experiments = []experiment{
+	{"table1", "E1: Sod shock-tube L1 errors and convergence", (*suite).table1},
+	{"fig2", "E2: shock-tube and blast-wave profiles vs exact", (*suite).fig2},
+	{"table2", "E3: smooth-wave formal convergence order", (*suite).table2},
+	{"table3", "E4: single-node thread throughput", (*suite).table3},
+	{"fig4", "E5: strong scaling, sync vs async halo exchange", (*suite).fig4},
+	{"fig5", "E6: weak scaling", (*suite).fig5},
+	{"table4", "E7: device throughput, CPU vs GPU vs staged GPU", (*suite).table4},
+	{"fig6", "E8: heterogeneous speedup and load balance", (*suite).fig6},
+	{"fig7", "E9: AMR efficiency vs uniform grid", (*suite).fig7},
+	{"table5", "E10: reconstruction x Riemann-solver cost ablation", (*suite).table5},
+	{"fig8", "E11: heterogeneous cluster, even vs weighted decomposition", (*suite).fig8},
+}
+
+type suite struct {
+	quick  bool
+	outdir string
+}
+
+// writeCSV writes experiment series when -outdir is set.
+func (s *suite) writeCSV(name string, headers []string, cols ...[]float64) {
+	if s.outdir == "" {
+		return
+	}
+	path := filepath.Join(s.outdir, name)
+	f, err := os.Create(path)
+	if err != nil {
+		log.Printf("csv %s: %v", name, err)
+		return
+	}
+	defer f.Close()
+	if err := writeSeries(f, headers, cols...); err != nil {
+		log.Printf("csv %s: %v", name, err)
+		return
+	}
+	fmt.Printf("  [csv: %s]\n", path)
+}
+
+func main() {
+	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	outdir := flag.String("outdir", "", "write CSV artefacts here")
+	flag.Parse()
+
+	if flag.NArg() != 1 {
+		fmt.Fprintln(os.Stderr, "usage: benchsuite [-quick] [-outdir DIR] <experiment|all>")
+		for _, e := range experiments {
+			fmt.Fprintf(os.Stderr, "  %-8s %s\n", e.name, e.desc)
+		}
+		os.Exit(2)
+	}
+	if *outdir != "" {
+		if err := os.MkdirAll(*outdir, 0o755); err != nil {
+			log.Fatal(err)
+		}
+	}
+	s := &suite{quick: *quick, outdir: *outdir}
+
+	target := flag.Arg(0)
+	start := time.Now()
+	ran := 0
+	for _, e := range experiments {
+		if target != "all" && target != e.name {
+			continue
+		}
+		fmt.Printf("\n### %s — %s\n\n", e.name, e.desc)
+		t0 := time.Now()
+		if err := e.run(s); err != nil {
+			log.Fatalf("%s: %v", e.name, err)
+		}
+		fmt.Printf("  [%s done in %v]\n", e.name, time.Since(t0).Round(time.Millisecond))
+		ran++
+	}
+	if ran == 0 {
+		log.Fatalf("unknown experiment %q", target)
+	}
+	if target == "all" {
+		fmt.Printf("\nall experiments completed in %v\n", time.Since(start).Round(time.Millisecond))
+	}
+}

@@ -1,0 +1,177 @@
+package main
+
+import (
+	"fmt"
+
+	"rhsc/internal/cluster"
+	"rhsc/internal/core"
+	"rhsc/internal/metrics"
+	"rhsc/internal/testprob"
+)
+
+// fig4 is E5: strong scaling of a fixed problem over ranks, bulk-
+// synchronous vs overlapped halo exchange, on an InfiniBand-class virtual
+// network.
+func (s *suite) fig4() error {
+	n := 8192
+	steps := 5
+	ranks := []int{1, 2, 4, 8, 16, 32}
+	if s.quick {
+		n = 2048
+		ranks = []int{1, 2, 4, 8}
+	}
+	cfg := core.DefaultConfig()
+	net := cluster.Infiniband()
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Fig 4: strong scaling, N=%d Sod, %d steps, IB network (virtual ms)", n, steps),
+		"ranks", "sync", "async", "sync-spdup", "async-spdup")
+	var t1s, t1a float64
+	var csvR, csvS, csvA []float64
+	for _, r := range ranks {
+		syncRes, err := cluster.Run(testprob.Sod, n, cfg, cluster.Options{
+			Ranks: r, Mode: cluster.Sync, Net: net, Steps: steps})
+		if err != nil {
+			return err
+		}
+		asyncRes, err := cluster.Run(testprob.Sod, n, cfg, cluster.Options{
+			Ranks: r, Mode: cluster.Async, Net: net, Steps: steps})
+		if err != nil {
+			return err
+		}
+		if r == 1 {
+			t1s, t1a = syncRes.VirtualTime, asyncRes.VirtualTime
+		}
+		tb.AddRow(r, syncRes.VirtualTime*1e3, asyncRes.VirtualTime*1e3,
+			t1s/syncRes.VirtualTime, t1a/asyncRes.VirtualTime)
+		csvR = append(csvR, float64(r))
+		csvS = append(csvS, syncRes.VirtualTime*1e3)
+		csvA = append(csvA, asyncRes.VirtualTime*1e3)
+	}
+	fmt.Print(tb.String())
+	s.writeCSV("fig4_strong_scaling.csv", []string{"ranks", "sync_ms", "async_ms"},
+		csvR, csvS, csvA)
+
+	// Decomposition shape at fixed rank count: 1-D slabs vs a 2-D process
+	// grid on the 2-D blast (surface-to-volume effect).
+	n2 := 256
+	if s.quick {
+		n2 = 128
+	}
+	tb2 := metrics.NewTable(
+		fmt.Sprintf("Fig 4b: decomposition shape, %d^2 blast, 16 ranks, GigE (virtual ms)", n2),
+		"grid", "sync", "async")
+	for _, shape := range []struct{ px, py int }{{16, 1}, {8, 2}, {4, 4}} {
+		var row [2]float64
+		for mi, mode := range []cluster.Mode{cluster.Sync, cluster.Async} {
+			res, err := cluster.Run(testprob.Blast2D, n2, cfg, cluster.Options{
+				Ranks: 16, Px: shape.px, Py: shape.py,
+				Mode: mode, Net: cluster.GigE(), Steps: steps,
+			})
+			if err != nil {
+				return err
+			}
+			row[mi] = res.VirtualTime * 1e3
+		}
+		tb2.AddRow(fmt.Sprintf("%dx%d", shape.px, shape.py), row[0], row[1])
+	}
+	fmt.Print(tb2.String())
+	return nil
+}
+
+// fig5 is E6: weak scaling at fixed zones per rank.
+func (s *suite) fig5() error {
+	perRank := 1024
+	steps := 5
+	ranks := []int{1, 2, 4, 8, 16, 32}
+	if s.quick {
+		perRank = 512
+		ranks = []int{1, 2, 4, 8}
+	}
+	cfg := core.DefaultConfig()
+	net := cluster.Infiniband()
+
+	tb := metrics.NewTable(
+		fmt.Sprintf("Fig 5: weak scaling, %d zones/rank Sod, %d steps, IB network", perRank, steps),
+		"ranks", "N", "sync(ms)", "async(ms)", "sync-eff%", "async-eff%")
+	var t1s, t1a float64
+	var csvR, csvEs, csvEa []float64
+	for _, r := range ranks {
+		n := perRank * r
+		syncRes, err := cluster.Run(testprob.Sod, n, cfg, cluster.Options{
+			Ranks: r, Mode: cluster.Sync, Net: net, Steps: steps})
+		if err != nil {
+			return err
+		}
+		asyncRes, err := cluster.Run(testprob.Sod, n, cfg, cluster.Options{
+			Ranks: r, Mode: cluster.Async, Net: net, Steps: steps})
+		if err != nil {
+			return err
+		}
+		if r == 1 {
+			t1s, t1a = syncRes.VirtualTime, asyncRes.VirtualTime
+		}
+		effS := 100 * t1s / syncRes.VirtualTime
+		effA := 100 * t1a / asyncRes.VirtualTime
+		tb.AddRow(r, n, syncRes.VirtualTime*1e3, asyncRes.VirtualTime*1e3, effS, effA)
+		csvR = append(csvR, float64(r))
+		csvEs = append(csvEs, effS)
+		csvEa = append(csvEa, effA)
+	}
+	fmt.Print(tb.String())
+	s.writeCSV("fig5_weak_scaling.csv", []string{"ranks", "sync_eff", "async_eff"},
+		csvR, csvEs, csvEa)
+	return nil
+}
+
+// fig8 is E11: a heterogeneous cluster (plain + accelerated nodes) with
+// even vs speed-weighted domain decomposition.
+func (s *suite) fig8() error {
+	n := 8192
+	steps := 5
+	if s.quick {
+		n = 2048
+	}
+	cfg := core.DefaultConfig()
+	// 8 nodes: half plain 16 Mz/s, half GPU-accelerated 96 Mz/s.
+	rates := []float64{16e6, 16e6, 16e6, 16e6, 96e6, 96e6, 96e6, 96e6}
+	tb := metrics.NewTable(
+		fmt.Sprintf("Fig 8: heterogeneous cluster, N=%d Sod, 4+4 nodes (16/96 Mz/s), IB", n),
+		"decomposition", "virtual(ms)", "speedup-vs-even")
+	var even float64
+	for _, weighted := range []bool{false, true} {
+		res, err := cluster.Run(testprob.Sod, n, cfg, cluster.Options{
+			Ranks: 8, Mode: cluster.Async, Net: cluster.Infiniband(),
+			Steps: steps, RankRates: rates, WeightedDecomp: weighted,
+		})
+		if err != nil {
+			return err
+		}
+		label := "even"
+		if weighted {
+			label = "speed-weighted"
+		}
+		if even == 0 {
+			even = res.VirtualTime
+		}
+		tb.AddRow(label, res.VirtualTime*1e3, even/res.VirtualTime)
+	}
+	// Homogeneous reference: all nodes accelerated.
+	fast := make([]float64, 8)
+	for i := range fast {
+		fast[i] = 96e6
+	}
+	res, err := cluster.Run(testprob.Sod, n, cfg, cluster.Options{
+		Ranks: 8, Mode: cluster.Async, Net: cluster.Infiniband(),
+		Steps: steps, RankRates: fast,
+	})
+	if err != nil {
+		return err
+	}
+	tb.AddRow("all-accelerated", res.VirtualTime*1e3, even/res.VirtualTime)
+	fmt.Print(tb.String())
+	fmt.Println("  expected shape: the even split is held hostage by the slow nodes;")
+	fmt.Println("  weighting by node speed recovers most of the gap to a fully")
+	fmt.Println("  accelerated machine.")
+	return nil
+}

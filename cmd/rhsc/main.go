@@ -1,0 +1,213 @@
+// Command rhsc runs any catalogued problem from the command line.
+//
+// Examples:
+//
+//	rhsc -problem sod -n 800 -recon ppm -riemann hllc -out profile.csv
+//	rhsc -problem blast2d -n 256 -threads 8 -tend 0.2 -out slab.csv
+//	rhsc -problem sod -n 512 -amr -maxlevel 3
+//	rhsc -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"rhsc"
+)
+
+func main() {
+	var (
+		list    = flag.Bool("list", false, "list catalogued problems and exit")
+		problem = flag.String("problem", "sod", "problem name (see -list)")
+		n       = flag.Int("n", 256, "cells along x")
+		rec     = flag.String("recon", "plm", "reconstruction: pcm|plm|plm-minmod|plm-vanleer|ppm|weno5|wenoz")
+		rie     = flag.String("riemann", "hllc", "Riemann solver: llf|hll|hllc")
+		integ   = flag.String("integrator", "rk2", "time integrator: rk1|rk2|rk3")
+		cfl     = flag.Float64("cfl", 0.4, "Courant factor")
+		threads = flag.Int("threads", runtime.NumCPU(), "worker threads")
+		tend    = flag.Float64("tend", 0, "end time (0 = problem default)")
+		gamma   = flag.Float64("gamma", 0, "adiabatic index override (0 = problem default)")
+		tm      = flag.Bool("taub-mathews", false, "use the Taub-Mathews EOS")
+		out     = flag.String("out", "", "write final profile/slab CSV to this file")
+		ckpt    = flag.String("checkpoint", "", "write a binary checkpoint to this file")
+		useAMR  = flag.Bool("amr", false, "run with adaptive mesh refinement")
+		maxLev  = flag.Int("maxlevel", 2, "AMR: maximum refinement level")
+		blocks  = flag.Int("rootblocks", 8, "AMR: root blocks along x")
+		ranks   = flag.Int("ranks", 0, "run distributed over this many ranks (virtual cluster)")
+		px      = flag.Int("px", 0, "process-grid columns (with -ranks)")
+		py      = flag.Int("py", 0, "process-grid rows (with -ranks)")
+		async   = flag.Bool("async", false, "overlap halo exchange (with -ranks)")
+		network = flag.String("network", "ib", "virtual network: ideal|gige|ib (with -ranks)")
+		devices = flag.String("devices", "", "heterogeneous devices, comma list of cpu<N>|gpu|staged (e.g. cpu8,gpu)")
+		dynamic = flag.Bool("dynamic", false, "dynamic strip scheduling (with -devices)")
+		steps   = flag.Int("steps", 0, "fixed step count for -ranks/-devices performance runs")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, name := range rhsc.Problems() {
+			fmt.Println(name)
+		}
+		return
+	}
+
+	opts := rhsc.Options{
+		Problem: *problem, N: *n, Recon: *rec, Riemann: *rie,
+		Integrator: *integ, CFL: *cfl, Threads: *threads,
+		Gamma: *gamma, TaubMathews: *tm,
+	}
+
+	if *useAMR {
+		runAMR(opts, *tend, *maxLev, *blocks)
+		return
+	}
+	if *ranks > 0 {
+		runCluster(opts, *ranks, *px, *py, *async, *network, *steps, *tend)
+		return
+	}
+	if *devices != "" {
+		runHetero(opts, *devices, *dynamic, *steps, *tend)
+		return
+	}
+
+	sim, err := rhsc.NewSim(opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	tEnd := sim.Problem.TEnd
+	if *tend > 0 {
+		tEnd = *tend
+	}
+	start := time.Now()
+	if err := sim.RunTo(tEnd); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	fmt.Printf("%s N=%d t=%.4g: %v wall, %.2f Mzups, mass %.6g\n",
+		sim.Problem.Name, *n, sim.Time(), elapsed.Round(time.Millisecond),
+		rhsc.Mzups(sim.ZoneUpdates(), elapsed), sim.Mass())
+
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if sim.Grid.Ny > 1 {
+			err = sim.WriteSlab(f)
+		} else {
+			err = sim.WriteProfile(f)
+		}
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("wrote", *out)
+	}
+	if *ckpt != "" {
+		f, err := os.Create(*ckpt)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := sim.Checkpoint(f); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Println("checkpoint written to", *ckpt)
+	}
+}
+
+func runCluster(opts rhsc.Options, ranks, px, py int, async bool, network string, steps int, tend float64) {
+	res, err := rhsc.RunCluster(opts, rhsc.ClusterOptions{
+		Ranks: ranks, Px: px, Py: py, Async: async,
+		Network: network, Steps: steps, TEnd: tend,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mode := "sync"
+	if async {
+		mode = "async"
+	}
+	fmt.Printf("%s over %d ranks (%s, %s): %d steps, %v wall, %.4g ms virtual, mass %.6g\n",
+		opts.Problem, res.Ranks, mode, network, res.Steps,
+		res.RealTime.Round(time.Millisecond), res.VirtualTime*1e3, res.TotalMass)
+}
+
+func parseDevices(spec string) ([]rhsc.DeviceSpec, error) {
+	var out []rhsc.DeviceSpec
+	for _, tok := range strings.Split(spec, ",") {
+		tok = strings.TrimSpace(tok)
+		switch {
+		case tok == "gpu":
+			out = append(out, rhsc.GPU())
+		case tok == "staged":
+			out = append(out, rhsc.StagedGPU())
+		case strings.HasPrefix(tok, "cpu"):
+			cores, err := strconv.Atoi(tok[3:])
+			if err != nil || cores < 1 {
+				return nil, fmt.Errorf("bad device %q (want cpu<N>)", tok)
+			}
+			out = append(out, rhsc.HostCPU(cores))
+		default:
+			return nil, fmt.Errorf("unknown device %q", tok)
+		}
+	}
+	return out, nil
+}
+
+func runHetero(opts rhsc.Options, devices string, dynamic bool, steps int, tend float64) {
+	specs, err := parseDevices(devices)
+	if err != nil {
+		log.Fatal(err)
+	}
+	policy := rhsc.StaticSchedule
+	if dynamic {
+		policy = rhsc.DynamicSchedule
+	}
+	h, err := rhsc.NewHeteroSim(opts, policy, specs...)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if steps <= 0 {
+		steps = 10
+	}
+	start := time.Now()
+	for i := 0; i < steps; i++ {
+		if tend > 0 && h.Time() >= tend {
+			break
+		}
+		if _, err := h.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("%s on [%s] %s: %d steps, %v wall, %.4g ms virtual\n",
+		opts.Problem, devices, policy, steps,
+		time.Since(start).Round(time.Millisecond), h.VirtualSeconds()*1e3)
+}
+
+func runAMR(opts rhsc.Options, tend float64, maxLevel, rootBlocks int) {
+	a, err := rhsc.NewAMRSim(opts, rhsc.AMROptions{
+		MaxLevel: maxLevel, RootBlocks: rootBlocks,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	tEnd := a.Problem.TEnd
+	if tend > 0 {
+		tEnd = tend
+	}
+	start := time.Now()
+	if err := a.RunTo(tEnd); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+	leaves, zones, level, updates := a.Stats()
+	fmt.Printf("%s AMR L%d: %v wall, %d leaves, %d active zones, %d zone-updates\n",
+		a.Problem.Name, level, elapsed.Round(time.Millisecond), leaves, zones, updates)
+}

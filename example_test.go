@@ -1,0 +1,114 @@
+package rhsc_test
+
+// Godoc examples: runnable documentation of the public API, executed by
+// `go test` like any other test.
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rhsc"
+)
+
+// ExampleNewSim runs the relativistic Sod tube and reports the post-shock
+// plateau velocity against the exact Riemann solution.
+func ExampleNewSim() {
+	sim, err := rhsc.NewSim(rhsc.Options{Problem: "sod", N: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.RunTo(0.3); err != nil {
+		log.Fatal(err)
+	}
+	exact, err := rhsc.ExactSod(10, 0, 13.33, 1, 0, 1e-6, 5.0/3.0, 0.5, 0.3)
+	if err != nil {
+		log.Fatal(err)
+	}
+	got := sim.At(0.6, 0).Vx
+	want := exact(0.6).Vx
+	fmt.Printf("plateau matches exact: %v\n", math.Abs(got-want) < 0.02)
+	// Output: plateau matches exact: true
+}
+
+// ExampleNewAMRSim shows the adaptive hierarchy refining around the Sod
+// discontinuity.
+func ExampleNewAMRSim() {
+	sim, err := rhsc.NewAMRSim(rhsc.Options{Problem: "sod"}, rhsc.AMROptions{MaxLevel: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	_, _, maxLevel, _ := sim.Stats()
+	fmt.Printf("refined to level %d\n", maxLevel)
+	// Output: refined to level 2
+}
+
+// ExampleRunCluster runs a rank-decomposed simulation with overlapped
+// halo exchange on a modelled InfiniBand network.
+func ExampleRunCluster() {
+	res, err := rhsc.RunCluster(
+		rhsc.Options{Problem: "sod", N: 256},
+		rhsc.ClusterOptions{Ranks: 4, Async: true, Network: "ib", Steps: 5},
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("ranks=%d steps=%d scaled=%v\n", res.Ranks, res.Steps, res.VirtualTime > 0)
+	// Output: ranks=4 steps=5 scaled=true
+}
+
+// ExampleNewHeteroSim schedules the solver's strips across a CPU socket
+// and a modelled accelerator with a dynamic work queue.
+func ExampleNewHeteroSim() {
+	sim, err := rhsc.NewHeteroSim(
+		rhsc.Options{Problem: "blast2d", N: 48},
+		rhsc.DynamicSchedule,
+		rhsc.HostCPU(4), rhsc.GPU(),
+	)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if _, err := sim.Step(); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Printf("heterogeneous virtual time accumulated: %v\n", sim.VirtualSeconds() > 0)
+	// Output: heterogeneous virtual time accumulated: true
+}
+
+// ExampleSim_EnableTracer advects a passive composition scalar through
+// the Sod tube: its interface rides the contact discontinuity.
+func ExampleSim_EnableTracer() {
+	sim, err := rhsc.NewSim(rhsc.Options{Problem: "sod", N: 200})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.EnableTracer(func(x, _, _ float64) float64 {
+		if x < 0.5 {
+			return 1
+		}
+		return 0
+	}); err != nil {
+		log.Fatal(err)
+	}
+	if err := sim.RunTo(0.3); err != nil {
+		log.Fatal(err)
+	}
+	// Contact at 0.5 + 0.714*0.3 ~ 0.714; shock ahead at ~0.748.
+	fmt.Printf("behind contact: %.0f  ahead of contact: %.0f\n",
+		sim.TracerAt(0.65, 0), sim.TracerAt(0.73, 0))
+	// Output: behind contact: 1  ahead of contact: 0
+}
+
+// ExampleExactSod samples the exact solution of Martí & Müller's
+// Problem 1 in the star region.
+func ExampleExactSod() {
+	sample, err := rhsc.ExactSod(10, 0, 13.33, 1, 0, 1e-6, 5.0/3.0, 0.5, 0.4)
+	if err != nil {
+		log.Fatal(err)
+	}
+	p := sample(0.7)
+	fmt.Printf("star velocity %.3f\n", p.Vx)
+	// Output: star velocity 0.714
+}

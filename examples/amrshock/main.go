@@ -1,0 +1,79 @@
+// Amrshock contrasts adaptive mesh refinement against a uniform fine grid
+// on the relativistic blast wave (Martí–Müller Problem 2): same effective
+// resolution, a fraction of the zone updates, comparable error against
+// the exact solution.
+//
+// Run with:
+//
+//	go run ./examples/amrshock
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"time"
+
+	"rhsc"
+)
+
+func main() {
+	const (
+		rootBlocks = 8
+		blockN     = 16
+		maxLevel   = 2
+		tEnd       = 0.25
+	)
+	nEff := rootBlocks * blockN * (1 << maxLevel) // 512 effective cells
+
+	exactAt, err := rhsc.ExactSod(1, 0, 1000, 1, 0, 0.01, 5.0/3.0, 0.5, tEnd)
+	if err != nil {
+		log.Fatal(err)
+	}
+	l1 := func(at func(x float64) float64) float64 {
+		s, dx := 0.0, 1.0/float64(nEff)
+		for i := 0; i < nEff; i++ {
+			x := (float64(i) + 0.5) * dx
+			s += math.Abs(at(x)-exactAt(x).Rho) * dx
+		}
+		return s
+	}
+
+	// Adaptive run.
+	amrStart := time.Now()
+	a, err := rhsc.NewAMRSim(rhsc.Options{Problem: "blast"},
+		rhsc.AMROptions{RootBlocks: rootBlocks, BlockN: blockN, MaxLevel: maxLevel})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := a.RunTo(tEnd); err != nil {
+		log.Fatal(err)
+	}
+	amrTime := time.Since(amrStart)
+	leaves, zones, level, amrUpdates := a.Stats()
+
+	// Uniform fine run at the same effective resolution.
+	uniStart := time.Now()
+	u, err := rhsc.NewSim(rhsc.Options{Problem: "blast", N: nEff})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := u.RunTo(tEnd); err != nil {
+		log.Fatal(err)
+	}
+	uniTime := time.Since(uniStart)
+
+	amrL1 := l1(func(x float64) float64 { return a.At(x, 0).Rho })
+	uniL1 := l1(func(x float64) float64 { return u.At(x, 0).Rho })
+
+	fmt.Printf("relativistic blast wave, effective N=%d, t=%.2f\n\n", nEff, tEnd)
+	fmt.Printf("  %-14s %12s %12s %10s %12s\n", "run", "zone-updates", "wall time", "L1(rho)", "active zones")
+	fmt.Printf("  %-14s %12d %12v %10.4f %12d\n",
+		"uniform", u.ZoneUpdates(), uniTime.Round(time.Millisecond), uniL1, nEff)
+	fmt.Printf("  %-14s %12d %12v %10.4f %12d\n",
+		fmt.Sprintf("amr L%d", level), amrUpdates, amrTime.Round(time.Millisecond), amrL1, zones)
+	fmt.Printf("\n  AMR: %d leaves, %.1fx fewer zone updates, error ratio %.2f\n",
+		leaves,
+		float64(u.ZoneUpdates())/float64(amrUpdates),
+		amrL1/uniL1)
+}

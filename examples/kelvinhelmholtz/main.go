@@ -1,0 +1,58 @@
+// Kelvinhelmholtz evolves the relativistic Kelvin–Helmholtz shear
+// instability and prints the growth of the transverse kinetic-energy
+// proxy max|v_y|(t) — the standard diagnostic whose near-exponential rise
+// and saturation signal the instability is captured.
+//
+// Run with:
+//
+//	go run ./examples/kelvinhelmholtz
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"runtime"
+
+	"rhsc"
+)
+
+func main() {
+	const n = 128
+	sim, err := rhsc.NewSim(rhsc.Options{
+		Problem: "kh2d",
+		N:       n,
+		Threads: runtime.NumCPU(),
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	maxVy := func() float64 {
+		m := 0.0
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				x := -0.5 + (float64(i)+0.5)/n
+				y := -0.5 + (float64(j)+0.5)/n
+				if v := math.Abs(sim.At(x, y).Vy); v > m {
+					m = v
+				}
+			}
+		}
+		return m
+	}
+
+	fmt.Printf("relativistic Kelvin–Helmholtz, %dx%d\n", n, n)
+	fmt.Printf("%8s  %12s\n", "t", "max|vy|")
+	v0 := maxVy()
+	fmt.Printf("%8.2f  %12.5e\n", sim.Time(), v0)
+	for _, tOut := range []float64{0.5, 1.0, 1.5, 2.0, 2.5, 3.0} {
+		if err := sim.RunTo(tOut); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%8.2f  %12.5e\n", sim.Time(), maxVy())
+	}
+	vEnd := maxVy()
+	fmt.Printf("\namplification: %.1fx over the run (instability %s)\n",
+		vEnd/v0, map[bool]string{true: "captured", false: "NOT captured"}[vEnd > 5*v0])
+}

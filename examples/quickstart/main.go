@@ -1,0 +1,64 @@
+// Quickstart: run the relativistic Sod shock tube (Martí–Müller Problem 1)
+// at N = 400 with the default method (PLM-MC + HLLC + SSP-RK2), compare
+// against the exact Riemann solution, and write the profile to
+// sod_profile.csv.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+	"os"
+	"time"
+
+	"rhsc"
+)
+
+func main() {
+	const n = 400
+	sim, err := rhsc.NewSim(rhsc.Options{Problem: "sod", N: n, Threads: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	start := time.Now()
+	if err := sim.Run(); err != nil {
+		log.Fatal(err)
+	}
+	elapsed := time.Since(start)
+
+	// Exact solution for the same initial data at the final time.
+	tEnd := sim.Problem.TEnd
+	sample, err := rhsc.ExactSod(10, 0, 13.33, 1, 0, 1e-6, 5.0/3.0, 0.5, tEnd)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	l1 := 0.0
+	dx := 1.0 / n
+	for i := 0; i < n; i++ {
+		x := (float64(i) + 0.5) * dx
+		l1 += math.Abs(sim.At(x, 0).Rho-sample(x).Rho) * dx
+	}
+
+	fmt.Printf("relativistic Sod tube, N=%d, t=%.2f\n", n, tEnd)
+	fmt.Printf("  wall time        %v\n", elapsed.Round(time.Millisecond))
+	fmt.Printf("  throughput       %.2f Mzups\n", rhsc.Mzups(sim.ZoneUpdates(), elapsed))
+	fmt.Printf("  L1(rho) vs exact %.4e\n", l1)
+	fmt.Printf("  plateau check    v(0.62) = %.4f (exact %.4f)\n",
+		sim.At(0.62, 0).Vx, sample(0.62).Vx)
+
+	f, err := os.Create("sod_profile.csv")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer f.Close()
+	if err := sim.WriteProfile(f); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("profile written to sod_profile.csv")
+}

@@ -1,0 +1,84 @@
+// Relativisticeffects contrasts the relativistic HRSC solver against the
+// classical (Newtonian) Euler baseline on the same initial data.
+//
+// In the mildly relativistic Sod tube the two agree qualitatively; in the
+// blast-wave regime (p/ρ = 1000) the Newtonian shock races ahead at ~20 c
+// while the relativistic shock stays causal at 0.986 c — the physical
+// reason the paper's solver exists.
+//
+// Run with:
+//
+//	go run ./examples/relativisticeffects
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"rhsc"
+)
+
+// shockOf locates the strongest density gradient along y = 0.
+func shockOf(at func(x float64) float64, n int) float64 {
+	best, bestG, prev := 0.0, 0.0, math.NaN()
+	for i := 0; i < n; i++ {
+		x := (float64(i) + 0.5) / float64(n)
+		v := at(x)
+		if !math.IsNaN(prev) {
+			if g := math.Abs(v - prev); g > bestG {
+				bestG, best = g, x
+			}
+		}
+		prev = v
+	}
+	return best
+}
+
+// compare measures each solver's shock speed over a window long enough
+// for the shock to cross many cells (the windows differ because the
+// Newtonian blast shock moves ~20x faster and would exit the domain).
+func compare(problem string, tRel, tNewt float64) {
+	const n = 400
+	rel, err := rhsc.NewSim(rhsc.Options{Problem: problem, N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	// Two-time measurement cancels the constant offset between the
+	// detected gradient maximum and the true front.
+	if err := rel.RunTo(tRel / 2); err != nil {
+		log.Fatal(err)
+	}
+	xr1 := shockOf(func(x float64) float64 { return rel.At(x, 0).Rho }, n)
+	if err := rel.RunTo(tRel); err != nil {
+		log.Fatal(err)
+	}
+	xr2 := shockOf(func(x float64) float64 { return rel.At(x, 0).Rho }, n)
+
+	newt, err := rhsc.NewNewtonSim(rhsc.Options{Problem: problem, N: n})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := newt.RunTo(tNewt / 2); err != nil {
+		log.Fatal(err)
+	}
+	xn1 := shockOf(func(x float64) float64 { return newt.At(x, 0).Rho }, n)
+	if err := newt.RunTo(tNewt); err != nil {
+		log.Fatal(err)
+	}
+	xn2 := shockOf(func(x float64) float64 { return newt.At(x, 0).Rho }, n)
+
+	vr := (xr2 - xr1) / (tRel / 2)
+	vn := (xn2 - xn1) / (tNewt / 2)
+	fmt.Printf("%-6s shock speed:  relativistic %.3f c   newtonian %.3f c\n",
+		problem, vr, vn)
+	if vn > 1 {
+		fmt.Printf("        -> the baseline shock is superluminal; relativity is not optional here\n")
+	}
+}
+
+func main() {
+	fmt.Println("relativistic vs Newtonian shock dynamics (N=400):")
+	compare("sod", 0.35, 0.15)   // strong tube: baseline already superluminal
+	compare("blast", 0.35, 0.02) // p/rho = 1000: Newtonian physics breaks down badly
+}

@@ -1,0 +1,3 @@
+module rhsc
+
+go 1.22

@@ -1,0 +1,538 @@
+// Package amr implements block-structured adaptive mesh refinement on top
+// of the core HRSC solver: a quadtree (binary tree in 1-D) of fixed-size
+// blocks, gradient-based refinement flags, conservative prolongation and
+// restriction, 2:1 level balance, and a stage-synchronous SSP-RK2 driver
+// that advances every leaf with a single global time step.
+//
+// Design choices (see DESIGN.md §5):
+//
+//   - Leaves carry the data; internal nodes are structure only.
+//   - A uniform global Δt (the minimum CFL step over all leaves) is used
+//     instead of level subcycling — simpler, unconditionally consistent,
+//     and adequate for the efficiency experiment E9.
+//   - Ghost zones of a leaf are filled by conservative point sampling of
+//     the neighbouring leaves: same-level neighbours copy exactly, coarse
+//     neighbours prolongate piecewise-constantly, fine neighbours are
+//     averaged (restriction). Coarse-fine interfaces are not refluxed;
+//     the conservation drift this causes is measured by the tests and
+//     stays far below the scheme's discretisation error.
+package amr
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rhsc/internal/core"
+	"rhsc/internal/grid"
+	"rhsc/internal/state"
+	"rhsc/internal/testprob"
+)
+
+// Config selects the AMR layout and policy.
+type Config struct {
+	// Core is the per-leaf numerical method (Pool may be set; SweepExec
+	// and HaloExchange must be nil — the tree owns ghost filling).
+	Core core.Config
+	// BlockN is the number of cells per block side. Must be at least
+	// twice the reconstruction ghost width.
+	BlockN int
+	// MaxLevel is the deepest refinement level (0 = root only).
+	MaxLevel int
+	// RefineTol flags a block for refinement when its relative gradient
+	// indicator exceeds it; CoarsenTol (< RefineTol) allows coarsening.
+	RefineTol  float64
+	CoarsenTol float64
+	// RegridEvery re-evaluates the flags every so many steps (default 4).
+	RegridEvery int
+}
+
+// DefaultConfig returns a reasonable AMR policy over the given core
+// method.
+func DefaultConfig(c core.Config) Config {
+	return Config{
+		Core:        c,
+		BlockN:      16,
+		MaxLevel:    2,
+		RefineTol:   0.08,
+		CoarsenTol:  0.02,
+		RegridEvery: 4,
+	}
+}
+
+type key struct{ level, bi, bj int }
+
+// node is one tree block; only leaves (children == nil) hold solvers.
+type node struct {
+	level, bi, bj int
+	parent        *node
+	children      []*node
+	sol           *core.Solver
+	rhs, u0       *state.Fields
+}
+
+func (n *node) leaf() bool { return n.children == nil }
+
+// Tree is the AMR hierarchy over a rectangular domain.
+type Tree struct {
+	cfg  Config
+	prob *testprob.Problem
+	dim  int
+	nbx  int // root blocks along x
+	nby  int // root blocks along y (1 in 1-D)
+
+	x0, x1, y0, y1 float64
+
+	roots  []*node
+	nodes  map[key]*node
+	leaves []*node
+
+	t           float64
+	steps       int
+	zoneUpdates int64
+}
+
+// NewTree builds the hierarchy for problem p with nbx root blocks along x
+// (root resolution nbx·BlockN cells), bootstraps the initial refinement,
+// and fills the initial condition.
+func NewTree(p *testprob.Problem, nbx int, cfg Config) (*Tree, error) {
+	if cfg.BlockN < 2*cfg.Core.Recon.Ghost() {
+		return nil, fmt.Errorf("amr: BlockN %d below twice the ghost width %d",
+			cfg.BlockN, cfg.Core.Recon.Ghost())
+	}
+	if cfg.BlockN%2 != 0 {
+		return nil, fmt.Errorf("amr: BlockN %d must be even for 2:1 cell alignment", cfg.BlockN)
+	}
+	if cfg.MaxLevel < 0 || cfg.MaxLevel > 12 {
+		return nil, fmt.Errorf("amr: MaxLevel %d out of range", cfg.MaxLevel)
+	}
+	if cfg.RefineTol <= cfg.CoarsenTol {
+		return nil, errors.New("amr: RefineTol must exceed CoarsenTol")
+	}
+	if cfg.RegridEvery <= 0 {
+		cfg.RegridEvery = 4
+	}
+	if cfg.Core.SweepExec != nil || cfg.Core.HaloExchange != nil {
+		return nil, errors.New("amr: core SweepExec/HaloExchange must be nil")
+	}
+	if nbx < 1 {
+		return nil, errors.New("amr: need at least one root block")
+	}
+	if p.Dim > 2 {
+		return nil, fmt.Errorf("amr: %d-D problems are not supported (quadtree refinement is 1-D/2-D)", p.Dim)
+	}
+	dim := p.Dim
+	nby := 1
+	if dim >= 2 {
+		aspect := (p.Y1 - p.Y0) / (p.X1 - p.X0)
+		nby = int(math.Round(float64(nbx) * aspect))
+		if nby < 1 {
+			nby = 1
+		}
+	}
+	t := &Tree{
+		cfg: cfg, prob: p, dim: dim, nbx: nbx, nby: nby,
+		x0: p.X0, x1: p.X1, y0: p.Y0, y1: p.Y1,
+		nodes: make(map[key]*node),
+	}
+	for bj := 0; bj < nby; bj++ {
+		for bi := 0; bi < nbx; bi++ {
+			n := &node{level: 0, bi: bi, bj: bj}
+			if err := t.attachSolver(n); err != nil {
+				return nil, err
+			}
+			t.roots = append(t.roots, n)
+			t.nodes[key{0, bi, bj}] = n
+		}
+	}
+	t.rebuildLeaves()
+	t.initLeaves(t.leaves)
+	t.fillGhosts()
+	// Bootstrap: regrid against the initial condition until the hierarchy
+	// stabilises, re-imposing the exact initial data each round.
+	for r := 0; r <= cfg.MaxLevel; r++ {
+		if !t.regrid() {
+			break
+		}
+		t.initLeaves(t.leaves)
+		t.fillGhosts()
+	}
+	t.sync()
+	return t, nil
+}
+
+// blockExtent returns the physical bounds of block (level, bi, bj).
+func (t *Tree) blockExtent(level, bi, bj int) (x0, x1, y0, y1 float64) {
+	wx := (t.x1 - t.x0) / float64(t.nbx<<level)
+	x0 = t.x0 + float64(bi)*wx
+	x1 = x0 + wx
+	if t.dim >= 2 {
+		wy := (t.y1 - t.y0) / float64(t.nby<<level)
+		y0 = t.y0 + float64(bj)*wy
+		y1 = y0 + wy
+	} else {
+		y0, y1 = t.y0, t.y1
+	}
+	return
+}
+
+// attachSolver allocates the grid, solver and stage storage of a leaf.
+func (t *Tree) attachSolver(n *node) error {
+	x0, x1, y0, y1 := t.blockExtent(n.level, n.bi, n.bj)
+	geom := grid.Geometry{
+		Nx: t.cfg.BlockN, Ny: 1, Nz: 1, Ng: t.cfg.Core.Recon.Ghost(),
+		X0: x0, X1: x1, Y0: y0, Y1: y1,
+	}
+	if t.dim >= 2 {
+		geom.Ny = t.cfg.BlockN
+	}
+	g := grid.New(geom)
+	t.setLeafBCs(n, g)
+	sol, err := core.New(g, t.cfg.Core)
+	if err != nil {
+		return err
+	}
+	n.sol = sol
+	n.rhs = state.NewFields(g.NCells())
+	n.u0 = state.NewFields(g.NCells())
+	return nil
+}
+
+// setLeafBCs marks faces shared with other blocks External and domain
+// faces with the problem BC (periodic domain faces are also External:
+// they wrap to another block).
+func (t *Tree) setLeafBCs(n *node, g *grid.Grid) {
+	periodic := t.prob.BC == grid.Periodic
+	nbxL := t.nbx << n.level
+	nbyL := t.nby << n.level
+	// x faces
+	if n.bi > 0 || (periodic && nbxL > 1) {
+		g.BCs[0][0] = grid.External
+	} else {
+		g.BCs[0][0] = t.prob.BC
+	}
+	if n.bi < nbxL-1 || (periodic && nbxL > 1) {
+		g.BCs[0][1] = grid.External
+	} else {
+		g.BCs[0][1] = t.prob.BC
+	}
+	if t.dim >= 2 {
+		if n.bj > 0 || (periodic && nbyL > 1) {
+			g.BCs[1][0] = grid.External
+		} else {
+			g.BCs[1][0] = t.prob.BC
+		}
+		if n.bj < nbyL-1 || (periodic && nbyL > 1) {
+			g.BCs[1][1] = grid.External
+		} else {
+			g.BCs[1][1] = t.prob.BC
+		}
+	}
+}
+
+// initLeaves imposes the problem's initial condition on the given leaves.
+func (t *Tree) initLeaves(ls []*node) {
+	for _, n := range ls {
+		n.sol.InitFromPrim(t.prob.Init)
+	}
+}
+
+// rebuildLeaves refreshes the leaf cache.
+func (t *Tree) rebuildLeaves() {
+	t.leaves = t.leaves[:0]
+	var walk func(n *node)
+	walk = func(n *node) {
+		if n.leaf() {
+			t.leaves = append(t.leaves, n)
+			return
+		}
+		for _, c := range n.children {
+			walk(c)
+		}
+	}
+	for _, r := range t.roots {
+		walk(r)
+	}
+}
+
+// Time returns the solution time.
+func (t *Tree) Time() float64 { return t.t }
+
+// Problem returns the problem this tree was built for.
+func (t *Tree) Problem() *testprob.Problem { return t.prob }
+
+// NumLeaves returns the number of active blocks.
+func (t *Tree) NumLeaves() int { return len(t.leaves) }
+
+// TotalZones returns the number of active (leaf) interior zones.
+func (t *Tree) TotalZones() int {
+	z := 0
+	for _, n := range t.leaves {
+		z += n.sol.G.Nx * n.sol.G.Ny
+	}
+	return z
+}
+
+// ZoneUpdates returns the cumulative zones × RHS evaluations — the work
+// measure of the AMR efficiency experiment.
+func (t *Tree) ZoneUpdates() int64 { return t.zoneUpdates }
+
+// MaxLevelInUse returns the deepest level currently active.
+func (t *Tree) MaxLevelInUse() int {
+	m := 0
+	for _, n := range t.leaves {
+		if n.level > m {
+			m = n.level
+		}
+	}
+	return m
+}
+
+// TotalMass sums the conserved mass over all leaves.
+func (t *Tree) TotalMass() float64 {
+	m := 0.0
+	for _, n := range t.leaves {
+		m += n.sol.G.TotalMass()
+	}
+	return m
+}
+
+// wrap maps a coordinate into the periodic domain.
+func wrap(x, lo, hi float64) float64 {
+	w := hi - lo
+	for x < lo {
+		x += w
+	}
+	for x >= hi {
+		x -= w
+	}
+	return x
+}
+
+// locate returns the leaf containing physical point (x, y) and the flat
+// cell index of the containing cell.
+func (t *Tree) locate(x, y float64) (*node, int) {
+	if t.prob.BC == grid.Periodic {
+		x = wrap(x, t.x0, t.x1)
+		if t.dim >= 2 {
+			y = wrap(y, t.y0, t.y1)
+		}
+	}
+	wx := (t.x1 - t.x0) / float64(t.nbx)
+	bi := int((x - t.x0) / wx)
+	if bi < 0 {
+		bi = 0
+	}
+	if bi >= t.nbx {
+		bi = t.nbx - 1
+	}
+	bj := 0
+	if t.dim >= 2 {
+		wy := (t.y1 - t.y0) / float64(t.nby)
+		bj = int((y - t.y0) / wy)
+		if bj < 0 {
+			bj = 0
+		}
+		if bj >= t.nby {
+			bj = t.nby - 1
+		}
+	}
+	n := t.roots[bj*t.nbx+bi]
+	for !n.leaf() {
+		x0, x1, y0, y1 := t.blockExtent(n.level, n.bi, n.bj)
+		cx := 0
+		if x >= 0.5*(x0+x1) {
+			cx = 1
+		}
+		if t.dim == 1 {
+			n = n.children[cx]
+			continue
+		}
+		cy := 0
+		if y >= 0.5*(y0+y1) {
+			cy = 1
+		}
+		n = n.children[cy*2+cx]
+	}
+	g := n.sol.G
+	i := g.IBeg() + int((x-g.X0)/g.Dx)
+	if i < g.IBeg() {
+		i = g.IBeg()
+	}
+	if i >= g.IEnd() {
+		i = g.IEnd() - 1
+	}
+	j := g.JBeg()
+	if t.dim >= 2 {
+		j = g.JBeg() + int((y-g.Y0)/g.Dy)
+		if j < g.JBeg() {
+			j = g.JBeg()
+		}
+		if j >= g.JEnd() {
+			j = g.JEnd() - 1
+		}
+	}
+	return n, g.Idx(i, j, g.KBeg())
+}
+
+// SampleAt returns the primitive state at a physical point, resolved on
+// the finest covering leaf.
+func (t *Tree) SampleAt(x, y float64) state.Prim {
+	n, idx := t.locate(x, y)
+	return n.sol.G.W.GetPrim(idx)
+}
+
+// sampleAvg averages the primitives over the sub-points of a ghost cell
+// centred at (x, y) with sizes (dx, dy): one point per potential finer
+// cell, which makes the fill exact for same-level and coarse neighbours
+// and a conservative restriction for fine ones.
+func (t *Tree) sampleAvg(x, y, dx, dy float64) state.Prim {
+	if t.dim == 1 {
+		a, ia := t.locate(x-0.25*dx, y)
+		b, ib := t.locate(x+0.25*dx, y)
+		pa := a.sol.G.W.GetPrim(ia)
+		pb := b.sol.G.W.GetPrim(ib)
+		return avgPrim(pa, pb)
+	}
+	var ps [4]state.Prim
+	c := 0
+	for _, fy := range [2]float64{-0.25, 0.25} {
+		for _, fx := range [2]float64{-0.25, 0.25} {
+			n, i := t.locate(x+fx*dx, y+fy*dy)
+			ps[c] = n.sol.G.W.GetPrim(i)
+			c++
+		}
+	}
+	return avgPrim(avgPrim(ps[0], ps[1]), avgPrim(ps[2], ps[3]))
+}
+
+func avgPrim(a, b state.Prim) state.Prim {
+	return state.Prim{
+		Rho: 0.5 * (a.Rho + b.Rho),
+		Vx:  0.5 * (a.Vx + b.Vx),
+		Vy:  0.5 * (a.Vy + b.Vy),
+		Vz:  0.5 * (a.Vz + b.Vz),
+		P:   0.5 * (a.P + b.P),
+	}
+}
+
+// fillGhosts fills the External-face ghost zones of every leaf from the
+// current leaf data.
+func (t *Tree) fillGhosts() {
+	for _, n := range t.leaves {
+		g := n.sol.G
+		ng := g.Ng
+		fill := func(i, j int) {
+			p := t.sampleAvg(g.X(i), g.Y(j), g.Dx, g.Dy)
+			g.W.SetPrim(g.Idx(i, j, g.KBeg()), p)
+		}
+		if g.BCs[0][0] == grid.External {
+			for j := g.JBeg(); j < g.JEnd(); j++ {
+				for i := 0; i < ng; i++ {
+					fill(i, j)
+				}
+			}
+		}
+		if g.BCs[0][1] == grid.External {
+			for j := g.JBeg(); j < g.JEnd(); j++ {
+				for i := g.IEnd(); i < g.IEnd()+ng; i++ {
+					fill(i, j)
+				}
+			}
+		}
+		if t.dim >= 2 {
+			if g.BCs[1][0] == grid.External {
+				for j := 0; j < ng; j++ {
+					for i := g.IBeg(); i < g.IEnd(); i++ {
+						fill(i, j)
+					}
+				}
+			}
+			if g.BCs[1][1] == grid.External {
+				for j := g.JEnd(); j < g.JEnd()+ng; j++ {
+					for i := g.IBeg(); i < g.IEnd(); i++ {
+						fill(i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// sync re-establishes the invariant: every leaf's primitives (interior,
+// physical ghosts, and External ghosts) reflect its conserved state.
+func (t *Tree) sync() {
+	for _, n := range t.leaves {
+		n.sol.RecoverPrimitives()
+	}
+	t.fillGhosts()
+}
+
+// MaxDt returns the global CFL step: the minimum over all leaves.
+func (t *Tree) MaxDt() float64 {
+	dt := math.Inf(1)
+	for _, n := range t.leaves {
+		if d := n.sol.MaxDt(); d < dt {
+			dt = d
+		}
+	}
+	return dt
+}
+
+// Step advances every leaf by dt with stage-synchronous SSP RK2.
+func (t *Tree) Step(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("amr: non-positive dt %v", dt)
+	}
+	stage := func() error {
+		for _, n := range t.leaves {
+			n.sol.ComputeRHS(n.rhs)
+			t.zoneUpdates += int64(n.sol.G.Nx * n.sol.G.Ny)
+		}
+		for _, n := range t.leaves {
+			n.sol.G.U.AXPY(dt, n.rhs)
+		}
+		t.sync()
+		return nil
+	}
+	for _, n := range t.leaves {
+		n.u0.CopyFrom(n.sol.G.U)
+	}
+	if err := stage(); err != nil {
+		return err
+	}
+	if err := stage(); err != nil {
+		return err
+	}
+	for _, n := range t.leaves {
+		n.sol.G.U.LinComb2(0.5, n.u0, 0.5, n.sol.G.U)
+	}
+	t.sync()
+
+	t.t += dt
+	t.steps++
+	if t.steps%t.cfg.RegridEvery == 0 {
+		t.regrid()
+		t.sync()
+	}
+	return nil
+}
+
+// Advance integrates to tEnd with CFL-limited steps.
+func (t *Tree) Advance(tEnd float64) (int, error) {
+	steps := 0
+	for t.t < tEnd-1e-14 {
+		dt := t.MaxDt()
+		if t.t+dt > tEnd {
+			dt = tEnd - t.t
+		}
+		if err := t.Step(dt); err != nil {
+			return steps, err
+		}
+		steps++
+		if steps > 1_000_000 {
+			return steps, errors.New("amr: step budget exhausted")
+		}
+	}
+	return steps, nil
+}

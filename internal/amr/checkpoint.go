@@ -1,0 +1,150 @@
+package amr
+
+import (
+	"encoding/gob"
+	"fmt"
+	"io"
+	"sort"
+
+	"rhsc/internal/core"
+	"rhsc/internal/testprob"
+)
+
+// leafRecord is one leaf's identity and conserved data in a checkpoint.
+type leafRecord struct {
+	Level, Bi, Bj int
+	U             []float64
+}
+
+// treeCheckpoint is the gob payload of a hierarchy snapshot.
+type treeCheckpoint struct {
+	Problem     string
+	BlockN      int
+	MaxLevel    int
+	RefineTol   float64
+	CoarsenTol  float64
+	RegridEvery int
+	Nbx, Nby    int
+	Time        float64
+	Steps       int
+	ZoneUpdates int64
+	Leaves      []leafRecord
+}
+
+// Save serialises the tree structure and every leaf's conserved state.
+func (t *Tree) Save(w io.Writer) error {
+	cp := treeCheckpoint{
+		Problem:     t.prob.Name,
+		BlockN:      t.cfg.BlockN,
+		MaxLevel:    t.cfg.MaxLevel,
+		RefineTol:   t.cfg.RefineTol,
+		CoarsenTol:  t.cfg.CoarsenTol,
+		RegridEvery: t.cfg.RegridEvery,
+		Nbx:         t.nbx,
+		Nby:         t.nby,
+		Time:        t.t,
+		Steps:       t.steps,
+		ZoneUpdates: t.zoneUpdates,
+	}
+	for _, n := range t.leaves {
+		raw := n.sol.G.U.Raw()
+		rec := leafRecord{Level: n.level, Bi: n.bi, Bj: n.bj,
+			U: append([]float64(nil), raw...)}
+		cp.Leaves = append(cp.Leaves, rec)
+	}
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// Load rebuilds a tree from a checkpoint. The problem must match the one
+// the checkpoint was written from; the numerical method comes from core
+// (which must produce the same ghost width the checkpoint's blocks were
+// sized for).
+func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
+	var cp treeCheckpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, fmt.Errorf("amr: decode checkpoint: %w", err)
+	}
+	p, err := testprob.ByName(cp.Problem)
+	if err != nil {
+		return nil, fmt.Errorf("amr: checkpoint problem: %w", err)
+	}
+	cfg := Config{
+		Core:        coreCfg,
+		BlockN:      cp.BlockN,
+		MaxLevel:    cp.MaxLevel,
+		RefineTol:   cp.RefineTol,
+		CoarsenTol:  cp.CoarsenTol,
+		RegridEvery: cp.RegridEvery,
+	}
+	// Build a fresh level-0 hierarchy without bootstrapping refinement:
+	// replicate NewTree's construction manually.
+	t := &Tree{
+		cfg: cfg, prob: p, dim: p.Dim, nbx: cp.Nbx, nby: cp.Nby,
+		x0: p.X0, x1: p.X1, y0: p.Y0, y1: p.Y1,
+		nodes: make(map[key]*node),
+	}
+	if t.dim > 2 {
+		return nil, fmt.Errorf("amr: checkpointed problem is %d-D", t.dim)
+	}
+	for bj := 0; bj < cp.Nby; bj++ {
+		for bi := 0; bi < cp.Nbx; bi++ {
+			n := &node{level: 0, bi: bi, bj: bj}
+			if err := t.attachSolver(n); err != nil {
+				return nil, err
+			}
+			t.roots = append(t.roots, n)
+			t.nodes[key{0, bi, bj}] = n
+		}
+	}
+
+	// Recreate the refinement structure: refine ancestors level by level.
+	recs := append([]leafRecord(nil), cp.Leaves...)
+	sort.Slice(recs, func(i, j int) bool { return recs[i].Level < recs[j].Level })
+	for _, rec := range recs {
+		// Walk down from the containing root, refining as needed.
+		for lvl := 0; lvl < rec.Level; lvl++ {
+			shift := rec.Level - lvl
+			bi := rec.Bi >> shift
+			bj := rec.Bj
+			if t.dim >= 2 {
+				bj = rec.Bj >> shift
+			}
+			anc, ok := t.nodes[key{lvl, bi, bj}]
+			if !ok {
+				return nil, fmt.Errorf("amr: checkpoint structure broken at L%d (%d,%d)", lvl, bi, bj)
+			}
+			if anc.leaf() {
+				if err := t.refine(anc); err != nil {
+					return nil, err
+				}
+			}
+		}
+	}
+	t.rebuildLeaves()
+
+	// Install the leaf data.
+	installed := 0
+	for _, rec := range recs {
+		n, ok := t.nodes[key{rec.Level, rec.Bi, rec.Bj}]
+		if !ok || !n.leaf() {
+			return nil, fmt.Errorf("amr: checkpoint leaf L%d (%d,%d) missing after rebuild",
+				rec.Level, rec.Bi, rec.Bj)
+		}
+		raw := n.sol.G.U.Raw()
+		if len(rec.U) != len(raw) {
+			return nil, fmt.Errorf("amr: leaf data size %d, grid needs %d", len(rec.U), len(raw))
+		}
+		copy(raw, rec.U)
+		n.sol.SetTime(cp.Time)
+		installed++
+	}
+	if installed != len(t.leaves) {
+		return nil, fmt.Errorf("amr: checkpoint carries %d leaves, tree rebuilt %d",
+			installed, len(t.leaves))
+	}
+	t.t = cp.Time
+	t.steps = cp.Steps
+	t.zoneUpdates = cp.ZoneUpdates
+	t.sync()
+	return t, nil
+}

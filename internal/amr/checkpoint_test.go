@@ -1,0 +1,98 @@
+package amr
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rhsc/internal/core"
+	"rhsc/internal/testprob"
+)
+
+func TestCheckpointRoundTrip(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig())
+	cfg.MaxLevel = 2
+	cfg.RegridEvery = 2
+	tr, err := NewTree(testprob.Sod, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := tr.Advance(0.1); err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Time() != tr.Time() {
+		t.Errorf("time %v, want %v", restored.Time(), tr.Time())
+	}
+	if restored.NumLeaves() != tr.NumLeaves() {
+		t.Errorf("leaves %d, want %d", restored.NumLeaves(), tr.NumLeaves())
+	}
+	if restored.MaxLevelInUse() != tr.MaxLevelInUse() {
+		t.Errorf("max level %d, want %d", restored.MaxLevelInUse(), tr.MaxLevelInUse())
+	}
+	if rel := math.Abs(restored.TotalMass()-tr.TotalMass()) / tr.TotalMass(); rel > 1e-14 {
+		t.Errorf("mass differs by %v", rel)
+	}
+	if restored.ZoneUpdates() != tr.ZoneUpdates() {
+		t.Errorf("zone updates %d, want %d", restored.ZoneUpdates(), tr.ZoneUpdates())
+	}
+
+	// Continue both and compare samples (agreement to c2p tolerance).
+	if _, err := tr.Advance(0.15); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := restored.Advance(0.15); err != nil {
+		t.Fatal(err)
+	}
+	for _, x := range []float64{0.2, 0.45, 0.55, 0.8} {
+		a := tr.SampleAt(x, 0)
+		b := restored.SampleAt(x, 0)
+		if math.Abs(a.Rho-b.Rho) > 1e-8*(1+a.Rho) || math.Abs(a.P-b.P) > 1e-8*(1+a.P) {
+			t.Errorf("restored run diverged at x=%v: %+v vs %+v", x, a, b)
+		}
+	}
+}
+
+func TestCheckpointGarbage(t *testing.T) {
+	if _, err := Load(strings.NewReader("junk"), core.DefaultConfig()); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestCheckpoint2D(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig())
+	cfg.MaxLevel = 1
+	cfg.BlockN = 8
+	tr, err := NewTree(testprob.Blast2D, 6, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := tr.Step(tr.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumLeaves() != tr.NumLeaves() {
+		t.Errorf("2D leaves %d, want %d", restored.NumLeaves(), tr.NumLeaves())
+	}
+	if rel := math.Abs(restored.TotalMass()-tr.TotalMass()) / tr.TotalMass(); rel > 1e-14 {
+		t.Errorf("2D mass differs by %v", rel)
+	}
+}

@@ -1,0 +1,198 @@
+// Package cluster is the distributed-memory substrate of the solver:
+// ranks, point-to-point messaging, collectives, one-dimensional domain
+// decomposition with halo exchange, and a virtual network model.
+//
+// Substitution note (see DESIGN.md): the paper ran on an MPI cluster; in
+// pure Go, ranks are goroutines and the transport is channels. What
+// determines the scaling curves — halo volume, message counts,
+// surface-to-volume ratios, exposure (or overlap) of communication
+// latency — is preserved exactly. Wall-clock speedup is real up to the
+// host's core count; beyond it, the deterministic virtual clock (compute
+// charged at a calibrated zone rate, messages charged latency + size/BW,
+// timestamps carried on messages) extrapolates the curve shape, which is
+// what the strong/weak scaling experiments (E5, E6) report.
+package cluster
+
+import (
+	"fmt"
+	"math"
+)
+
+// message is the unit of transport: payload plus the sender's virtual
+// timestamp at posting time.
+type message struct {
+	tag  int
+	data []float64
+	// stamp is the sender's virtual clock when the send was posted.
+	stamp float64
+}
+
+// World owns the mailboxes of a set of ranks.
+type World struct {
+	size  int
+	boxes [][]chan message // boxes[src][dst]
+}
+
+// NewWorld creates a world of n ranks with buffered pairwise mailboxes.
+func NewWorld(n int) *World {
+	if n < 1 {
+		panic("cluster: world needs at least one rank")
+	}
+	w := &World{size: n, boxes: make([][]chan message, n)}
+	for s := 0; s < n; s++ {
+		w.boxes[s] = make([]chan message, n)
+		for d := 0; d < n; d++ {
+			w.boxes[s][d] = make(chan message, 8)
+		}
+	}
+	return w
+}
+
+// Size returns the number of ranks.
+func (w *World) Size() int { return w.size }
+
+// Comm returns rank r's communicator.
+func (w *World) Comm(r int) *Comm {
+	if r < 0 || r >= w.size {
+		panic(fmt.Sprintf("cluster: rank %d outside world of %d", r, w.size))
+	}
+	return &Comm{w: w, rank: r, pending: make(map[int][]message)}
+}
+
+// Comm is one rank's endpoint. A Comm must only be used from its own
+// rank's goroutine.
+type Comm struct {
+	w    *World
+	rank int
+	// pending stashes messages that arrived ahead of the tag being waited
+	// on (a pair can interleave halo tags, e.g. two-rank periodic rings).
+	pending map[int][]message
+}
+
+// Rank returns this communicator's rank.
+func (c *Comm) Rank() int { return c.rank }
+
+// Size returns the world size.
+func (c *Comm) Size() int { return c.w.size }
+
+// Send posts data to dst with a tag and the sender's virtual timestamp.
+// Delivery is in-order per (src, dst) pair. The payload is not copied; the
+// sender must not mutate it afterwards.
+func (c *Comm) Send(dst, tag int, data []float64, stamp float64) {
+	c.w.boxes[c.rank][dst] <- message{tag: tag, data: data, stamp: stamp}
+}
+
+// Recv blocks for the next message from src carrying the given tag.
+// Messages from src with other tags are stashed and delivered to later
+// matching Recv calls, preserving per-tag FIFO order.
+func (c *Comm) Recv(src, tag int) ([]float64, float64) {
+	for i, m := range c.pending[src] {
+		if m.tag == tag {
+			c.pending[src] = append(c.pending[src][:i], c.pending[src][i+1:]...)
+			return m.data, m.stamp
+		}
+	}
+	for {
+		m := <-c.w.boxes[src][c.rank]
+		if m.tag == tag {
+			return m.data, m.stamp
+		}
+		c.pending[src] = append(c.pending[src], m)
+	}
+}
+
+// Collective tags (kept clear of the halo tags in halo.go).
+const (
+	tagReduce = 1 << 20
+	tagBcast  = 1 << 21
+)
+
+// AllReduceMin returns the minimum of x across all ranks. Every rank must
+// call it (gather-to-0 + broadcast).
+func (c *Comm) AllReduceMin(x float64) float64 {
+	return c.allReduce(x, math.Min)
+}
+
+// AllReduceSum returns the sum of x across all ranks.
+func (c *Comm) AllReduceSum(x float64) float64 {
+	return c.allReduce(x, func(a, b float64) float64 { return a + b })
+}
+
+// AllReduceMax returns the maximum of x across all ranks.
+func (c *Comm) AllReduceMax(x float64) float64 {
+	return c.allReduce(x, math.Max)
+}
+
+func (c *Comm) allReduce(x float64, op func(a, b float64) float64) float64 {
+	n := c.Size()
+	if n == 1 {
+		return x
+	}
+	if c.rank == 0 {
+		acc := x
+		for src := 1; src < n; src++ {
+			v, _ := c.Recv(src, tagReduce)
+			acc = op(acc, v[0])
+		}
+		for dst := 1; dst < n; dst++ {
+			c.Send(dst, tagBcast, []float64{acc}, 0)
+		}
+		return acc
+	}
+	c.Send(0, tagReduce, []float64{x}, 0)
+	v, _ := c.Recv(0, tagBcast)
+	return v[0]
+}
+
+// Barrier synchronises all ranks (an AllReduce of zero).
+func (c *Comm) Barrier() { c.allReduce(0, math.Min) }
+
+// Gather collects each rank's slice on rank 0 in rank order; other ranks
+// receive nil.
+func (c *Comm) Gather(data []float64) [][]float64 {
+	n := c.Size()
+	if c.rank != 0 {
+		c.Send(0, tagReduce, data, 0)
+		return nil
+	}
+	out := make([][]float64, n)
+	out[0] = data
+	for src := 1; src < n; src++ {
+		v, _ := c.Recv(src, tagReduce)
+		out[src] = v
+	}
+	return out
+}
+
+// NetModel charges virtual time to messages: Latency seconds per message
+// plus size/Bandwidth. The zero value is an ideal (free) network.
+type NetModel struct {
+	Latency   float64 // seconds per message
+	Bandwidth float64 // bytes per second; <= 0 means infinite
+}
+
+// Cost returns the virtual transit time of a message of the given bytes.
+func (n NetModel) Cost(bytes int) float64 {
+	c := n.Latency
+	if n.Bandwidth > 0 {
+		c += float64(bytes) / n.Bandwidth
+	}
+	return c
+}
+
+// AllReduceCost returns the modelled virtual cost of one scalar allreduce
+// on p ranks: a 2·log2(p) latency tree of 8-byte messages.
+func (n NetModel) AllReduceCost(p int) float64 {
+	if p <= 1 {
+		return 0
+	}
+	depth := math.Ceil(math.Log2(float64(p)))
+	return 2 * depth * n.Cost(8)
+}
+
+// GigE returns a gigabit-Ethernet-class model (50 µs, 125 MB/s).
+func GigE() NetModel { return NetModel{Latency: 50e-6, Bandwidth: 125e6} }
+
+// Infiniband returns a QDR InfiniBand-class model (2 µs, 4 GB/s) — the
+// interconnect class of 2015 heterogeneous clusters.
+func Infiniband() NetModel { return NetModel{Latency: 2e-6, Bandwidth: 4e9} }

@@ -1,0 +1,521 @@
+package core
+
+// Cross-module integration tests: full solver runs validated against
+// analytic results and physical symmetries, exercising the EOS, c2p,
+// reconstruction, Riemann and grid packages together.
+
+import (
+	"math"
+	"testing"
+
+	"rhsc/internal/eos"
+	"rhsc/internal/exact"
+	"rhsc/internal/grid"
+	"rhsc/internal/recon"
+	"rhsc/internal/state"
+	"rhsc/internal/testprob"
+)
+
+// Shock heating: cold gas with W = 10 slams into a reflecting wall. The
+// post-shock state is known analytically: the gas comes to rest with
+// specific internal energy ε = W − 1 and compression
+// σ = (Γ+1)/(Γ−1) + Γ(W−1)/(Γ−1) = 43 for Γ = 4/3. This is the classic
+// stress test of the conservative-to-primitive inversion at high Lorentz
+// factor.
+func TestShockHeatingAnalytic(t *testing.T) {
+	p := testprob.ShockHeating
+	g := p.NewGrid(400, 2)
+	cfg := DefaultConfig()
+	cfg.EOS = eos.NewIdealGas(p.Gamma)
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(p.Init)
+	if _, err := s.Advance(p.TEnd); err != nil {
+		t.Fatal(err)
+	}
+
+	wIn := 10.0
+	sigma := testprob.ShockHeatingSigma(wIn, p.Gamma) // 43
+	epsWant := wIn - 1                                // 9
+
+	// Post-shock plateau, averaged over x in [0.05, 0.10]: cells adjacent
+	// to the wall carry the classic Godunov "wall heating" dip and the
+	// shock sits near x = |v| W t/(σ − W) ≈ 0.15, so this band is cleanly
+	// inside the shocked region.
+	var rho, vx, pres float64
+	cnt := 0
+	for i := g.IBeg(); i < g.IEnd(); i++ {
+		if x := g.X(i); x >= 0.05 && x <= 0.10 {
+			rho += g.W.Comp[state.IRho][i]
+			vx += g.W.Comp[state.IVx][i]
+			pres += g.W.Comp[state.IP][i]
+			cnt++
+		}
+	}
+	rho /= float64(cnt)
+	vx /= float64(cnt)
+	pres /= float64(cnt)
+	epsGot := cfg.EOS.Eps(rho, pres)
+
+	if math.Abs(rho-sigma)/sigma > 0.02 {
+		t.Errorf("post-shock compression = %v, want %v (2%%)", rho, sigma)
+	}
+	if math.Abs(vx) > 0.01 {
+		t.Errorf("post-shock velocity = %v, want ~0", vx)
+	}
+	if math.Abs(epsGot-epsWant)/epsWant > 0.02 {
+		t.Errorf("post-shock eps = %v, want %v", epsGot, epsWant)
+	}
+
+	// The shock speed is V_s = (Γ−1)(W−1)v_in/(W v_in)... check instead
+	// that a sharp interface exists between sigma and the inflow density 1.
+	found := false
+	for j := g.IBeg(); j < g.IEnd()-1; j++ {
+		a := g.W.Comp[state.IRho][j]
+		b := g.W.Comp[state.IRho][j+1]
+		if a > 20 && b < 5 {
+			found = true
+			break
+		}
+	}
+	if !found {
+		t.Error("no shock front between compressed and inflow gas")
+	}
+}
+
+// A centred 3-D explosion with cubic-symmetric initial data must keep the
+// full permutation symmetry of the axes: rho(x,y,z) invariant under
+// coordinate permutations and reflections.
+func TestBlast3DSymmetry(t *testing.T) {
+	n := 16
+	g := grid.New(grid.Geometry{Nx: n, Ny: n, Nz: n, Ng: 2,
+		X0: -1, X1: 1, Y0: -1, Y1: 1, Z0: -1, Z1: 1})
+	g.SetAllBCs(grid.Outflow)
+	s, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(func(x, y, z float64) state.Prim {
+		if x*x+y*y+z*z < 0.15 {
+			return state.Prim{Rho: 1, P: 50}
+		}
+		return state.Prim{Rho: 1, P: 0.05}
+	})
+	for step := 0; step < 6; step++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	at := func(i, j, k int) float64 {
+		return g.W.Comp[state.IRho][g.Idx(g.IBeg()+i, g.JBeg()+j, g.KBeg()+k)]
+	}
+	mirror := func(i int) int { return n - 1 - i }
+	for k := 0; k < n; k++ {
+		for j := 0; j < n; j++ {
+			for i := 0; i < n; i++ {
+				v := at(i, j, k)
+				// Axis permutations.
+				if d := math.Abs(v - at(j, i, k)); d > 1e-10 {
+					t.Fatalf("xy permutation broken at (%d,%d,%d): %v", i, j, k, d)
+				}
+				if d := math.Abs(v - at(k, j, i)); d > 1e-10 {
+					t.Fatalf("xz permutation broken at (%d,%d,%d): %v", i, j, k, d)
+				}
+				// Reflections.
+				if d := math.Abs(v - at(mirror(i), j, k)); d > 1e-10 {
+					t.Fatalf("x reflection broken at (%d,%d,%d): %v", i, j, k, d)
+				}
+			}
+		}
+	}
+	// The explosion must actually have evolved: the initial density is
+	// uniform, so a swept-up shell (rho > 1) must have formed at the
+	// pressure interface.
+	maxRho := 0.0
+	g.ForEachInterior(func(idx, _, _, _ int) {
+		if v := g.W.Comp[state.IRho][idx]; v > maxRho {
+			maxRho = v
+		}
+	})
+	if maxRho < 1.05 {
+		t.Errorf("no swept-up shell formed: max rho = %v", maxRho)
+	}
+}
+
+// The Taub–Mathews EOS must run the blast wave stably and produce a
+// shock between the Γ=4/3 and Γ=5/3 positions (its effective index
+// interpolates between the two).
+func TestBlastTaubMathewsBracketed(t *testing.T) {
+	shockPos := func(e eos.EOS) float64 {
+		p := testprob.Blast
+		g := p.NewGrid(200, 2)
+		cfg := DefaultConfig()
+		cfg.EOS = e
+		s, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.InitFromPrim(p.Init)
+		if _, err := s.Advance(0.3); err != nil {
+			t.Fatal(err)
+		}
+		best, bestG := 0.0, 0.0
+		for i := g.IBeg() + 1; i < g.IEnd(); i++ {
+			gr := math.Abs(g.W.Comp[state.IRho][i] - g.W.Comp[state.IRho][i-1])
+			if gr > bestG {
+				bestG, best = gr, g.X(i)
+			}
+		}
+		return best
+	}
+	x43 := shockPos(eos.NewIdealGas(4.0 / 3.0))
+	x53 := shockPos(eos.NewIdealGas(5.0 / 3.0))
+	xtm := shockPos(eos.TaubMathews{})
+	lo, hi := math.Min(x43, x53), math.Max(x43, x53)
+	// Allow one cell of slack on each side.
+	if xtm < lo-0.006 || xtm > hi+0.006 {
+		t.Errorf("TM shock at %v outside [%v, %v]", xtm, lo, hi)
+	}
+}
+
+// A tabulated EOS built from the ideal gas must reproduce the ideal-gas
+// Sod solution within interpolation accuracy when run through the whole
+// solver stack.
+func TestSodTabulatedEOSMatchesIdeal(t *testing.T) {
+	run := func(e eos.EOS) []float64 {
+		p := testprob.Sod
+		g := p.NewGrid(128, 2)
+		cfg := DefaultConfig()
+		cfg.EOS = e
+		s, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.InitFromPrim(p.Init)
+		if _, err := s.Advance(0.25); err != nil {
+			t.Fatal(err)
+		}
+		out := make([]float64, 128)
+		for i := 0; i < 128; i++ {
+			out[i] = g.W.Comp[state.IRho][g.IBeg()+i]
+		}
+		return out
+	}
+	ideal := eos.NewIdealGas(5.0 / 3.0)
+	tab, err := eos.BuildTable(ideal, 1e-8, 1e4, 1e-10, 1e4, 256, 256)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := run(ideal)
+	b := run(tab)
+	l1 := 0.0
+	for i := range a {
+		l1 += math.Abs(a[i] - b[i])
+	}
+	l1 /= 128
+	if l1 > 0.02 {
+		t.Errorf("tabulated-EOS L1 deviation %v from ideal gas", l1)
+	}
+}
+
+// Relativistic jet: the injected W≈7 beam must drive a working surface
+// whose head advances at the 1-D momentum-balance estimate
+// v_h = v_b / (1 + sqrt(ρ_a h_a / (ρ_b h_b W_b²))) ≈ 0.69, with a bow
+// shock compressing the ambient gas.
+func TestJetPropagation(t *testing.T) {
+	p := testprob.Jet2D
+	g := p.NewGrid(96, 2)
+	cfg := DefaultConfig()
+	cfg.EOS = eos.NewIdealGas(p.Gamma)
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(p.Init)
+	const tEnd = 0.6
+	if _, err := s.Advance(tEnd); err != nil {
+		t.Fatal(err)
+	}
+
+	// Jet head: furthest x on the axis with substantial beam velocity.
+	jMid := g.JBeg() + g.Ny/2
+	head := 0.0
+	for i := g.IBeg(); i < g.IEnd(); i++ {
+		if g.W.Comp[state.IVx][g.Idx(i, jMid, g.KBeg())] > 0.3 {
+			head = g.X(i)
+		}
+	}
+	wantHead := 0.685 * tEnd
+	if math.Abs(head-wantHead) > 0.15 {
+		t.Errorf("jet head at %v, want ~%v", head, wantHead)
+	}
+
+	// Bow shock: compressed ambient gas above the ambient density.
+	maxRho := 0.0
+	g.ForEachInterior(func(idx, _, _, _ int) {
+		if v := g.W.Comp[state.IRho][idx]; v > maxRho {
+			maxRho = v
+		}
+	})
+	if maxRho < 1.3*testprob.JetAmbRho {
+		t.Errorf("no bow-shock compression: max rho = %v", maxRho)
+	}
+
+	// The nozzle keeps injecting the beam: first interior cell in the
+	// nozzle still carries near-beam velocity.
+	vIn := g.W.Comp[state.IVx][g.Idx(g.IBeg(), jMid, g.KBeg())]
+	if vIn < 0.9 {
+		t.Errorf("nozzle inflow velocity %v, want ~0.99", vIn)
+	}
+}
+
+// Transverse-velocity shock tube: the numerical solution must converge to
+// the exact Riemann solution with v_t ≠ 0 — the mutual validation of the
+// weak-shock-integrated exact solver and the multidimensional momentum
+// coupling of the numerical one.
+func TestShockTubeWithTransverseVelocity(t *testing.T) {
+	l := exact.State2{Rho: 10, Vx: 0, Vt: 0.4, P: 13.33}
+	r := exact.State2{Rho: 1, Vx: 0, Vt: -0.3, P: 0.1}
+	ref, err := exact.SolveVt(l, r, 5.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const tEnd = 0.3
+	l1 := func(n int) float64 {
+		g := grid.New(grid.Geometry{Nx: n, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1})
+		g.SetAllBCs(grid.Outflow)
+		s, err := New(g, DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		s.InitFromPrim(func(x, _, _ float64) state.Prim {
+			if x < 0.5 {
+				return state.Prim{Rho: l.Rho, Vx: l.Vx, Vy: l.Vt, P: l.P}
+			}
+			return state.Prim{Rho: r.Rho, Vx: r.Vx, Vy: r.Vt, P: r.P}
+		})
+		if _, err := s.Advance(tEnd); err != nil {
+			t.Fatal(err)
+		}
+		sum := 0.0
+		for i := g.IBeg(); i < g.IEnd(); i++ {
+			ex := ref.Sample((g.X(i) - 0.5) / tEnd)
+			sum += math.Abs(g.W.Comp[state.IRho][i] - ex.Rho)
+			sum += math.Abs(g.W.Comp[state.IVy][i] - ex.Vt)
+		}
+		return sum / float64(n)
+	}
+	e200 := l1(200)
+	e400 := l1(400)
+	if e200 > 0.15 {
+		t.Errorf("mean error at N=200 = %v, too large", e200)
+	}
+	if rate := e200 / e400; rate < 1.3 {
+		t.Errorf("not converging to the v_t exact solution: e200=%v e400=%v", e200, e400)
+	}
+}
+
+// Entropy conservation: smooth adiabatic flow must preserve the specific
+// entropy proxy s = p/ρ^Γ to discretisation accuracy (no shocks, no
+// spurious heating).
+func TestSmoothFlowEntropyConservation(t *testing.T) {
+	p := testprob.SmoothWave
+	g := p.NewGrid(128, 3)
+	cfg := DefaultConfig()
+	cfg.Recon = recon.WENO5{}
+	cfg.Integrator = RK3
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(p.Init)
+	gamma := 5.0 / 3.0
+	entropyRange := func() (lo, hi float64) {
+		lo, hi = math.Inf(1), math.Inf(-1)
+		g.ForEachInterior(func(idx, _, _, _ int) {
+			w := g.W.GetPrim(idx)
+			s := w.P / math.Pow(w.Rho, gamma)
+			if s < lo {
+				lo = s
+			}
+			if s > hi {
+				hi = s
+			}
+		})
+		return
+	}
+	lo0, hi0 := entropyRange()
+	if _, err := s.Advance(p.TEnd); err != nil {
+		t.Fatal(err)
+	}
+	lo1, hi1 := entropyRange()
+	// The initial profile has an entropy range (uniform p, varying rho);
+	// evolution must not widen it measurably.
+	if hi1 > hi0*(1+1e-3) || lo1 < lo0*(1-1e-3) {
+		t.Errorf("entropy range grew: [%v,%v] -> [%v,%v]", lo0, hi0, lo1, hi1)
+	}
+}
+
+// The relativistic rotor must stay stable and keep its 180-degree point
+// symmetry (x,y) -> (-x,-y).
+func TestRotorSymmetry(t *testing.T) {
+	p := testprob.Rotor2D
+	g := p.NewGrid(48, 2)
+	s, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(p.Init)
+	for i := 0; i < 8; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for j := g.JBeg(); j < g.JEnd(); j++ {
+		for i := g.IBeg(); i < g.IEnd(); i++ {
+			mi := g.IBeg() + g.IEnd() - 1 - i
+			mj := g.JBeg() + g.JEnd() - 1 - j
+			a := g.W.Comp[state.IRho][g.Idx(i, j, g.KBeg())]
+			b := g.W.Comp[state.IRho][g.Idx(mi, mj, g.KBeg())]
+			if math.Abs(a-b) > 1e-10 {
+				t.Fatalf("point symmetry broken at (%d,%d): %v vs %v", i, j, a, b)
+			}
+		}
+	}
+	// The disk keeps spinning: tangential velocity remains significant.
+	v := g.W.GetPrim(g.Idx(g.IBeg()+24+3, g.JBeg()+24, g.KBeg()))
+	if math.Abs(v.Vy) < 0.1 {
+		t.Errorf("rotor stalled: vy = %v", v.Vy)
+	}
+}
+
+// Geometric sources: a uniform static state has exactly zero geometric
+// source, and the 1-D spherical solver must reproduce the 3-D Cartesian
+// blast's shock radius.
+func TestGeometricSourceStatic(t *testing.T) {
+	g := grid.New(grid.Geometry{Nx: 32, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1})
+	g.SetAllBCs(grid.Reflect)
+	cfg := DefaultConfig()
+	cfg.Source = GeometricSource(cfg.EOS, 2)
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(func(x, _, _ float64) state.Prim {
+		return state.Prim{Rho: 1.5, P: 0.8}
+	})
+	for i := 0; i < 5; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	g.ForEachInterior(func(idx, _, _, _ int) {
+		if math.Abs(g.W.Comp[state.IRho][idx]-1.5) > 1e-12 {
+			t.Fatalf("static state drifted under geometric source: %v",
+				g.W.Comp[state.IRho][idx])
+		}
+	})
+}
+
+func TestSphericalBlastMatches3D(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: 48^3 reference run")
+	}
+	const tEnd = 0.15
+	init := func(r float64) state.Prim {
+		if r < 0.4 {
+			return state.Prim{Rho: 1, P: 50}
+		}
+		return state.Prim{Rho: 1, P: 0.05}
+	}
+	shockOf := func(rho func(i int) float64, x func(i int) float64, n int) float64 {
+		best, bestG := 0.0, 0.0
+		for i := 1; i < n; i++ {
+			if d := math.Abs(rho(i) - rho(i-1)); d > bestG {
+				bestG, best = d, x(i)
+			}
+		}
+		return best
+	}
+
+	// 1-D spherical: r in [0, 1], reflect at the origin.
+	g1 := grid.New(grid.Geometry{Nx: 256, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1})
+	g1.SetAllBCs(grid.Reflect)
+	g1.BCs[0][1] = grid.Outflow
+	cfg := DefaultConfig()
+	cfg.Source = GeometricSource(cfg.EOS, 2)
+	s1, err := New(g1, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s1.InitFromPrim(func(x, _, _ float64) state.Prim { return init(x) })
+	if _, err := s1.Advance(tEnd); err != nil {
+		t.Fatal(err)
+	}
+	r1 := shockOf(
+		func(i int) float64 { return g1.W.Comp[state.IRho][g1.IBeg()+i] },
+		func(i int) float64 { return g1.X(g1.IBeg() + i) }, 256)
+
+	// 3-D Cartesian on [-1,1]^3 at 48^3 (coarse but adequate for a shock
+	// radius to ~1.5 cells).
+	g3 := grid.New(grid.Geometry{Nx: 48, Ny: 48, Nz: 48, Ng: 2,
+		X0: -1, X1: 1, Y0: -1, Y1: 1, Z0: -1, Z1: 1})
+	g3.SetAllBCs(grid.Outflow)
+	s3, err := New(g3, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s3.InitFromPrim(func(x, y, z float64) state.Prim {
+		return init(math.Sqrt(x*x + y*y + z*z))
+	})
+	if _, err := s3.Advance(tEnd); err != nil {
+		t.Fatal(err)
+	}
+	jMid, kMid := g3.JBeg()+24, g3.KBeg()+24
+	r3 := shockOf(
+		func(i int) float64 { return g3.W.Comp[state.IRho][g3.Idx(g3.IBeg()+24+i, jMid, kMid)] },
+		func(i int) float64 { return g3.X(g3.IBeg() + 24 + i) }, 24)
+
+	if math.Abs(r1-r3) > 0.09 { // ~2 coarse cells
+		t.Errorf("spherical-1D shock at %v vs 3-D at %v", r1, r3)
+	}
+}
+
+// Kelvin–Helmholtz growth: the seeded transverse velocity must amplify
+// within the linear phase — the instability capture check.
+func TestKHGrowth(t *testing.T) {
+	if testing.Short() {
+		t.Skip("long: full 2-D evolution")
+	}
+	p := testprob.KelvinHelmholtz2D
+	g := p.NewGrid(64, 2)
+	cfg := DefaultConfig()
+	cfg.EOS = eos.NewIdealGas(p.Gamma)
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(p.Init)
+
+	maxVy := func() float64 {
+		m := 0.0
+		g.ForEachInterior(func(idx, _, _, _ int) {
+			if v := math.Abs(g.W.Comp[state.IVy][idx]); v > m {
+				m = v
+			}
+		})
+		return m
+	}
+	v0 := maxVy()
+	if _, err := s.Advance(1.5); err != nil {
+		t.Fatal(err)
+	}
+	v1 := maxVy()
+	// At 64^2 with PLM the linear growth is slow but must be clearly
+	// present by t = 1.5 (the 128^2 example shows the full saturation).
+	if v1 < 1.4*v0 {
+		t.Errorf("KH transverse velocity grew only %vx (%v -> %v)", v1/v0, v0, v1)
+	}
+}

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"bytes"
+	"encoding/csv"
+	"math"
+	"strings"
+	"testing"
+
+	"rhsc/internal/grid"
+	"rhsc/internal/state"
+)
+
+func TestMonitorRecords(t *testing.T) {
+	g := grid.New(grid.Geometry{Nx: 32, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1})
+	g.SetAllBCs(grid.Periodic)
+	s, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(func(x, _, _ float64) state.Prim {
+		return state.Prim{Rho: 1 + 0.2*math.Sin(2*math.Pi*x), Vx: 0.4, P: 1}
+	})
+	m := NewMonitor(2)
+	s.AttachMonitor(m)
+	for i := 0; i < 7; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Records at steps 1, 2, 4, 6.
+	if len(m.Rows()) != 4 {
+		t.Fatalf("recorded %d rows, want 4", len(m.Rows()))
+	}
+	first := m.Rows()[0]
+	if first.Step != 1 || first.Dt <= 0 || first.Mass <= 0 {
+		t.Errorf("first row %+v", first)
+	}
+	// Periodic run: mass drift at roundoff.
+	if d := m.MassDrift(); d > 1e-13 {
+		t.Errorf("mass drift %v", d)
+	}
+	// Max Lorentz for v=0.4 flow: W ~ 1.09.
+	if w := first.MaxW; w < 1.05 || w > 1.2 {
+		t.Errorf("MaxW = %v", w)
+	}
+	if first.MinP <= 0 || first.MaxRho < 1 {
+		t.Errorf("extrema: minP=%v maxRho=%v", first.MinP, first.MaxRho)
+	}
+}
+
+func TestMonitorCSV(t *testing.T) {
+	g := grid.New(grid.Geometry{Nx: 16, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1})
+	g.SetAllBCs(grid.Outflow)
+	s, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.InitFromPrim(func(x, _, _ float64) state.Prim { return state.Prim{Rho: 1, P: 1} })
+	m := NewMonitor(1)
+	s.AttachMonitor(m)
+	for i := 0; i < 3; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	var buf bytes.Buffer
+	if err := m.WriteCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	recs, err := csv.NewReader(&buf).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 4 { // header + 3 rows
+		t.Fatalf("%d records", len(recs))
+	}
+	if !strings.Contains(strings.Join(recs[0], ","), "maxW") {
+		t.Errorf("header %v", recs[0])
+	}
+}
+
+func TestMonitorDetach(t *testing.T) {
+	g := grid.New(grid.Geometry{Nx: 16, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1})
+	g.SetAllBCs(grid.Outflow)
+	s, _ := New(g, DefaultConfig())
+	s.InitFromPrim(func(x, _, _ float64) state.Prim { return state.Prim{Rho: 1, P: 1} })
+	m := NewMonitor(1)
+	s.AttachMonitor(m)
+	if err := s.Step(s.MaxDt()); err != nil {
+		t.Fatal(err)
+	}
+	s.AttachMonitor(nil)
+	if err := s.Step(s.MaxDt()); err != nil {
+		t.Fatal(err)
+	}
+	if len(m.Rows()) != 1 {
+		t.Errorf("detached monitor still recording: %d rows", len(m.Rows()))
+	}
+}
+
+func TestMonitorEveryFloor(t *testing.T) {
+	if NewMonitor(0).Every != 1 || NewMonitor(-5).Every != 1 {
+		t.Error("Every floor not applied")
+	}
+	if (&Monitor{}).MassDrift() != 0 {
+		t.Error("empty monitor drift")
+	}
+}

@@ -1,0 +1,618 @@
+// Package core implements the paper's primary contribution: the
+// high-resolution shock-capturing solver for special relativistic
+// hydrodynamics, organised for scalable heterogeneous execution.
+//
+// The scheme is a finite-volume method of lines:
+//
+//  1. recover primitives from the conserved state (package c2p),
+//  2. fill ghost zones (package grid),
+//  3. per direction, reconstruct primitives at cell faces (package recon)
+//     and evaluate a numerical flux at every face (package riemann),
+//  4. accumulate flux differences into the right-hand side, and
+//  5. advance in time with a strong-stability-preserving Runge–Kutta
+//     integrator under a CFL-limited step.
+//
+// The RHS is decomposed into independent one-dimensional strips (grid rows
+// in the sweep direction). Strips are the scheduling unit: the shared-memory
+// path dispatches them onto the par.Pool, the heterogeneous path (package
+// hetero) dispatches contiguous strip ranges onto devices, and the
+// distributed path (package cluster) runs the same solver per rank on its
+// subdomain. SweepStrips and NumStrips expose exactly this decomposition.
+package core
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"sync/atomic"
+
+	"rhsc/internal/c2p"
+	"rhsc/internal/eos"
+	"rhsc/internal/grid"
+	"rhsc/internal/par"
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+	"rhsc/internal/state"
+)
+
+// Integrator selects the SSP Runge–Kutta time integrator.
+type Integrator int
+
+// Supported integrators.
+const (
+	RK1 Integrator = iota + 1 // forward Euler
+	RK2                       // SSP RK2 (Heun)
+	RK3                       // SSP RK3 (Shu–Osher)
+)
+
+// String implements fmt.Stringer.
+func (in Integrator) String() string {
+	switch in {
+	case RK1:
+		return "rk1"
+	case RK2:
+		return "rk2"
+	case RK3:
+		return "rk3"
+	}
+	return fmt.Sprintf("Integrator(%d)", int(in))
+}
+
+// Stages returns the number of RHS evaluations per step.
+func (in Integrator) Stages() int { return int(in) }
+
+// Config assembles the numerical method.
+type Config struct {
+	EOS        eos.EOS
+	Recon      recon.Scheme
+	Riemann    riemann.Solver
+	Integrator Integrator
+	// CFL is the Courant factor; stability requires CFL ≤ 1 in 1-D and
+	// CFL ≤ 1/dim for the unsplit multidimensional update.
+	CFL float64
+	// Pool runs strips concurrently; nil runs serially.
+	Pool *par.Pool
+	// Fused enables the specialised (devirtualised, inlined) sweep kernel
+	// when the configuration matches PLM-MC + HLLC + ideal gas; results
+	// are bitwise identical to the generic path, only faster. Other
+	// configurations ignore the flag.
+	Fused bool
+	// C2POpts overrides the conservative-to-primitive options; zero value
+	// selects c2p.DefaultOptions.
+	C2POpts c2p.Options
+	// Source, when non-nil, adds the source term Source(x,y,z,w) to the
+	// right-hand side of the cell at physical position (x,y,z) with
+	// primitive state w.
+	Source func(x, y, z float64, w state.Prim) state.Cons
+	// SweepExec, when non-nil, replaces the default pool execution of the
+	// strip sweeps: it must invoke sweep over disjoint subranges covering
+	// [0, nStrips) and return only when all strips are done. Package
+	// hetero uses this hook to dispatch strips onto modelled devices.
+	SweepExec func(d state.Direction, nStrips int, sweep func(lo, hi int))
+	// HaloExchange, when non-nil, is called after every primitive
+	// recovery (once per RK stage) with the freshly recovered primitive
+	// field, so a distributed driver can fill ghost faces marked
+	// grid.External with neighbouring ranks' data. Package cluster uses
+	// this hook.
+	HaloExchange func(w *state.Fields)
+}
+
+// DefaultConfig returns the configuration used throughout the paper's
+// experiments unless stated otherwise: Γ = 5/3 ideal gas, PLM-MC
+// reconstruction, HLLC fluxes, SSP RK2, CFL 0.4.
+func DefaultConfig() Config {
+	return Config{
+		EOS:        eos.NewIdealGas(5.0 / 3.0),
+		Recon:      recon.PLM{Lim: recon.MonotonizedCentral},
+		Riemann:    riemann.HLLC{},
+		Integrator: RK2,
+		CFL:        0.4,
+	}
+}
+
+// Stats counts solver work, updated atomically.
+type Stats struct {
+	Steps       atomic.Int64 // completed time steps
+	RHSEvals    atomic.Int64 // right-hand-side evaluations
+	ZoneUpdates atomic.Int64 // interior zones × RHS evaluations
+	C2PResets   atomic.Int64 // cells reset to atmosphere during recovery
+}
+
+// Solver advances one grid in time.
+type Solver struct {
+	G   *grid.Grid
+	Cfg Config
+	C2P *c2p.Solver
+	St  Stats
+
+	t       float64
+	rhs     *state.Fields
+	u0      *state.Fields // RK stage-zero storage
+	scratch sync.Pool
+	mon     *Monitor
+	fused   bool         // specialised kernel active (see Config.Fused)
+	trc     *tracerState // passive scalar; nil when disabled
+}
+
+type rowScratch struct {
+	u  [state.NComp][]float64 // gathered primitives along the strip
+	fl [state.NComp][]float64 // reconstructed left face states
+	fr [state.NComp][]float64 // reconstructed right face states
+	fx [state.NComp][]float64 // face fluxes
+}
+
+// New constructs a solver for grid g. The grid's ghost width must cover
+// the reconstruction stencil.
+func New(g *grid.Grid, cfg Config) (*Solver, error) {
+	if cfg.EOS == nil || cfg.Recon == nil || cfg.Riemann == nil {
+		return nil, errors.New("core: Config needs EOS, Recon and Riemann")
+	}
+	if cfg.Integrator < RK1 || cfg.Integrator > RK3 {
+		return nil, fmt.Errorf("core: unknown integrator %d", cfg.Integrator)
+	}
+	if cfg.CFL <= 0 || cfg.CFL > 1 {
+		return nil, fmt.Errorf("core: CFL %v outside (0,1]", cfg.CFL)
+	}
+	if need := cfg.Recon.Ghost(); g.Ng < need {
+		return nil, fmt.Errorf("core: grid ghost width %d < %d required by %s",
+			g.Ng, need, cfg.Recon.Name())
+	}
+	cs := c2p.NewSolver(cfg.EOS)
+	if cfg.C2POpts != (c2p.Options{}) {
+		cs.Opts = cfg.C2POpts
+	}
+	maxRow := g.TotalX
+	if g.TotalY > maxRow {
+		maxRow = g.TotalY
+	}
+	if g.TotalZ > maxRow {
+		maxRow = g.TotalZ
+	}
+	s := &Solver{
+		G:   g,
+		Cfg: cfg,
+		C2P: cs,
+		rhs: state.NewFields(g.NCells()),
+		u0:  state.NewFields(g.NCells()),
+	}
+	s.scratch.New = func() any {
+		rs := &rowScratch{}
+		for c := 0; c < state.NComp; c++ {
+			rs.u[c] = make([]float64, maxRow)
+			rs.fl[c] = make([]float64, maxRow+1)
+			rs.fr[c] = make([]float64, maxRow+1)
+			rs.fx[c] = make([]float64, maxRow+1)
+		}
+		return rs
+	}
+	s.fused = s.fusable()
+	return s, nil
+}
+
+// Fused reports whether the specialised sweep kernel is active.
+func (s *Solver) Fused() bool { return s.fused }
+
+// Time returns the current solution time.
+func (s *Solver) Time() float64 { return s.t }
+
+// SetTime overrides the solution clock (used when restoring checkpoints).
+func (s *Solver) SetTime(t float64) { s.t = t }
+
+// InitFromPrim fills the grid from a primitive-state function of position
+// and synchronises the conserved variables.
+func (s *Solver) InitFromPrim(fn func(x, y, z float64) state.Prim) {
+	g := s.G
+	g.ForEachInterior(func(idx, i, j, k int) {
+		w := fn(g.X(i), g.Y(j), g.Z(k))
+		if !w.IsPhysical() {
+			panic(fmt.Sprintf("core: unphysical initial state %+v at (%d,%d,%d)", w, i, j, k))
+		}
+		g.W.SetPrim(idx, w)
+		g.U.SetCons(idx, w.ToCons(s.Cfg.EOS))
+	})
+	g.ApplyBCs(g.W)
+	g.ApplyBCs(g.U)
+}
+
+// parallelFor runs fn over [0,n) strips, using the pool when configured.
+func (s *Solver) parallelFor(n int, fn func(lo, hi int)) {
+	if s.Cfg.Pool == nil {
+		fn(0, n)
+		return
+	}
+	s.Cfg.Pool.ParallelFor(0, n, 0, fn)
+}
+
+// RecoverPrimitives inverts the conserved state into s.G.W over the whole
+// interior and applies boundary conditions to the primitives. It returns
+// the number of atmosphere resets.
+func (s *Solver) RecoverPrimitives() int {
+	g := s.G
+	ny := g.JEnd() - g.JBeg()
+	nz := g.KEnd() - g.KBeg()
+	var resets atomic.Int64
+	s.parallelFor(ny*nz, func(lo, hi int) {
+		n := 0
+		for r := lo; r < hi; r++ {
+			j := g.JBeg() + r%ny
+			k := g.KBeg() + r/ny
+			row := (k*g.TotalY + j) * g.TotalX
+			n += s.C2P.RecoverRange(g.U, g.W, row+g.IBeg(), row+g.IEnd())
+		}
+		if n > 0 {
+			resets.Add(int64(n))
+		}
+	})
+	g.ApplyBCs(g.W)
+	if s.Cfg.HaloExchange != nil {
+		s.Cfg.HaloExchange(g.W)
+	}
+	if s.trc != nil {
+		s.tracerRecover()
+	}
+	r := int(resets.Load())
+	s.St.C2PResets.Add(int64(r))
+	return r
+}
+
+// NumStrips returns the number of independent one-dimensional strips of
+// the sweep along direction d: one strip per interior row.
+func (s *Solver) NumStrips(d state.Direction) int {
+	g := s.G
+	switch d {
+	case state.X:
+		return (g.JEnd() - g.JBeg()) * (g.KEnd() - g.KBeg())
+	case state.Y:
+		return g.Nx * (g.KEnd() - g.KBeg())
+	default:
+		return g.Nx * (g.JEnd() - g.JBeg())
+	}
+}
+
+// StripZones returns the number of interior zones a single strip of
+// direction d updates (the work unit for device cost models).
+func (s *Solver) StripZones(d state.Direction) int {
+	switch d {
+	case state.X:
+		return s.G.Nx
+	case state.Y:
+		return s.G.Ny
+	default:
+		return s.G.Nz
+	}
+}
+
+// SweepStrips runs the flux sweep along direction d for strips [lo, hi),
+// accumulating −∂F/∂x_d into rhs. Strips of one direction touch disjoint
+// cells, so disjoint ranges may run concurrently. The primitive field
+// (including ghosts) must be current.
+func (s *Solver) SweepStrips(d state.Direction, lo, hi int, rhs *state.Fields) {
+	sc := s.scratch.Get().(*rowScratch)
+	defer s.scratch.Put(sc)
+	g := s.G
+	row := s.sweepRow
+	if s.fused {
+		row = s.fusedSweepRow
+	}
+	for r := lo; r < hi; r++ {
+		switch d {
+		case state.X:
+			ny := g.JEnd() - g.JBeg()
+			j := g.JBeg() + r%ny
+			k := g.KBeg() + r/ny
+			row(d, g.Idx(0, j, k), 1, g.TotalX, g.IBeg(), g.IEnd(), g.Dx, sc, rhs)
+		case state.Y:
+			i := g.IBeg() + r%g.Nx
+			k := g.KBeg() + r/g.Nx
+			row(d, g.Idx(i, 0, k), g.TotalX, g.TotalY, g.JBeg(), g.JEnd(), g.Dy, sc, rhs)
+		default:
+			i := g.IBeg() + r%g.Nx
+			j := g.JBeg() + r/g.Nx
+			row(d, g.Idx(i, j, 0), g.TotalX*g.TotalY, g.TotalZ, g.KBeg(), g.KEnd(), g.Dz, sc, rhs)
+		}
+	}
+}
+
+// sweepRow performs one strip: gather primitives along the row starting at
+// flat index base with the given stride and length n, reconstruct, solve
+// the face Riemann problems, and accumulate flux differences for interior
+// cells [cBeg, cEnd).
+func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
+	sc *rowScratch, rhs *state.Fields) {
+
+	w := s.G.W
+	// Gather the strip (contiguous for x, strided for y/z).
+	for c := 0; c < state.NComp; c++ {
+		dst := sc.u[c][:n]
+		src := w.Comp[c]
+		if stride == 1 {
+			copy(dst, src[base:base+n])
+		} else {
+			idx := base
+			for i := 0; i < n; i++ {
+				dst[i] = src[idx]
+				idx += stride
+			}
+		}
+	}
+
+	// Reconstruct every component.
+	for c := 0; c < state.NComp; c++ {
+		s.Cfg.Recon.Reconstruct(sc.u[c][:n], sc.fl[c][:n+1], sc.fr[c][:n+1])
+	}
+
+	// Face fluxes for faces cBeg..cEnd (cell i owns faces i and i+1).
+	e := s.Cfg.EOS
+	for f := cBeg; f <= cEnd; f++ {
+		pl := state.Prim{
+			Rho: sc.fl[state.IRho][f], Vx: sc.fl[state.IVx][f],
+			Vy: sc.fl[state.IVy][f], Vz: sc.fl[state.IVz][f], P: sc.fl[state.IP][f],
+		}
+		pr := state.Prim{
+			Rho: sc.fr[state.IRho][f], Vx: sc.fr[state.IVx][f],
+			Vy: sc.fr[state.IVy][f], Vz: sc.fr[state.IVz][f], P: sc.fr[state.IP][f],
+		}
+		// Fall back to first-order states when high-order reconstruction
+		// produced an inadmissible face state (possible near strong shocks
+		// and vacuum).
+		if !pl.IsPhysical() {
+			pl = state.Prim{
+				Rho: sc.u[state.IRho][f-1], Vx: sc.u[state.IVx][f-1],
+				Vy: sc.u[state.IVy][f-1], Vz: sc.u[state.IVz][f-1], P: sc.u[state.IP][f-1],
+			}
+		}
+		if !pr.IsPhysical() {
+			pr = state.Prim{
+				Rho: sc.u[state.IRho][f], Vx: sc.u[state.IVx][f],
+				Vy: sc.u[state.IVy][f], Vz: sc.u[state.IVz][f], P: sc.u[state.IP][f],
+			}
+		}
+		fx := s.Cfg.Riemann.Flux(e, pl, pr, d)
+		sc.fx[state.ID][f] = fx.D
+		sc.fx[state.ISx][f] = fx.Sx
+		sc.fx[state.ISy][f] = fx.Sy
+		sc.fx[state.ISz][f] = fx.Sz
+		sc.fx[state.ITau][f] = fx.Tau
+	}
+
+	// Accumulate −(F_{i+1} − F_i)/dx into the interior cells of the strip.
+	invDx := 1 / dx
+	for c := 0; c < state.NComp; c++ {
+		fxc := sc.fx[c]
+		out := rhs.Comp[c]
+		idx := base + cBeg*stride
+		for i := cBeg; i < cEnd; i++ {
+			out[idx] -= (fxc[i+1] - fxc[i]) * invDx
+			idx += stride
+		}
+	}
+
+	if s.trc != nil {
+		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
+	}
+}
+
+// ComputeRHS evaluates the full right-hand side into rhs. Primitives and
+// their ghosts must be current (call RecoverPrimitives first).
+func (s *Solver) ComputeRHS(rhs *state.Fields) {
+	rhs.Zero()
+	if s.trc != nil {
+		zeroScalar(s.trc.rhs)
+	}
+	for _, d := range s.G.ActiveDims() {
+		n := s.NumStrips(d)
+		if s.Cfg.SweepExec != nil {
+			s.Cfg.SweepExec(d, n, func(lo, hi int) { s.SweepStrips(d, lo, hi, rhs) })
+		} else {
+			s.parallelFor(n, func(lo, hi int) { s.SweepStrips(d, lo, hi, rhs) })
+		}
+	}
+	if src := s.Cfg.Source; src != nil {
+		g := s.G
+		g.ForEachInterior(func(idx, i, j, k int) {
+			c := src(g.X(i), g.Y(j), g.Z(k), g.W.GetPrim(idx))
+			rhs.Comp[state.ID][idx] += c.D
+			rhs.Comp[state.ISx][idx] += c.Sx
+			rhs.Comp[state.ISy][idx] += c.Sy
+			rhs.Comp[state.ISz][idx] += c.Sz
+			rhs.Comp[state.ITau][idx] += c.Tau
+		})
+	}
+	s.St.RHSEvals.Add(1)
+	s.St.ZoneUpdates.Add(int64(s.G.Nx * s.G.Ny * s.G.Nz))
+}
+
+// MaxDt returns the CFL-limited time step for the current state.
+func (s *Solver) MaxDt() float64 {
+	g := s.G
+	e := s.Cfg.EOS
+	dims := g.ActiveDims()
+	ny := g.JEnd() - g.JBeg()
+	nz := g.KEnd() - g.KBeg()
+	nRows := ny * nz
+
+	results := make([]float64, nRows)
+	s.parallelFor(nRows, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			j := g.JBeg() + r%ny
+			k := g.KBeg() + r/ny
+			rowMax := 0.0
+			row := (k*g.TotalY + j) * g.TotalX
+			for i := g.IBeg(); i < g.IEnd(); i++ {
+				w := g.W.GetPrim(row + i)
+				sum := 0.0
+				for _, d := range dims {
+					dx := g.Dx
+					if d == state.Y {
+						dx = g.Dy
+					} else if d == state.Z {
+						dx = g.Dz
+					}
+					sum += state.MaxAbsSpeed(e, w, d) / dx
+				}
+				if sum > rowMax {
+					rowMax = sum
+				}
+			}
+			results[r] = rowMax
+		}
+	})
+	maxSum := 0.0
+	for _, v := range results {
+		if v > maxSum {
+			maxSum = v
+		}
+	}
+	if maxSum <= 0 {
+		// Degenerate (cold static) state: fall back to light-crossing time.
+		maxSum = 1 / g.Dx
+	}
+	return s.Cfg.CFL / maxSum
+}
+
+// GeometricSource returns the source term that converts the 1-D planar
+// solver into curvilinear radial symmetry, treating x as the radius r:
+// alpha = 1 gives cylindrical symmetry, alpha = 2 spherical. The radial
+// part of the divergence 1/r^α ∂_r(r^α F) − ∂_r F contributes
+//
+//	S(D)   = −α/r · D v_r
+//	S(S_r) = −α/r · S_r v_r     (the pressure term is not geometric)
+//	S(τ)   = −α/r · (S_r − D v_r)
+//
+// Use with a Reflect boundary at r = 0 (or a grid starting at r > 0).
+func GeometricSource(e eos.EOS, alpha int) func(x, y, z float64, w state.Prim) state.Cons {
+	a := float64(alpha)
+	return func(x, _, _ float64, w state.Prim) state.Cons {
+		if x <= 0 {
+			return state.Cons{}
+		}
+		u := w.ToCons(e)
+		f := a / x * w.Vx
+		return state.Cons{
+			D:   -f * u.D,
+			Sx:  -a / x * u.Sx * w.Vx,
+			Tau: -a / x * (u.Sx - u.D*w.Vx),
+		}
+	}
+}
+
+// ErrNonFinite is returned by Step when the update produced NaN or Inf.
+var ErrNonFinite = errors.New("core: non-finite state after step")
+
+// Step advances the solution by dt with the configured SSP-RK integrator.
+//
+// Invariant: on entry and on return the primitive field s.G.W (including
+// ghosts) is consistent with the conserved field s.G.U. InitFromPrim
+// establishes it; callers that fill U by hand must call
+// RecoverPrimitives once before stepping.
+func (s *Solver) Step(dt float64) error {
+	if dt <= 0 {
+		return fmt.Errorf("core: non-positive dt %v", dt)
+	}
+	u := s.G.U
+
+	// Tracer mirrors of the stage operations (no-ops when disabled).
+	trcSave := func() {
+		if s.trc != nil {
+			copy(s.trc.u0, s.trc.cons)
+		}
+	}
+	trcAXPY := func() {
+		if s.trc != nil {
+			axpyScalar(s.trc.cons, dt, s.trc.rhs)
+		}
+	}
+	trcComb := func(a, b float64) {
+		if s.trc != nil {
+			lincomb2Scalar(s.trc.cons, a, s.trc.u0, b, s.trc.cons)
+		}
+	}
+
+	// euler performs u ← u + dt·L(u) and refreshes primitives.
+	euler := func() {
+		s.ComputeRHS(s.rhs)
+		u.AXPY(dt, s.rhs)
+		trcAXPY()
+		s.RecoverPrimitives()
+	}
+
+	switch s.Cfg.Integrator {
+	case RK1:
+		trcSave()
+		euler()
+
+	case RK2: // SSP RK2: u^{n+1} = ½u⁰ + ½(u⁰ + dtL)(twice)
+		s.u0.CopyFrom(u)
+		trcSave()
+		euler()
+		s.ComputeRHS(s.rhs)
+		u.AXPY(dt, s.rhs)
+		trcAXPY()
+		u.LinComb2(0.5, s.u0, 0.5, u)
+		trcComb(0.5, 0.5)
+		s.RecoverPrimitives()
+
+	case RK3: // Shu–Osher SSP RK3
+		s.u0.CopyFrom(u)
+		trcSave()
+		euler()
+		s.ComputeRHS(s.rhs)
+		u.AXPY(dt, s.rhs)
+		trcAXPY()
+		u.LinComb2(0.75, s.u0, 0.25, u)
+		trcComb(0.75, 0.25)
+		s.RecoverPrimitives()
+		s.ComputeRHS(s.rhs)
+		u.AXPY(dt, s.rhs)
+		trcAXPY()
+		u.LinComb2(1.0/3.0, s.u0, 2.0/3.0, u)
+		trcComb(1.0/3.0, 2.0/3.0)
+		s.RecoverPrimitives()
+	}
+
+	// Cheap finiteness probe on a stride through the data; a full scan
+	// every step would cost a noticeable fraction of the RHS.
+	raw := u.Raw()
+	for i := 0; i < len(raw); i += 97 {
+		if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+			return ErrNonFinite
+		}
+	}
+
+	s.t += dt
+	steps := s.St.Steps.Add(1)
+	if s.mon != nil && (steps == 1 || steps%int64(s.mon.Every) == 0) {
+		s.mon.record(s, dt)
+	}
+	return nil
+}
+
+// Advance integrates until time tEnd, choosing CFL-limited steps and
+// clamping the final step to land exactly on tEnd. It returns the number
+// of steps taken.
+func (s *Solver) Advance(tEnd float64) (int, error) {
+	steps := 0
+	for s.t < tEnd-1e-14 {
+		// Primitives must be current for the CFL estimate on the first
+		// step; RecoverPrimitives is idempotent.
+		if steps == 0 {
+			s.RecoverPrimitives()
+		}
+		dt := s.MaxDt()
+		if s.t+dt > tEnd {
+			dt = tEnd - s.t
+		}
+		if dt <= 0 {
+			return steps, fmt.Errorf("core: time step underflow at t=%v", s.t)
+		}
+		if err := s.Step(dt); err != nil {
+			return steps, fmt.Errorf("core: step %d at t=%v: %w", steps, s.t, err)
+		}
+		steps++
+		if steps > 10_000_000 {
+			return steps, errors.New("core: step budget exhausted")
+		}
+	}
+	return steps, nil
+}

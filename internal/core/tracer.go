@@ -1,0 +1,147 @@
+package core
+
+// Passive composition tracer: a scalar X (electron fraction, metallicity,
+// …) advected with the fluid. The conserved form is D_X = ρ W X = D·X
+// with flux F(D_X) = F(D)·X_upwind, so the tracer rides on the mass flux
+// the sweeps already compute and stays discretely consistent with it:
+// where D is conserved, so is D_X, and X remains in [min, max] of its
+// initial data (donor-cell upwinding is monotone).
+//
+// The tracer currently supports single-grid runs (no HaloExchange/AMR);
+// New rejects the combination.
+
+import (
+	"errors"
+	"fmt"
+	"math"
+
+	"rhsc/internal/state"
+)
+
+// tracerState holds the tracer arrays; nil when the tracer is disabled.
+type tracerState struct {
+	cons []float64 // D_X, including ghosts
+	prim []float64 // X
+	rhs  []float64
+	u0   []float64
+}
+
+// EnableTracer activates the passive scalar and imposes its initial
+// profile X(x, y, z). Must be called after InitFromPrim (it needs the
+// conserved density) and before stepping. It returns an error when the
+// solver uses a halo exchange (distributed/AMR drivers own the ghosts).
+func (s *Solver) EnableTracer(fn func(x, y, z float64) float64) error {
+	if s.Cfg.HaloExchange != nil {
+		return errors.New("core: tracer does not support HaloExchange drivers")
+	}
+	n := s.G.NCells()
+	s.trc = &tracerState{
+		cons: make([]float64, n),
+		prim: make([]float64, n),
+		rhs:  make([]float64, n),
+		u0:   make([]float64, n),
+	}
+	g := s.G
+	g.ForEachInterior(func(idx, i, j, k int) {
+		x := fn(g.X(i), g.Y(j), g.Z(k))
+		if math.IsNaN(x) {
+			panic(fmt.Sprintf("core: NaN tracer at (%d,%d,%d)", i, j, k))
+		}
+		s.trc.prim[idx] = x
+		s.trc.cons[idx] = g.U.Comp[state.ID][idx] * x
+	})
+	s.tracerGhosts()
+	return nil
+}
+
+// Tracer returns the tracer concentration X at flat cell index idx, or 0
+// when the tracer is disabled.
+func (s *Solver) Tracer(idx int) float64 {
+	if s.trc == nil {
+		return 0
+	}
+	return s.trc.prim[idx]
+}
+
+// TracerTotal returns Σ D_X dV — conserved alongside the rest mass.
+func (s *Solver) TracerTotal() float64 {
+	if s.trc == nil {
+		return 0
+	}
+	sum := 0.0
+	s.G.ForEachInterior(func(idx, _, _, _ int) {
+		sum += s.trc.cons[idx]
+	})
+	return sum * s.G.CellVolume()
+}
+
+// tracerGhosts fills the tracer ghost zones. The scalar is wrapped in a
+// throwaway Fields (component 0) so the grid's boundary machinery —
+// including Custom inflow hooks, which see component 0 as density-like —
+// applies unchanged; reflections do not flip a scalar, and component 0
+// is never flipped.
+func (s *Solver) tracerGhosts() {
+	g := s.G
+	f := state.NewFields(g.NCells())
+	copy(f.Comp[0], s.trc.prim)
+	g.ApplyBCs(f)
+	copy(s.trc.prim, f.Comp[0])
+}
+
+// tracerRecover refreshes X = D_X / D in the interior (clipped to the
+// admissible range) and refills ghosts.
+func (s *Solver) tracerRecover() {
+	g := s.G
+	g.ForEachInterior(func(idx, _, _, _ int) {
+		d := g.U.Comp[state.ID][idx]
+		if d <= 0 {
+			s.trc.prim[idx] = 0
+			return
+		}
+		s.trc.prim[idx] = s.trc.cons[idx] / d
+	})
+	s.tracerGhosts()
+}
+
+// tracerSweepRow accumulates the tracer flux difference for one strip,
+// reusing the mass fluxes fx[ID] already computed by the sweep.
+func (s *Solver) tracerSweepRow(base, stride, cBeg, cEnd int, dx float64, sc *rowScratch) {
+	x := s.trc.prim
+	fd := sc.fx[state.ID]
+	out := s.trc.rhs
+	invDx := 1 / dx
+	// Face tracer fluxes: donor-cell upwinding on the mass flux.
+	// Reuse the (free) fl[0] slot as the face buffer.
+	tf := sc.fl[0]
+	for f := cBeg; f <= cEnd; f++ {
+		up := base + (f-1)*stride
+		if fd[f] < 0 {
+			up = base + f*stride
+		}
+		tf[f] = fd[f] * x[up]
+	}
+	idx := base + cBeg*stride
+	for i := cBeg; i < cEnd; i++ {
+		out[idx] -= (tf[i+1] - tf[i]) * invDx
+		idx += stride
+	}
+}
+
+// scalar helpers for the RK combinations.
+func axpyScalar(dst []float64, a float64, src []float64) {
+	for i := range dst {
+		dst[i] += a * src[i]
+	}
+}
+
+func lincomb2Scalar(dst []float64, a float64, u []float64, b float64, v []float64) {
+	for i := range dst {
+		dst[i] = a*u[i] + b*v[i]
+	}
+}
+
+func zeroScalar(dst []float64) {
+	for i := range dst {
+		dst[i] = 0
+	}
+}

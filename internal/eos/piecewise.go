@@ -1,0 +1,174 @@
+package eos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// PiecewisePolytrope is the piecewise-polytropic cold EOS parameterisation
+// (Read, Lackey, Owen & Friedman 2009) with a thermal Γ-law component —
+// the standard compact-star EOS family. Each density segment i carries
+// its own exponent Γ_i; the constants K_i are fixed by pressure
+// continuity at the dividing densities, and the cold specific energy is
+// integrated segment by segment so ε_c is continuous too.
+type PiecewisePolytrope struct {
+	divisions []float64 // segment lower bounds (divisions[0] == 0)
+	gammas    []float64 // per-segment exponents
+	ks        []float64 // per-segment constants (continuity)
+	epsOff    []float64 // per-segment energy integration constants
+	gammaTh   float64   // thermal index
+}
+
+// NewPiecewisePolytrope builds the EOS from K0 (the constant of the first
+// segment), the dividing rest-mass densities (ascending, one fewer than
+// exponents), per-segment exponents, and the thermal index.
+func NewPiecewisePolytrope(k0 float64, divisions, gammas []float64, gammaTh float64) (*PiecewisePolytrope, error) {
+	if k0 <= 0 {
+		return nil, fmt.Errorf("eos: piecewise K0 %v must be positive", k0)
+	}
+	if len(gammas) == 0 || len(divisions) != len(gammas)-1 {
+		return nil, fmt.Errorf("eos: %d exponents need %d divisions, got %d",
+			len(gammas), len(gammas)-1, len(divisions))
+	}
+	if !sort.Float64sAreSorted(divisions) {
+		return nil, fmt.Errorf("eos: divisions must ascend")
+	}
+	for _, g := range gammas {
+		if g <= 1 {
+			return nil, fmt.Errorf("eos: exponent %v must exceed 1", g)
+		}
+	}
+	if gammaTh <= 1 || gammaTh > 2 {
+		return nil, fmt.Errorf("eos: thermal index %v outside (1,2]", gammaTh)
+	}
+	for _, d := range divisions {
+		if d <= 0 {
+			return nil, fmt.Errorf("eos: division %v must be positive", d)
+		}
+	}
+	pp := &PiecewisePolytrope{
+		divisions: append([]float64{0}, divisions...),
+		gammas:    gammas,
+		ks:        make([]float64, len(gammas)),
+		epsOff:    make([]float64, len(gammas)),
+		gammaTh:   gammaTh,
+	}
+	pp.ks[0] = k0
+	pp.epsOff[0] = 0
+	for i := 1; i < len(gammas); i++ {
+		d := pp.divisions[i]
+		// Pressure continuity: K_i d^Γi = K_{i-1} d^Γ{i-1}.
+		pp.ks[i] = pp.ks[i-1] * math.Pow(d, pp.gammas[i-1]-pp.gammas[i])
+		// Energy continuity: ε_c continuous at d.
+		epsBelow := pp.epsOff[i-1] + pp.ks[i-1]*math.Pow(d, pp.gammas[i-1]-1)/(pp.gammas[i-1]-1)
+		pp.epsOff[i] = epsBelow - pp.ks[i]*math.Pow(d, pp.gammas[i]-1)/(pp.gammas[i]-1)
+	}
+	return pp, nil
+}
+
+// segment returns the segment index of density rho.
+func (pp *PiecewisePolytrope) segment(rho float64) int {
+	i := sort.SearchFloat64s(pp.divisions, rho) - 1
+	if i < 0 {
+		i = 0
+	}
+	if i >= len(pp.gammas) {
+		i = len(pp.gammas) - 1
+	}
+	return i
+}
+
+// Name implements EOS.
+func (pp *PiecewisePolytrope) Name() string {
+	return fmt.Sprintf("pwpoly-%dseg", len(pp.gammas))
+}
+
+// ColdPressure returns the cold pressure K_i ρ^Γi of the segment.
+func (pp *PiecewisePolytrope) ColdPressure(rho float64) float64 {
+	i := pp.segment(rho)
+	return pp.ks[i] * math.Pow(rho, pp.gammas[i])
+}
+
+// ColdEps returns the continuous cold specific internal energy.
+func (pp *PiecewisePolytrope) ColdEps(rho float64) float64 {
+	i := pp.segment(rho)
+	return pp.epsOff[i] + pp.ks[i]*math.Pow(rho, pp.gammas[i]-1)/(pp.gammas[i]-1)
+}
+
+// Pressure implements EOS: cold plus thermal Γ-law part (clipped at the
+// cold curve).
+func (pp *PiecewisePolytrope) Pressure(rho, eps float64) float64 {
+	th := (pp.gammaTh - 1) * rho * (eps - pp.ColdEps(rho))
+	if th < 0 {
+		th = 0
+	}
+	return pp.ColdPressure(rho) + th
+}
+
+// Eps implements EOS.
+func (pp *PiecewisePolytrope) Eps(rho, p float64) float64 {
+	th := p - pp.ColdPressure(rho)
+	if th < 0 {
+		th = 0
+	}
+	return pp.ColdEps(rho) + th/((pp.gammaTh-1)*rho)
+}
+
+// Enthalpy implements EOS.
+func (pp *PiecewisePolytrope) Enthalpy(rho, p float64) float64 {
+	return 1 + pp.Eps(rho, p) + p/rho
+}
+
+// CausalUpTo verifies the cold curve stays subluminal for all densities
+// up to rhoMax. An acausal cold curve makes the primitive→conserved map
+// non-injective, so conservative-to-primitive inversion cannot work
+// there; call this when constructing an EOS for a simulation whose
+// density range is known.
+func (pp *PiecewisePolytrope) CausalUpTo(rhoMax float64) error {
+	// The cold sound speed is monotone within a segment, so checking the
+	// segment tops (and rhoMax) suffices.
+	check := func(rho float64) error {
+		p := pp.ColdPressure(rho)
+		if cs2 := pp.coldCs2(rho, p); cs2 >= 1 {
+			return fmt.Errorf("eos: %s acausal at rho=%g (cold cs^2=%g)", pp.Name(), rho, cs2)
+		}
+		return nil
+	}
+	for _, d := range pp.divisions[1:] {
+		if d > rhoMax {
+			break
+		}
+		if err := check(d); err != nil {
+			return err
+		}
+	}
+	return check(rhoMax)
+}
+
+// coldCs2 is the unclamped cold sound speed squared Γ_i p_c / (ρ h_c).
+func (pp *PiecewisePolytrope) coldCs2(rho, pc float64) float64 {
+	i := pp.segment(rho)
+	h := 1 + pp.ColdEps(rho) + pc/rho
+	return pp.gammas[i] * pc / (rho * h)
+}
+
+// SoundSpeed2 implements EOS with the hybrid expression per segment,
+// clamped causal.
+func (pp *PiecewisePolytrope) SoundSpeed2(rho, p float64) float64 {
+	i := pp.segment(rho)
+	pc := pp.ColdPressure(rho)
+	pth := p - pc
+	if pth < 0 {
+		pth = 0
+		pc = p
+	}
+	c := (pp.gammas[i]*pc + pp.gammaTh*pth) / (rho * pp.Enthalpy(rho, p))
+	if c < 0 {
+		return 0
+	}
+	if c >= 1 {
+		return 1 - 1e-12
+	}
+	return c
+}

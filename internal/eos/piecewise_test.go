@@ -1,0 +1,132 @@
+package eos
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mkPW(t *testing.T) *PiecewisePolytrope {
+	t.Helper()
+	pp, err := NewPiecewisePolytrope(1.0,
+		[]float64{0.5, 2.0}, []float64{1.5, 2.0, 2.5}, 5.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return pp
+}
+
+func TestPiecewiseValidation(t *testing.T) {
+	cases := []struct {
+		k0      float64
+		divs    []float64
+		gammas  []float64
+		gammaTh float64
+	}{
+		{0, []float64{1}, []float64{1.5, 2}, 1.5},         // bad K0
+		{1, []float64{1}, []float64{1.5}, 1.5},            // count mismatch
+		{1, []float64{2, 1}, []float64{1.5, 2, 2.5}, 1.5}, // unsorted
+		{1, []float64{1}, []float64{0.5, 2}, 1.5},         // gamma <= 1
+		{1, []float64{1}, []float64{1.5, 2}, 1.0},         // bad thermal
+		{1, []float64{-1}, []float64{1.5, 2}, 1.5},        // bad division
+	}
+	for i, c := range cases {
+		if _, err := NewPiecewisePolytrope(c.k0, c.divs, c.gammas, c.gammaTh); err == nil {
+			t.Errorf("case %d accepted", i)
+		}
+	}
+}
+
+// Pressure and cold energy must be continuous across every segment
+// boundary — the defining construction property.
+func TestPiecewiseContinuity(t *testing.T) {
+	pp := mkPW(t)
+	for _, d := range []float64{0.5, 2.0} {
+		lo, hi := d*(1-1e-9), d*(1+1e-9)
+		pLo, pHi := pp.ColdPressure(lo), pp.ColdPressure(hi)
+		if math.Abs(pLo-pHi)/pHi > 1e-6 {
+			t.Errorf("pressure jump at %v: %v vs %v", d, pLo, pHi)
+		}
+		eLo, eHi := pp.ColdEps(lo), pp.ColdEps(hi)
+		if math.Abs(eLo-eHi)/(1+eHi) > 1e-6 {
+			t.Errorf("cold energy jump at %v: %v vs %v", d, eLo, eHi)
+		}
+	}
+}
+
+// Within the first segment the EOS must match a plain polytrope with the
+// same constants.
+func TestPiecewiseFirstSegmentMatchesPolytrope(t *testing.T) {
+	pp := mkPW(t)
+	base := NewPolytrope(1.0, 1.5)
+	for _, rho := range []float64{0.01, 0.1, 0.4} {
+		if a, b := pp.ColdPressure(rho), base.Pressure(rho, 0); math.Abs(a-b)/b > 1e-12 {
+			t.Errorf("rho=%v: %v vs %v", rho, a, b)
+		}
+	}
+}
+
+// Monotonicity: cold pressure strictly increases with density across the
+// whole range (a non-monotone cold curve breaks the c2p bracket).
+func TestPiecewiseMonotone(t *testing.T) {
+	pp := mkPW(t)
+	prev := 0.0
+	for lr := -4.0; lr < 2.0; lr += 0.01 {
+		p := pp.ColdPressure(math.Exp(lr))
+		if p <= prev {
+			t.Fatalf("cold pressure not increasing at rho=%v", math.Exp(lr))
+		}
+		prev = p
+	}
+}
+
+func TestPiecewiseRoundTripAndCausality(t *testing.T) {
+	pp := mkPW(t)
+	rng := rand.New(rand.NewSource(31))
+	for i := 0; i < 3000; i++ {
+		rho := math.Exp(rng.Float64()*8 - 5)
+		eps := pp.ColdEps(rho) * (1 + 3*rng.Float64())
+		if eps == 0 {
+			eps = rng.Float64()
+		}
+		p := pp.Pressure(rho, eps)
+		if got := pp.Eps(rho, p); math.Abs(got-eps)/(1+eps) > 1e-10 {
+			t.Fatalf("round trip at rho=%v: %v -> %v", rho, eps, got)
+		}
+		cs2 := pp.SoundSpeed2(rho, p)
+		if cs2 < 0 || cs2 >= 1 || math.IsNaN(cs2) {
+			t.Fatalf("cs2 = %v at rho=%v p=%v", cs2, rho, p)
+		}
+		want := 1 + pp.Eps(rho, p) + p/rho
+		if h := pp.Enthalpy(rho, p); math.Abs(h-want)/want > 1e-12 {
+			t.Fatalf("enthalpy inconsistent at rho=%v", rho)
+		}
+	}
+}
+
+func TestPiecewiseName(t *testing.T) {
+	if mkPW(t).Name() != "pwpoly-3seg" {
+		t.Error("name wrong")
+	}
+}
+
+// CausalUpTo must pass for gentle parameters and fail for the steep
+// (K=1, Γ=2.5) curve that is wildly superluminal at high density.
+func TestPiecewiseCausalityCheck(t *testing.T) {
+	gentle, err := NewPiecewisePolytrope(0.1,
+		[]float64{0.5, 2.0}, []float64{1.5, 1.8, 2.0}, 5.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := gentle.CausalUpTo(8); err != nil {
+		t.Errorf("gentle EOS flagged acausal: %v", err)
+	}
+	steep := mkPW(t) // K=1, top segment Γ=2.5
+	if err := steep.CausalUpTo(20); err == nil {
+		t.Error("steep EOS not flagged acausal at rho=20")
+	}
+	// The steep EOS is still fine at low density.
+	if err := steep.CausalUpTo(0.3); err != nil {
+		t.Errorf("steep EOS flagged acausal at rho=0.3: %v", err)
+	}
+}

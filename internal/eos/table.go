@@ -1,0 +1,172 @@
+package eos
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Table is a tabulated equation of state: pressure sampled on a rectangular
+// grid in (log ρ, log ε) with bilinear interpolation in log space. It stands
+// in for the microphysical EOS tables (stellarcollapse.org-style) that
+// production relativistic-hydro codes read from disk; here the table is
+// built synthetically from any base EOS with BuildTable so the tabulated
+// code path is exercised end to end without external data.
+//
+// Outside the tabulated range the table clamps to its edges, mirroring the
+// behaviour of production table readers.
+type Table struct {
+	name   string
+	logRho []float64   // ascending, size nr
+	logEps []float64   // ascending, size ne
+	logP   [][]float64 // [nr][ne] log pressure
+	cs2    [][]float64 // [nr][ne] sound speed squared
+	rhoMin float64
+	rhoMax float64
+	epsMin float64
+	epsMax float64
+}
+
+// BuildTable samples base on a log-uniform (ρ, ε) grid and returns the
+// interpolating Table. nr and ne are the number of samples in each
+// dimension (≥ 4 each).
+func BuildTable(base EOS, rhoMin, rhoMax, epsMin, epsMax float64, nr, ne int) (*Table, error) {
+	switch {
+	case nr < 4 || ne < 4:
+		return nil, fmt.Errorf("eos: table needs at least 4 samples per axis, got %dx%d", nr, ne)
+	case rhoMin <= 0 || epsMin <= 0:
+		return nil, fmt.Errorf("eos: table bounds must be positive")
+	case rhoMax <= rhoMin || epsMax <= epsMin:
+		return nil, fmt.Errorf("eos: table bounds must be increasing")
+	}
+	t := &Table{
+		name:   "table(" + base.Name() + ")",
+		logRho: make([]float64, nr),
+		logEps: make([]float64, ne),
+		logP:   make([][]float64, nr),
+		cs2:    make([][]float64, nr),
+		rhoMin: rhoMin, rhoMax: rhoMax,
+		epsMin: epsMin, epsMax: epsMax,
+	}
+	lr0, lr1 := math.Log(rhoMin), math.Log(rhoMax)
+	le0, le1 := math.Log(epsMin), math.Log(epsMax)
+	for i := 0; i < nr; i++ {
+		t.logRho[i] = lr0 + (lr1-lr0)*float64(i)/float64(nr-1)
+	}
+	for j := 0; j < ne; j++ {
+		t.logEps[j] = le0 + (le1-le0)*float64(j)/float64(ne-1)
+	}
+	for i := 0; i < nr; i++ {
+		t.logP[i] = make([]float64, ne)
+		t.cs2[i] = make([]float64, ne)
+		rho := math.Exp(t.logRho[i])
+		for j := 0; j < ne; j++ {
+			eps := math.Exp(t.logEps[j])
+			p := base.Pressure(rho, eps)
+			if p <= 0 {
+				return nil, fmt.Errorf("eos: base EOS returned non-positive pressure at rho=%g eps=%g", rho, eps)
+			}
+			t.logP[i][j] = math.Log(p)
+			t.cs2[i][j] = base.SoundSpeed2(rho, p)
+		}
+	}
+	return t, nil
+}
+
+// Name implements EOS.
+func (t *Table) Name() string { return t.name }
+
+// locate returns the bracketing index lo and the interpolation fraction for
+// x in the ascending grid xs, clamping to the table edges.
+func locate(xs []float64, x float64) (int, float64) {
+	n := len(xs)
+	if x <= xs[0] {
+		return 0, 0
+	}
+	if x >= xs[n-1] {
+		return n - 2, 1
+	}
+	lo := sort.SearchFloat64s(xs, x) - 1
+	if lo < 0 {
+		lo = 0
+	}
+	if lo > n-2 {
+		lo = n - 2
+	}
+	f := (x - xs[lo]) / (xs[lo+1] - xs[lo])
+	return lo, f
+}
+
+// interp2 bilinearly interpolates v at (logRho, logEps).
+func (t *Table) interp2(v [][]float64, lrho, leps float64) float64 {
+	i, fr := locate(t.logRho, lrho)
+	j, fe := locate(t.logEps, leps)
+	v00 := v[i][j]
+	v10 := v[i+1][j]
+	v01 := v[i][j+1]
+	v11 := v[i+1][j+1]
+	return v00*(1-fr)*(1-fe) + v10*fr*(1-fe) + v01*(1-fr)*fe + v11*fr*fe
+}
+
+// Pressure implements EOS via bilinear interpolation of log p.
+func (t *Table) Pressure(rho, eps float64) float64 {
+	if rho <= 0 || eps <= 0 {
+		return math.Exp(t.logP[0][0])
+	}
+	return math.Exp(t.interp2(t.logP, math.Log(rho), math.Log(eps)))
+}
+
+// Eps implements EOS by inverting the tabulated p(ρ, ε) along the ε axis
+// with bisection. The table's monotonicity in ε (guaranteed for all base
+// closures we build from) makes the bracket [epsMin, epsMax] valid; values
+// of p outside the tabulated range clamp to the nearest edge.
+func (t *Table) Eps(rho, p float64) float64 {
+	lo, hi := t.epsMin, t.epsMax
+	plo, phi := t.Pressure(rho, lo), t.Pressure(rho, hi)
+	if p <= plo {
+		return lo
+	}
+	if p >= phi {
+		return hi
+	}
+	for k := 0; k < 80; k++ {
+		mid := math.Sqrt(lo * hi) // bisect in log space
+		if t.Pressure(rho, mid) < p {
+			lo = mid
+		} else {
+			hi = mid
+		}
+		if hi/lo-1 < 1e-14 {
+			break
+		}
+	}
+	return math.Sqrt(lo * hi)
+}
+
+// Enthalpy implements EOS: h = 1 + ε + p/ρ with ε from table inversion.
+func (t *Table) Enthalpy(rho, p float64) float64 {
+	eps := t.Eps(rho, p)
+	return 1 + eps + p/rho
+}
+
+// SoundSpeed2 implements EOS via bilinear interpolation of the tabulated
+// c_s², clamped to [0, 1).
+func (t *Table) SoundSpeed2(rho, p float64) float64 {
+	eps := t.Eps(rho, p)
+	if rho <= 0 || eps <= 0 {
+		return t.cs2[0][0]
+	}
+	c := t.interp2(t.cs2, math.Log(rho), math.Log(eps))
+	if c < 0 {
+		return 0
+	}
+	if c >= 1 {
+		return 1 - 1e-12
+	}
+	return c
+}
+
+// Bounds returns the tabulated (ρ, ε) range.
+func (t *Table) Bounds() (rhoMin, rhoMax, epsMin, epsMax float64) {
+	return t.rhoMin, t.rhoMax, t.epsMin, t.epsMax
+}

@@ -1,0 +1,219 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// With zero transverse velocity, SolveVt must agree with the closed-form
+// solver to the weak-shock integration tolerance.
+func TestVtReducesToClosedForm(t *testing.T) {
+	cases := []struct{ l, r State }{
+		{State{10, 0, 13.33}, State{1, 0, 1e-6}},
+		{State{1, 0, 1000}, State{1, 0, 0.01}},
+		{State{1, 0.5, 1}, State{1, -0.5, 1}},
+		{State{1, -0.3, 1}, State{1, 0.3, 1}},
+	}
+	for _, c := range cases {
+		ref, err := Solve(c.l, c.r, 5.0/3.0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := SolveVt(
+			State2{Rho: c.l.Rho, Vx: c.l.V, P: c.l.P},
+			State2{Rho: c.r.Rho, Vx: c.r.V, P: c.r.P}, 5.0/3.0)
+		if err != nil {
+			t.Fatalf("%+v: %v", c, err)
+		}
+		if math.Abs(got.Pstar-ref.Pstar)/ref.Pstar > 1e-4 {
+			t.Errorf("%+v: p* = %v, closed form %v", c, got.Pstar, ref.Pstar)
+		}
+		if math.Abs(got.Vstar-ref.Vstar) > 1e-4 {
+			t.Errorf("%+v: v* = %v, closed form %v", c, got.Vstar, ref.Vstar)
+		}
+		if got.LeftWave != ref.LeftWave || got.RightWave != ref.RightWave {
+			t.Errorf("%+v: wave structure mismatch", c)
+		}
+	}
+}
+
+// The invariant A = h W v_t must be conserved across each wave separately
+// (it generally jumps at the contact).
+func TestVtInvariantConserved(t *testing.T) {
+	g := gas{5.0 / 3.0}
+	l := State2{Rho: 1, Vx: 0.3, Vt: 0.4, P: 5}
+	r := State2{Rho: 2, Vx: -0.2, Vt: -0.3, P: 0.5}
+	sol, err := SolveVt(l, r, 5.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aOf := func(s State2) float64 {
+		return g.enthalpy(s.Rho, s.P) * s.lorentz() * s.Vt
+	}
+	if aL, aS := aOf(l), aOf(sol.StarL); math.Abs(aL-aS)/math.Abs(aL) > 1e-4 {
+		t.Errorf("left A: %v -> %v", aL, aS)
+	}
+	if aR, aS := aOf(r), aOf(sol.StarR); math.Abs(aR-aS)/math.Abs(aR) > 1e-4 {
+		t.Errorf("right A: %v -> %v", aR, aS)
+	}
+	// Pressure and normal velocity are continuous at the contact; v_t is
+	// not (in general).
+	if math.Abs(sol.StarL.Vx-sol.StarR.Vx) > 1e-6 {
+		t.Errorf("normal velocity jumps at contact: %v vs %v", sol.StarL.Vx, sol.StarR.Vx)
+	}
+	if math.Abs(sol.StarL.Vt-sol.StarR.Vt) < 1e-3 {
+		t.Errorf("v_t should jump at the contact here: %v vs %v", sol.StarL.Vt, sol.StarR.Vt)
+	}
+}
+
+// Full Rankine–Hugoniot verification of the shock branch: every conserved
+// component's jump condition F(U) − V_s U must match across the shock.
+func TestVtShockRankineHugoniot(t *testing.T) {
+	g := gas{5.0 / 3.0}
+	s := State2{Rho: 1, Vx: -0.2, Vt: 0.5, P: 0.1}
+	res, err := g.shockVt(s, 2.5, +1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	flux := func(st State2) (fd, fmx, fmt_, fe float64) {
+		h := g.enthalpy(st.Rho, st.P)
+		w := st.lorentz()
+		d := st.Rho * w
+		mx := st.Rho * h * w * w * st.Vx
+		mt := st.Rho * h * w * w * st.Vt
+		e := st.Rho*h*w*w - st.P
+		vs := res.vshock
+		return d*st.Vx - vs*d,
+			mx*st.Vx + st.P - vs*mx,
+			mt*st.Vx - vs*mt,
+			mx - vs*e
+	}
+	a0, a1, a2, a3 := flux(s)
+	b0, b1, b2, b3 := flux(res.st)
+	for i, pair := range [][2]float64{{a0, b0}, {a1, b1}, {a2, b2}, {a3, b3}} {
+		if math.Abs(pair[0]-pair[1]) > 1e-8*(1+math.Abs(pair[0])) {
+			t.Errorf("RH condition %d violated: %v vs %v", i, pair[0], pair[1])
+		}
+	}
+}
+
+// Random admissible problems must solve with causal, ordered waves.
+func TestVtRandomProblems(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	solved := 0
+	for trial := 0; trial < 200; trial++ {
+		mk := func() State2 {
+			vx := 1.2*rng.Float64() - 0.6
+			vt := 1.2*rng.Float64() - 0.6
+			if vx*vx+vt*vt > 0.9 {
+				vt = 0
+			}
+			return State2{
+				Rho: math.Exp(rng.Float64()*4 - 2),
+				Vx:  vx, Vt: vt,
+				P: math.Exp(rng.Float64()*4 - 2),
+			}
+		}
+		l, r := mk(), mk()
+		sol, err := SolveVt(l, r, 5.0/3.0)
+		if err == ErrVacuum {
+			continue
+		}
+		if err != nil {
+			t.Fatalf("trial %d (%+v | %+v): %v", trial, l, r, err)
+		}
+		solved++
+		if sol.Pstar <= 0 || math.Abs(sol.Vstar) >= 1 {
+			t.Fatalf("trial %d: unphysical star", trial)
+		}
+		// Star states causal.
+		for _, st := range []State2{sol.StarL, sol.StarR} {
+			if st.Vx*st.Vx+st.Vt*st.Vt >= 1 {
+				t.Fatalf("trial %d: superluminal star state %+v", trial, st)
+			}
+		}
+		// Wave ordering.
+		var le, re float64
+		if sol.LeftWave == Shock {
+			le = sol.LeftSpeed
+		} else {
+			le = sol.LeftTail
+		}
+		if sol.RightWave == Shock {
+			re = sol.RightSpeed
+		} else {
+			re = sol.RightTail
+		}
+		if !(le <= sol.Vstar+1e-8 && sol.Vstar <= re+1e-8) {
+			t.Fatalf("trial %d: wave ordering broken (%v, %v, %v)", trial, le, sol.Vstar, re)
+		}
+	}
+	if solved < 150 {
+		t.Errorf("only %d/200 solved", solved)
+	}
+}
+
+// Transverse velocity must change the wave dynamics (through the Lorentz
+// factor): the star pressure of a shock-tube differs measurably when one
+// side carries v_t — the relativistic coupling absent in Newtonian hydro.
+func TestVtCouplesToDynamics(t *testing.T) {
+	base, err := SolveVt(
+		State2{Rho: 10, P: 13.33}, State2{Rho: 1, P: 1e-6}, 5.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	spun, err := SolveVt(
+		State2{Rho: 10, P: 13.33, Vt: 0.9}, State2{Rho: 1, P: 1e-6}, 5.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(spun.Pstar-base.Pstar)/base.Pstar < 0.05 {
+		t.Errorf("v_t=0.9 changed p* by <5%%: %v vs %v", spun.Pstar, base.Pstar)
+	}
+}
+
+// Sampling structure: undisturbed far field, star plateau, monotone fan.
+func TestVtSampleStructure(t *testing.T) {
+	l := State2{Rho: 10, Vx: 0, Vt: 0.3, P: 13.33}
+	r := State2{Rho: 1, Vx: 0, Vt: -0.2, P: 1e-6}
+	sol, err := SolveVt(l, r, 5.0/3.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := sol.Sample(-0.99); got != l {
+		t.Errorf("far left %+v", got)
+	}
+	if got := sol.Sample(0.99); got != r {
+		t.Errorf("far right %+v", got)
+	}
+	mid := sol.Sample(0.5 * (sol.LeftTail + sol.Vstar))
+	if math.Abs(mid.P-sol.Pstar)/sol.Pstar > 1e-6 {
+		t.Errorf("star sample p = %v, want %v", mid.P, sol.Pstar)
+	}
+	// Fan pressure monotone decreasing.
+	prev := math.Inf(1)
+	for xi := sol.LeftHead + 1e-6; xi < sol.LeftTail; xi += (sol.LeftTail - sol.LeftHead) / 30 {
+		p := sol.Sample(xi).P
+		if p > prev*(1+1e-9) {
+			t.Fatalf("fan pressure not monotone at xi=%v", xi)
+		}
+		prev = p
+	}
+}
+
+func TestVtValidation(t *testing.T) {
+	good := State2{Rho: 1, P: 1}
+	if _, err := SolveVt(State2{Rho: 1, Vx: 0.8, Vt: 0.8, P: 1}, good, 5.0/3.0); err == nil {
+		t.Error("superluminal state accepted")
+	}
+	if _, err := SolveVt(good, good, 3.0); err == nil {
+		t.Error("bad gamma accepted")
+	}
+	// Vacuum.
+	if _, err := SolveVt(
+		State2{Rho: 1, Vx: -0.999, P: 1e-9},
+		State2{Rho: 1, Vx: 0.999, P: 1e-9}, 5.0/3.0); err == nil {
+		t.Error("vacuum not detected")
+	}
+}

@@ -1,0 +1,321 @@
+package grid
+
+import (
+	"math"
+	"testing"
+
+	"rhsc/internal/state"
+)
+
+func mk1D(n, ng int) *Grid {
+	return New(Geometry{Nx: n, Ny: 1, Nz: 1, Ng: ng, X0: 0, X1: 1})
+}
+
+func mk2D(nx, ny, ng int) *Grid {
+	return New(Geometry{Nx: nx, Ny: ny, Nz: 1, Ng: ng, X0: 0, X1: 1, Y0: 0, Y1: 2})
+}
+
+func mk3D(n, ng int) *Grid {
+	return New(Geometry{Nx: n, Ny: n, Nz: n, Ng: ng, X0: 0, X1: 1, Y0: 0, Y1: 1, Z0: 0, Z1: 1})
+}
+
+func TestDimsAndTotals(t *testing.T) {
+	g1 := mk1D(16, 2)
+	if g1.Dim() != 1 || g1.TotalX != 20 || g1.TotalY != 1 || g1.TotalZ != 1 {
+		t.Errorf("1D: dim=%d totals=%d,%d,%d", g1.Dim(), g1.TotalX, g1.TotalY, g1.TotalZ)
+	}
+	g2 := mk2D(8, 4, 3)
+	if g2.Dim() != 2 || g2.TotalX != 14 || g2.TotalY != 10 || g2.TotalZ != 1 {
+		t.Errorf("2D: dim=%d totals=%d,%d,%d", g2.Dim(), g2.TotalX, g2.TotalY, g2.TotalZ)
+	}
+	g3 := mk3D(4, 2)
+	if g3.Dim() != 3 || g3.TotalZ != 8 {
+		t.Errorf("3D: dim=%d totalZ=%d", g3.Dim(), g3.TotalZ)
+	}
+}
+
+func TestActiveDims(t *testing.T) {
+	if d := mk1D(8, 2).ActiveDims(); len(d) != 1 || d[0] != state.X {
+		t.Errorf("1D active dims %v", d)
+	}
+	if d := mk2D(8, 8, 2).ActiveDims(); len(d) != 2 || d[1] != state.Y {
+		t.Errorf("2D active dims %v", d)
+	}
+	if d := mk3D(4, 2).ActiveDims(); len(d) != 3 {
+		t.Errorf("3D active dims %v", d)
+	}
+}
+
+func TestCoordinates(t *testing.T) {
+	g := mk1D(4, 2) // dx = 0.25, first interior cell center at 0.125
+	if math.Abs(g.Dx-0.25) > 1e-15 {
+		t.Errorf("dx = %v", g.Dx)
+	}
+	if x := g.X(g.IBeg()); math.Abs(x-0.125) > 1e-15 {
+		t.Errorf("X(first) = %v, want 0.125", x)
+	}
+	if x := g.X(g.IEnd() - 1); math.Abs(x-0.875) > 1e-15 {
+		t.Errorf("X(last) = %v, want 0.875", x)
+	}
+	// Ghost coordinates extend beyond the domain.
+	if x := g.X(0); math.Abs(x-(-0.375)) > 1e-15 {
+		t.Errorf("X(ghost) = %v, want -0.375", x)
+	}
+	g2 := mk2D(4, 8, 2) // dy = 0.25
+	if math.Abs(g2.Dy-0.25) > 1e-15 {
+		t.Errorf("dy = %v", g2.Dy)
+	}
+	if y := g2.Y(g2.JBeg()); math.Abs(y-0.125) > 1e-15 {
+		t.Errorf("Y(first) = %v", y)
+	}
+}
+
+func TestCellVolume(t *testing.T) {
+	if v := mk1D(4, 2).CellVolume(); math.Abs(v-0.25) > 1e-15 {
+		t.Errorf("1D vol = %v", v)
+	}
+	if v := mk2D(4, 8, 2).CellVolume(); math.Abs(v-0.25*0.25) > 1e-15 {
+		t.Errorf("2D vol = %v", v)
+	}
+}
+
+func TestForEachInteriorCount(t *testing.T) {
+	g := mk2D(8, 4, 2)
+	count := 0
+	seen := map[int]bool{}
+	g.ForEachInterior(func(idx, i, j, k int) {
+		count++
+		if seen[idx] {
+			t.Fatalf("index %d visited twice", idx)
+		}
+		seen[idx] = true
+		if i < g.IBeg() || i >= g.IEnd() || j < g.JBeg() || j >= g.JEnd() {
+			t.Fatalf("out-of-interior visit (%d,%d,%d)", i, j, k)
+		}
+	})
+	if count != 32 {
+		t.Errorf("visited %d cells, want 32", count)
+	}
+}
+
+func fillRamp(g *Grid, f *state.Fields) {
+	// Interior value = total i coordinate, to track copies exactly.
+	g.ForEachInterior(func(idx, i, j, k int) {
+		for c := 0; c < state.NComp; c++ {
+			f.Comp[c][idx] = float64(i + 10*j + 100*k)
+		}
+	})
+}
+
+func TestOutflowBCx(t *testing.T) {
+	g := mk1D(8, 2)
+	g.SetAllBCs(Outflow)
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	for i := 0; i < 2; i++ {
+		if got := g.U.Comp[0][i]; got != float64(g.IBeg()) {
+			t.Errorf("lower ghost %d = %v", i, got)
+		}
+		if got := g.U.Comp[0][g.IEnd()+i]; got != float64(g.IEnd()-1) {
+			t.Errorf("upper ghost %d = %v", i, got)
+		}
+	}
+}
+
+func TestPeriodicBCx(t *testing.T) {
+	g := mk1D(8, 2)
+	g.SetAllBCs(Periodic)
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	// Ghost i=0 maps to interior i=8 (= Nx + 0), ghost i=1 to i=9.
+	if g.U.Comp[0][0] != 8 || g.U.Comp[0][1] != 9 {
+		t.Errorf("lower ghosts = %v, %v", g.U.Comp[0][0], g.U.Comp[0][1])
+	}
+	// Upper ghosts map back to the first interior cells (i=2,3).
+	if g.U.Comp[0][10] != 2 || g.U.Comp[0][11] != 3 {
+		t.Errorf("upper ghosts = %v, %v", g.U.Comp[0][10], g.U.Comp[0][11])
+	}
+}
+
+func TestReflectBCxFlipsNormalComponent(t *testing.T) {
+	g := mk1D(8, 2)
+	g.SetAllBCs(Reflect)
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	// Ghost i=1 mirrors interior i=2; ghost i=0 mirrors i=3.
+	if g.U.Comp[state.ID][1] != 2 || g.U.Comp[state.ID][0] != 3 {
+		t.Errorf("density ghosts = %v, %v", g.U.Comp[state.ID][1], g.U.Comp[state.ID][0])
+	}
+	// The x momentum/velocity component flips sign.
+	if g.U.Comp[state.ISx][1] != -2 || g.U.Comp[state.ISx][0] != -3 {
+		t.Errorf("Sx ghosts = %v, %v", g.U.Comp[state.ISx][1], g.U.Comp[state.ISx][0])
+	}
+	// Transverse components do not flip.
+	if g.U.Comp[state.ISy][1] != 2 {
+		t.Errorf("Sy ghost = %v", g.U.Comp[state.ISy][1])
+	}
+}
+
+func TestPeriodicBCy2D(t *testing.T) {
+	g := mk2D(4, 6, 2)
+	g.SetAllBCs(Periodic)
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	i := g.IBeg()
+	// Ghost j=0 maps to j=6, ghost j=1 to j=7.
+	if got, want := g.U.Comp[0][g.Idx(i, 0, 0)], g.U.Comp[0][g.Idx(i, 6, 0)]; got != want {
+		t.Errorf("y ghost = %v, want %v", got, want)
+	}
+	if got, want := g.U.Comp[0][g.Idx(i, g.JEnd(), 0)], g.U.Comp[0][g.Idx(i, g.JBeg(), 0)]; got != want {
+		t.Errorf("upper y ghost = %v, want %v", got, want)
+	}
+}
+
+func TestReflectBCyFlipsOnlyVy(t *testing.T) {
+	g := mk2D(4, 6, 2)
+	g.SetAllBCs(Reflect)
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	i := g.IBeg()
+	mirror := g.U.Comp[state.ID][g.Idx(i, g.JBeg(), 0)]
+	if got := g.U.Comp[state.ID][g.Idx(i, g.JBeg()-1, 0)]; got != mirror {
+		t.Errorf("density ghost %v, want %v", got, mirror)
+	}
+	if got := g.U.Comp[state.ISy][g.Idx(i, g.JBeg()-1, 0)]; got != -mirror {
+		t.Errorf("Sy ghost %v, want %v", got, -mirror)
+	}
+	if got := g.U.Comp[state.ISx][g.Idx(i, g.JBeg()-1, 0)]; got != mirror {
+		t.Errorf("Sx ghost %v, want %v (no flip)", got, mirror)
+	}
+}
+
+func TestPeriodicCorners2D(t *testing.T) {
+	// Corner ghosts must be filled after both sweeps: value at (ghost,
+	// ghost) equals the diagonally-opposite interior cell under
+	// double-periodicity.
+	g := mk2D(6, 6, 2)
+	g.SetAllBCs(Periodic)
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	got := g.U.Comp[0][g.Idx(0, 0, 0)]
+	want := g.U.Comp[0][g.Idx(6, 6, 0)] // i=0→6, j=0→6
+	if got != want {
+		t.Errorf("corner ghost = %v, want %v", got, want)
+	}
+}
+
+func TestBC3DZ(t *testing.T) {
+	g := mk3D(4, 2)
+	g.SetAllBCs(Periodic)
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	i, j := g.IBeg(), g.JBeg()
+	if got, want := g.U.Comp[0][g.Idx(i, j, 0)], g.U.Comp[0][g.Idx(i, j, 4)]; got != want {
+		t.Errorf("z ghost = %v, want %v", got, want)
+	}
+	g2 := mk3D(4, 2)
+	g2.SetAllBCs(Reflect)
+	fillRamp(g2, g2.U)
+	g2.ApplyBCs(g2.U)
+	mirror := g2.U.Comp[state.ISz][g2.Idx(i, j, g2.KBeg())]
+	if got := g2.U.Comp[state.ISz][g2.Idx(i, j, g2.KBeg()-1)]; got != -mirror {
+		t.Errorf("Sz ghost %v, want %v", got, -mirror)
+	}
+}
+
+func TestMixedBCs(t *testing.T) {
+	g := mk1D(8, 2)
+	g.BCs[0][0] = Reflect
+	g.BCs[0][1] = Outflow
+	fillRamp(g, g.U)
+	g.ApplyBCs(g.U)
+	if g.U.Comp[state.ISx][1] != -2 {
+		t.Errorf("lower reflect ghost = %v", g.U.Comp[state.ISx][1])
+	}
+	if g.U.Comp[state.ISx][g.IEnd()] != float64(g.IEnd()-1) {
+		t.Errorf("upper outflow ghost = %v", g.U.Comp[state.ISx][g.IEnd()])
+	}
+}
+
+func TestConservedIntegrals(t *testing.T) {
+	g := mk1D(10, 2)
+	g.ForEachInterior(func(idx, _, _, _ int) {
+		g.U.Comp[state.ID][idx] = 2
+		g.U.Comp[state.ITau][idx] = 3
+		g.U.Comp[state.ISx][idx] = 0.5
+	})
+	if m := g.TotalMass(); math.Abs(m-2) > 1e-14 { // 2 * (10 cells * 0.1)
+		t.Errorf("mass = %v, want 2", m)
+	}
+	if e := g.TotalEnergy(); math.Abs(e-5) > 1e-14 {
+		t.Errorf("energy = %v, want 5", e)
+	}
+	sx, sy, _ := g.TotalMomentum()
+	if math.Abs(sx-0.5) > 1e-14 || sy != 0 {
+		t.Errorf("momentum = %v, %v", sx, sy)
+	}
+}
+
+// Compensated summation: totals over data spanning many magnitudes must
+// beat naive accumulation.
+func TestKahanTotals(t *testing.T) {
+	g := mk1D(1000, 2)
+	// Alternate huge and tiny values whose exact sum is known.
+	naive := 0.0
+	want := 0.0
+	i := 0
+	g.ForEachInterior(func(idx, _, _, _ int) {
+		v := 1e-8
+		if i%2 == 0 {
+			v = 1e8
+		}
+		g.U.Comp[state.ID][idx] = v
+		naive += v
+		want += v
+		i++
+	})
+	_ = naive
+	exact := (500*1e8 + 500*1e-8) * g.CellVolume()
+	if got := g.TotalMass(); math.Abs(got-exact)/exact > 1e-15 {
+		t.Errorf("TotalMass = %.17g, want %.17g", got, exact)
+	}
+}
+
+func TestNewPanics(t *testing.T) {
+	cases := []Geometry{
+		{Nx: 0, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1},
+		{Nx: 4, Ny: 1, Nz: 1, Ng: 0, X0: 0, X1: 1},
+		{Nx: 4, Ny: 1, Nz: 1, Ng: 2, X0: 1, X1: 0},
+		{Nx: 4, Ny: 4, Nz: 1, Ng: 2, X0: 0, X1: 1, Y0: 1, Y1: 1},
+	}
+	for _, geom := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("geometry %+v accepted", geom)
+				}
+			}()
+			New(geom)
+		}()
+	}
+}
+
+func TestApplyBCsSizeMismatch(t *testing.T) {
+	g := mk1D(8, 2)
+	defer func() {
+		if recover() == nil {
+			t.Error("size mismatch not caught")
+		}
+	}()
+	g.ApplyBCs(state.NewFields(3))
+}
+
+func TestIdxLayoutXFastest(t *testing.T) {
+	g := mk2D(4, 4, 2)
+	if g.Idx(1, 0, 0) != g.Idx(0, 0, 0)+1 {
+		t.Error("x not fastest")
+	}
+	if g.Idx(0, 1, 0) != g.Idx(0, 0, 0)+g.TotalX {
+		t.Error("y stride wrong")
+	}
+}

@@ -1,0 +1,563 @@
+// Package hetero models heterogeneous execution of the HRSC solver:
+// accelerator devices, host CPUs, kernel launch and PCIe-style transfer
+// costs, and static vs. dynamic scheduling of the solver's strip sweeps
+// across a mixed device set.
+//
+// Substitution note (see DESIGN.md): pure Go cannot drive real GPUs, so a
+// device executes its kernels on host goroutines for *correctness* while a
+// deterministic virtual clock accounts its *performance* from a calibrated
+// spec (zone throughput, launch latency, transfer latency/bandwidth). The
+// heterogeneous experiments (E7, E8) are statements about those ratios —
+// where the CPU/GPU crossover sits, how much a dynamic work queue recovers
+// on mismatched devices — and the virtual clock reproduces exactly those
+// shapes.
+package hetero
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"sync"
+
+	"rhsc/internal/core"
+	"rhsc/internal/par"
+	"rhsc/internal/state"
+)
+
+// Kind distinguishes host CPUs from accelerator devices (which pay
+// transfer costs).
+type Kind int
+
+// Device kinds.
+const (
+	CPU Kind = iota
+	GPU
+)
+
+// String implements fmt.Stringer.
+func (k Kind) String() string {
+	if k == CPU {
+		return "cpu"
+	}
+	return "gpu"
+}
+
+// Spec is the calibrated performance model of one device.
+type Spec struct {
+	Name string
+	Kind Kind
+	// ZoneRate is the sustained zone-update throughput in zones per
+	// virtual second for the HRSC flux kernel.
+	ZoneRate float64
+	// LaunchLatency is the fixed virtual cost of launching one kernel
+	// (one strip-range dispatch).
+	LaunchLatency float64
+	// TransferLatency and TransferBW model the host↔device copy of a
+	// kernel's working set (zero-cost for host CPUs).
+	TransferLatency float64
+	TransferBW      float64 // bytes per virtual second
+	// Resident marks an accelerator whose field data lives on the device
+	// for the whole run: kernels pay no per-launch PCIe traffic. A staged
+	// (non-resident) accelerator copies its working set in and out on
+	// every kernel — the naive offload pattern the paper's evaluation
+	// contrasts against.
+	Resident bool
+	// Workers is the real host parallelism used to execute the device's
+	// kernels (correctness path).
+	Workers int
+}
+
+// SpecHostCPU returns a 2015-era multicore host socket: ~4 Mzones/s per
+// core for the PLM+HLLC kernel, negligible launch cost, no transfers.
+func SpecHostCPU(cores int) Spec {
+	if cores < 1 {
+		cores = 1
+	}
+	return Spec{
+		Name:          fmt.Sprintf("host-cpu-%dc", cores),
+		Kind:          CPU,
+		ZoneRate:      4e6 * float64(cores),
+		LaunchLatency: 5e-7,
+		Workers:       cores,
+	}
+}
+
+// SpecK20GPU returns a Kepler-class accelerator with device-resident
+// fields: ~25× a single host core on the flux kernel and 15 µs kernel
+// launches; no per-kernel PCIe traffic.
+func SpecK20GPU() Spec {
+	return Spec{
+		Name:            "k20-gpu",
+		Kind:            GPU,
+		ZoneRate:        100e6,
+		LaunchLatency:   15e-6,
+		TransferLatency: 10e-6,
+		TransferBW:      6e9,
+		Resident:        true,
+		Workers:         4,
+	}
+}
+
+// SpecXeonPhi returns a Knights-Corner-class coprocessor: wide but slow
+// cores give ~1.5× a host socket on this kernel, with modest launch
+// overhead; fields are device-resident like the GPU path.
+func SpecXeonPhi() Spec {
+	return Spec{
+		Name:            "xeon-phi",
+		Kind:            GPU, // scheduled as an accelerator
+		ZoneRate:        48e6,
+		LaunchLatency:   5e-6,
+		TransferLatency: 10e-6,
+		TransferBW:      6e9,
+		Resident:        true,
+		Workers:         4,
+	}
+}
+
+// SpecK20GPUStaged returns the same accelerator in the naive offload
+// configuration: every kernel stages its working set across a 6 GB/s
+// PCIe-2-era link, capping effective throughput near the link bandwidth.
+func SpecK20GPUStaged() Spec {
+	s := SpecK20GPU()
+	s.Name = "k20-gpu-staged"
+	s.Resident = false
+	return s
+}
+
+// Device is a schedulable device instance with its virtual clock.
+type Device struct {
+	Spec Spec
+
+	mu    sync.Mutex
+	busy  float64 // accumulated virtual busy seconds
+	zones int64   // zones processed (load-balance accounting)
+	kerns int64   // kernels launched
+}
+
+// NewDevice wraps a spec.
+func NewDevice(s Spec) *Device {
+	if s.ZoneRate <= 0 {
+		panic("hetero: device needs positive ZoneRate")
+	}
+	if s.Workers < 1 {
+		s.Workers = 1
+	}
+	return &Device{Spec: s}
+}
+
+// Staged reports whether the device copies its working set over the link
+// (a non-resident accelerator).
+func (d *Device) Staged() bool { return d.Spec.Kind == GPU && !d.Spec.Resident }
+
+// KernelCost returns the virtual cost of launching and computing one
+// kernel over the given zones (no transfer: DMA is streamed and accounted
+// per sweep phase, see TransferCost).
+func (d *Device) KernelCost(zones int) float64 {
+	return d.Spec.LaunchLatency + float64(zones)/d.Spec.ZoneRate
+}
+
+// TransferCost returns the virtual cost of staging bytes across the link
+// once: a latency pair plus bandwidth time. Zero for host CPUs and
+// resident accelerators.
+func (d *Device) TransferCost(bytes int) float64 {
+	if !d.Staged() || bytes <= 0 {
+		return 0
+	}
+	return 2*d.Spec.TransferLatency + float64(bytes)/d.Spec.TransferBW
+}
+
+// MarginalCost estimates the incremental virtual cost of adding a kernel
+// of the given zones to this device within one sweep phase: launch +
+// compute + (staged) the bandwidth share of its working set. The
+// per-phase transfer latency is amortised and excluded. The dynamic
+// scheduler plans with this estimate.
+func (d *Device) MarginalCost(zones int) float64 {
+	c := d.KernelCost(zones)
+	if d.Staged() {
+		c += float64(stripBytes(zones)) / d.Spec.TransferBW
+	}
+	return c
+}
+
+// Charge adds a completed kernel (launch + compute) to the device's clock.
+func (d *Device) Charge(zones int) float64 {
+	c, _, _ := d.chargeInterval(zones)
+	return c
+}
+
+// chargeInterval charges a kernel and returns its cost and the [start,
+// end) interval on the device's virtual timeline.
+func (d *Device) chargeInterval(zones int) (cost, start, end float64) {
+	cost = d.KernelCost(zones)
+	d.mu.Lock()
+	start = d.busy
+	d.busy += cost
+	end = d.busy
+	d.zones += int64(zones)
+	d.kerns++
+	d.mu.Unlock()
+	return cost, start, end
+}
+
+// ChargeTransfer adds one staged transfer of bytes to the device's clock
+// and returns its cost.
+func (d *Device) ChargeTransfer(bytes int) float64 {
+	c := d.TransferCost(bytes)
+	if c == 0 {
+		return 0
+	}
+	d.mu.Lock()
+	d.busy += c
+	d.mu.Unlock()
+	return c
+}
+
+// Busy returns the accumulated virtual busy time.
+func (d *Device) Busy() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.busy
+}
+
+// Zones returns total zones processed.
+func (d *Device) Zones() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.zones
+}
+
+// Kernels returns the number of kernels launched.
+func (d *Device) Kernels() int64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.kerns
+}
+
+// Reset clears the clock and counters.
+func (d *Device) Reset() {
+	d.mu.Lock()
+	d.busy, d.zones, d.kerns = 0, 0, 0
+	d.mu.Unlock()
+}
+
+// Policy selects how strips are scheduled across devices.
+type Policy int
+
+// Scheduling policies.
+const (
+	// Static partitions each sweep proportionally to raw ZoneRate, one
+	// kernel per device per sweep. Minimal launch overhead, but blind to
+	// transfer costs, so mismatched devices imbalance.
+	Static Policy = iota
+	// Dynamic feeds fixed-size chunks to whichever device would finish
+	// earliest (deterministic list scheduling of a work queue), adapting
+	// to effective — not nominal — device speed.
+	Dynamic
+)
+
+// String implements fmt.Stringer.
+func (p Policy) String() string {
+	if p == Static {
+		return "static"
+	}
+	return "dynamic"
+}
+
+// assignment is a strip range given to one device.
+type assignment struct {
+	dev    int
+	lo, hi int
+}
+
+// Executor dispatches the solver's strip sweeps onto a device set and
+// accounts virtual time. Attach it to a solver via Attach; afterwards the
+// solver's normal Step/Advance run heterogeneously.
+type Executor struct {
+	Devices []*Device
+	Policy  Policy
+	// ChunkStrips is the dynamic-policy chunk size (strips per kernel);
+	// <= 0 selects max(1, nStrips/(8·ndev)).
+	ChunkStrips int
+
+	// Trace, when true, records one event per kernel for timeline
+	// (Gantt) export via TraceEvents / WriteTraceCSV.
+	Trace bool
+
+	solver *core.Solver
+	pool   *par.Pool
+
+	mu      sync.Mutex
+	virtual float64 // accumulated virtual makespan
+	phase   int64
+	events  []TraceEvent
+}
+
+// TraceEvent is one kernel on a device's virtual timeline.
+type TraceEvent struct {
+	Phase  int64   // sweep-phase counter
+	Device string  // device name
+	Strips int     // strips in the kernel
+	Zones  int     // zones processed
+	Start  float64 // device-local virtual start time (seconds)
+	End    float64
+}
+
+// NewExecutor builds an executor over the given devices.
+func NewExecutor(policy Policy, devices ...*Device) *Executor {
+	if len(devices) == 0 {
+		panic("hetero: executor needs at least one device")
+	}
+	workers := 0
+	for _, d := range devices {
+		workers += d.Spec.Workers
+	}
+	return &Executor{
+		Devices: devices,
+		Policy:  policy,
+		pool:    par.NewPool(workers),
+	}
+}
+
+// Attach hooks the executor into the solver's sweep execution. It must be
+// called before stepping; it also routes the solver's generic pool work
+// through the executor's pool.
+func (ex *Executor) Attach(s *core.Solver) {
+	ex.solver = s
+	s.Cfg.SweepExec = ex.sweepExec
+	if s.Cfg.Pool == nil {
+		s.Cfg.Pool = ex.pool
+	}
+}
+
+// VirtualTime returns the accumulated virtual makespan in seconds.
+func (ex *Executor) VirtualTime() float64 {
+	ex.mu.Lock()
+	defer ex.mu.Unlock()
+	return ex.virtual
+}
+
+// ResetClocks zeroes the executor makespan, trace and every device clock.
+func (ex *Executor) ResetClocks() {
+	ex.mu.Lock()
+	ex.virtual = 0
+	ex.phase = 0
+	ex.events = nil
+	ex.mu.Unlock()
+	for _, d := range ex.Devices {
+		d.Reset()
+	}
+}
+
+// TraceEvents returns a copy of the recorded kernel timeline (Trace must
+// have been enabled), sorted by phase then device-local start time.
+func (ex *Executor) TraceEvents() []TraceEvent {
+	ex.mu.Lock()
+	out := append([]TraceEvent(nil), ex.events...)
+	ex.mu.Unlock()
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Phase != out[j].Phase {
+			return out[i].Phase < out[j].Phase
+		}
+		if out[i].Device != out[j].Device {
+			return out[i].Device < out[j].Device
+		}
+		return out[i].Start < out[j].Start
+	})
+	return out
+}
+
+// WriteTraceCSV dumps the kernel timeline for external Gantt plotting.
+func (ex *Executor) WriteTraceCSV(w io.Writer) error {
+	bw := bufio.NewWriter(w)
+	if _, err := fmt.Fprintln(bw, "phase,device,strips,zones,start,end"); err != nil {
+		return err
+	}
+	for _, e := range ex.TraceEvents() {
+		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d,%.9g,%.9g\n",
+			e.Phase, e.Device, e.Strips, e.Zones, e.Start, e.End); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// stripBytes estimates the working set of one strip: primitives in, RHS
+// out, NComp doubles each way.
+func stripBytes(zones int) int { return zones * state.NComp * 8 * 2 }
+
+// sweepExec implements core.Config.SweepExec.
+func (ex *Executor) sweepExec(d state.Direction, nStrips int, sweep func(lo, hi int)) {
+	if nStrips <= 0 {
+		return
+	}
+	zonesPerStrip := ex.solver.StripZones(d)
+
+	var plan []assignment
+	switch ex.Policy {
+	case Static:
+		plan = ex.staticPlan(nStrips)
+	case Dynamic:
+		plan = ex.dynamicPlan(nStrips, zonesPerStrip)
+	}
+
+	// Execute: kernels run for real on the pool; each is charged to its
+	// device's virtual clock.
+	phaseStart := make([]float64, len(ex.Devices))
+	phaseZones := make([]int64, len(ex.Devices))
+	for i, dev := range ex.Devices {
+		phaseStart[i] = dev.Busy()
+		phaseZones[i] = dev.Zones()
+	}
+	phase := ex.phase
+	ex.phase++
+	var wg sync.WaitGroup
+	for _, a := range plan {
+		a := a
+		wg.Add(1)
+		ex.pool.Go(func() {
+			defer wg.Done()
+			sweep(a.lo, a.hi)
+			zones := (a.hi - a.lo) * zonesPerStrip
+			dev := ex.Devices[a.dev]
+			_, start, end := dev.chargeInterval(zones)
+			if ex.Trace {
+				ex.mu.Lock()
+				ex.events = append(ex.events, TraceEvent{
+					Phase: phase, Device: dev.Spec.Name,
+					Strips: a.hi - a.lo, Zones: zones,
+					Start: start, End: end,
+				})
+				ex.mu.Unlock()
+			}
+		})
+	}
+	wg.Wait()
+
+	// Staged devices pay one streamed transfer of the phase working set.
+	for i, dev := range ex.Devices {
+		if z := dev.Zones() - phaseZones[i]; z > 0 {
+			dev.ChargeTransfer(stripBytes(int(z)))
+		}
+	}
+
+	// Makespan of this phase: the slowest device's accumulated charge.
+	span := 0.0
+	for i, dev := range ex.Devices {
+		if b := dev.Busy() - phaseStart[i]; b > span {
+			span = b
+		}
+	}
+	ex.mu.Lock()
+	ex.virtual += span
+	ex.mu.Unlock()
+}
+
+// staticPlan splits [0, nStrips) proportionally to raw ZoneRate: one
+// kernel per device.
+func (ex *Executor) staticPlan(nStrips int) []assignment {
+	total := 0.0
+	for _, d := range ex.Devices {
+		total += d.Spec.ZoneRate
+	}
+	plan := make([]assignment, 0, len(ex.Devices))
+	lo := 0
+	acc := 0.0
+	for i, d := range ex.Devices {
+		acc += d.Spec.ZoneRate
+		hi := int(math.Round(float64(nStrips) * acc / total))
+		if i == len(ex.Devices)-1 {
+			hi = nStrips
+		}
+		if hi > lo {
+			plan = append(plan, assignment{dev: i, lo: lo, hi: hi})
+		}
+		lo = hi
+	}
+	return plan
+}
+
+// dynamicPlan models a work queue with deterministic list scheduling:
+// chunks are assigned, in order, to the device that would finish them
+// earliest given everything already assigned in this sweep.
+func (ex *Executor) dynamicPlan(nStrips, zonesPerStrip int) []assignment {
+	chunk := ex.ChunkStrips
+	if chunk <= 0 {
+		chunk = nStrips / (8 * len(ex.Devices))
+		if chunk < 1 {
+			chunk = 1
+		}
+	}
+	eta := make([]float64, len(ex.Devices))
+	var plan []assignment
+	for lo := 0; lo < nStrips; lo += chunk {
+		hi := lo + chunk
+		if hi > nStrips {
+			hi = nStrips
+		}
+		zones := (hi - lo) * zonesPerStrip
+		best, bestT := 0, math.Inf(1)
+		for i, d := range ex.Devices {
+			t := eta[i] + d.MarginalCost(zones)
+			if t < bestT {
+				best, bestT = i, t
+			}
+		}
+		eta[best] = bestT
+		plan = append(plan, assignment{dev: best, lo: lo, hi: hi})
+	}
+	return plan
+}
+
+// LoadReport summarises per-device work after a run.
+type LoadReport struct {
+	Name    string
+	Kind    Kind
+	Zones   int64
+	Kernels int64
+	Busy    float64 // virtual seconds
+	Share   float64 // fraction of total zones
+}
+
+// Report returns the per-device load breakdown, ordered as the devices
+// were given.
+func (ex *Executor) Report() []LoadReport {
+	var total int64
+	for _, d := range ex.Devices {
+		total += d.Zones()
+	}
+	out := make([]LoadReport, len(ex.Devices))
+	for i, d := range ex.Devices {
+		share := 0.0
+		if total > 0 {
+			share = float64(d.Zones()) / float64(total)
+		}
+		out[i] = LoadReport{
+			Name: d.Spec.Name, Kind: d.Spec.Kind,
+			Zones: d.Zones(), Kernels: d.Kernels(),
+			Busy: d.Busy(), Share: share,
+		}
+	}
+	return out
+}
+
+// Imbalance returns max(busy)/mean(busy) − 1 across devices: 0 for perfect
+// balance.
+func (ex *Executor) Imbalance() float64 {
+	if len(ex.Devices) < 2 {
+		return 0
+	}
+	busies := make([]float64, len(ex.Devices))
+	sum := 0.0
+	for i, d := range ex.Devices {
+		busies[i] = d.Busy()
+		sum += busies[i]
+	}
+	mean := sum / float64(len(busies))
+	if mean <= 0 {
+		return 0
+	}
+	sort.Float64s(busies)
+	return busies[len(busies)-1]/mean - 1
+}

@@ -1,0 +1,370 @@
+package hetero
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"rhsc/internal/core"
+	"rhsc/internal/state"
+	"rhsc/internal/testprob"
+)
+
+func TestKernelCostModel(t *testing.T) {
+	cpu := NewDevice(SpecHostCPU(4))
+	want := cpu.Spec.LaunchLatency + 1000/cpu.Spec.ZoneRate
+	if got := cpu.KernelCost(1000); math.Abs(got-want) > 1e-15 {
+		t.Errorf("cpu cost = %v, want %v", got, want)
+	}
+	// CPUs and resident GPUs never pay transfers.
+	if cpu.TransferCost(1<<20) != 0 {
+		t.Error("cpu charged a transfer")
+	}
+	if NewDevice(SpecK20GPU()).TransferCost(1<<20) != 0 {
+		t.Error("resident gpu charged a transfer")
+	}
+	staged := NewDevice(SpecK20GPUStaged())
+	wantT := 2*staged.Spec.TransferLatency + float64(1<<20)/staged.Spec.TransferBW
+	if got := staged.TransferCost(1 << 20); math.Abs(got-wantT) > 1e-15 {
+		t.Errorf("staged transfer = %v, want %v", got, wantT)
+	}
+	// MarginalCost for staged devices adds the bandwidth share only.
+	wantM := staged.KernelCost(1000) + float64(stripBytes(1000))/staged.Spec.TransferBW
+	if got := staged.MarginalCost(1000); math.Abs(got-wantM) > 1e-15 {
+		t.Errorf("marginal = %v, want %v", got, wantM)
+	}
+}
+
+func TestChargeAccumulates(t *testing.T) {
+	d := NewDevice(SpecHostCPU(1))
+	c1 := d.Charge(100)
+	c2 := d.Charge(200)
+	if math.Abs(d.Busy()-(c1+c2)) > 1e-18 {
+		t.Errorf("busy = %v, want %v", d.Busy(), c1+c2)
+	}
+	if d.Zones() != 300 || d.Kernels() != 2 {
+		t.Errorf("zones=%d kernels=%d", d.Zones(), d.Kernels())
+	}
+	d.Reset()
+	if d.Busy() != 0 || d.Zones() != 0 || d.Kernels() != 0 {
+		t.Error("Reset incomplete")
+	}
+	g := NewDevice(SpecK20GPUStaged())
+	if c := g.ChargeTransfer(6_000_000_000); math.Abs(g.Busy()-c) > 1e-15 || c < 1 {
+		t.Errorf("transfer charge = %v busy = %v", c, g.Busy())
+	}
+}
+
+// The CPU/GPU crossover: per-kernel effective throughput must favour the
+// CPU for tiny kernels (launch+transfer dominated) and the GPU for large
+// ones — the central claim of the heterogeneous evaluation.
+func TestDeviceCrossover(t *testing.T) {
+	cpu := NewDevice(SpecHostCPU(4))
+	gpu := NewDevice(SpecK20GPU())
+	rate := func(d *Device, zones int) float64 {
+		return float64(zones) / d.MarginalCost(zones)
+	}
+	small := 64 // one strip of a 64-cell row
+	if rate(gpu, small) >= rate(cpu, small) {
+		t.Errorf("GPU should lose on %d zones: %v vs %v", small, rate(gpu, small), rate(cpu, small))
+	}
+	large := 1 << 21
+	if rate(gpu, large) <= rate(cpu, large) {
+		t.Errorf("GPU should win on %d zones: %v vs %v", large, rate(gpu, large), rate(cpu, large))
+	}
+}
+
+func planCovers(t *testing.T, plan []assignment, n int) {
+	t.Helper()
+	covered := make([]bool, n)
+	for _, a := range plan {
+		for i := a.lo; i < a.hi; i++ {
+			if covered[i] {
+				t.Fatalf("strip %d assigned twice", i)
+			}
+			covered[i] = true
+		}
+	}
+	for i, c := range covered {
+		if !c {
+			t.Fatalf("strip %d unassigned", i)
+		}
+	}
+}
+
+func TestStaticPlanProportional(t *testing.T) {
+	fast := NewDevice(Spec{Name: "fast", ZoneRate: 9e6, Workers: 1})
+	slow := NewDevice(Spec{Name: "slow", ZoneRate: 1e6, Workers: 1})
+	ex := NewExecutor(Static, slow, fast)
+	plan := ex.staticPlan(100)
+	planCovers(t, plan, 100)
+	// slow gets ~10, fast ~90.
+	for _, a := range plan {
+		n := a.hi - a.lo
+		if ex.Devices[a.dev].Spec.Name == "slow" && (n < 5 || n > 15) {
+			t.Errorf("slow device got %d strips", n)
+		}
+		if ex.Devices[a.dev].Spec.Name == "fast" && (n < 85 || n > 95) {
+			t.Errorf("fast device got %d strips", n)
+		}
+	}
+}
+
+func TestDynamicPlanCoverageAndAdaptivity(t *testing.T) {
+	fast := NewDevice(Spec{Name: "fast", ZoneRate: 8e6, Workers: 1})
+	slow := NewDevice(Spec{Name: "slow", ZoneRate: 1e6, Workers: 1})
+	ex := NewExecutor(Dynamic, fast, slow)
+	ex.ChunkStrips = 4
+	plan := ex.dynamicPlan(128, 100)
+	planCovers(t, plan, 128)
+	counts := map[int]int{}
+	for _, a := range plan {
+		counts[a.dev] += a.hi - a.lo
+	}
+	if counts[0] <= counts[1] {
+		t.Errorf("fast device got %d strips, slow got %d", counts[0], counts[1])
+	}
+	ratio := float64(counts[0]) / float64(counts[1])
+	if ratio < 4 || ratio > 16 {
+		t.Errorf("work ratio %v, want near the 8x speed ratio", ratio)
+	}
+}
+
+func TestExecutorMatchesPlainSolver(t *testing.T) {
+	run := func(attach func(*core.Solver)) []float64 {
+		p := testprob.Blast2D
+		g := p.NewGrid(32, 2)
+		cfg := core.DefaultConfig()
+		s, err := core.New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if attach != nil {
+			attach(s)
+		}
+		s.InitFromPrim(p.Init)
+		for i := 0; i < 5; i++ {
+			if err := s.Step(s.MaxDt()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make([]float64, g.NCells())
+		copy(out, g.U.Comp[state.ID])
+		return out
+	}
+	plain := run(nil)
+	for _, pol := range []Policy{Static, Dynamic} {
+		ex := NewExecutor(pol, NewDevice(SpecHostCPU(2)), NewDevice(SpecK20GPU()))
+		het := run(func(s *core.Solver) { ex.Attach(s) })
+		for i := range plain {
+			if plain[i] != het[i] {
+				t.Fatalf("%v: cell %d differs: %v vs %v", pol, i, plain[i], het[i])
+			}
+		}
+		if ex.VirtualTime() <= 0 {
+			t.Errorf("%v: no virtual time accumulated", pol)
+		}
+	}
+}
+
+// Dynamic scheduling must beat a naive static split when device *effective*
+// speeds differ from nominal ones (transfer costs skew the GPU down).
+func TestDynamicBeatsStaticOnMismatch(t *testing.T) {
+	run := func(pol Policy) float64 {
+		p := testprob.Blast2D
+		g := p.NewGrid(192, 2)
+		s, err := core.New(g, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		// A staged GPU on a slow link has an effective rate far below its
+		// nominal 100 Mz/s, so a static split planned on nominal rates
+		// overloads it; the dynamic queue adapts.
+		slowLink := SpecK20GPUStaged()
+		slowLink.TransferBW = 3e9
+		ex := NewExecutor(pol, NewDevice(SpecHostCPU(4)), NewDevice(slowLink))
+		ex.Attach(s)
+		s.InitFromPrim(p.Init)
+		for i := 0; i < 3; i++ {
+			if err := s.Step(s.MaxDt()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ex.VirtualTime()
+	}
+	st := run(Static)
+	dy := run(Dynamic)
+	if dy >= st {
+		t.Errorf("dynamic (%v) not faster than static (%v)", dy, st)
+	}
+}
+
+// CPU+GPU must beat either device alone in virtual time on a large enough
+// problem — the headline heterogeneous speedup.
+func TestHeterogeneousSpeedup(t *testing.T) {
+	run := func(devs ...*Device) float64 {
+		p := testprob.Blast2D
+		g := p.NewGrid(128, 2)
+		s, err := core.New(g, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ex := NewExecutor(Dynamic, devs...)
+		ex.Attach(s)
+		s.InitFromPrim(p.Init)
+		for i := 0; i < 2; i++ {
+			if err := s.Step(s.MaxDt()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ex.VirtualTime()
+	}
+	cpuOnly := run(NewDevice(SpecHostCPU(8)))
+	gpuOnly := run(NewDevice(SpecK20GPU()))
+	both := run(NewDevice(SpecHostCPU(8)), NewDevice(SpecK20GPU()))
+	if gpuOnly >= cpuOnly {
+		t.Errorf("GPU (%v) should beat 8-core CPU (%v) at 128^2", gpuOnly, cpuOnly)
+	}
+	if both >= gpuOnly {
+		t.Errorf("CPU+GPU (%v) should beat GPU alone (%v)", both, gpuOnly)
+	}
+}
+
+// A three-device mix (CPU + GPU + Phi) must beat any two-device subset in
+// virtual time under dynamic scheduling.
+func TestThreeDeviceMix(t *testing.T) {
+	run := func(specs ...Spec) float64 {
+		p := testprob.Blast2D
+		g := p.NewGrid(128, 2)
+		s, err := core.New(g, core.DefaultConfig())
+		if err != nil {
+			t.Fatal(err)
+		}
+		devs := make([]*Device, len(specs))
+		for i, sp := range specs {
+			devs[i] = NewDevice(sp)
+		}
+		ex := NewExecutor(Dynamic, devs...)
+		ex.Attach(s)
+		s.InitFromPrim(p.Init)
+		for i := 0; i < 2; i++ {
+			if err := s.Step(s.MaxDt()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return ex.VirtualTime()
+	}
+	two := run(SpecHostCPU(8), SpecK20GPU())
+	three := run(SpecHostCPU(8), SpecK20GPU(), SpecXeonPhi())
+	if three >= two {
+		t.Errorf("CPU+GPU+Phi (%v) not faster than CPU+GPU (%v)", three, two)
+	}
+}
+
+// Tracing: every kernel must appear exactly once, intervals on one device
+// must not overlap, and total traced zones must equal the sweep volume.
+func TestExecutionTrace(t *testing.T) {
+	p := testprob.Blast2D
+	g := p.NewGrid(48, 2)
+	s, err := core.New(g, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := NewExecutor(Dynamic, NewDevice(SpecHostCPU(2)), NewDevice(SpecK20GPU()))
+	ex.Trace = true
+	ex.Attach(s)
+	s.InitFromPrim(p.Init)
+	const steps = 2
+	for i := 0; i < steps; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	events := ex.TraceEvents()
+	if len(events) == 0 {
+		t.Fatal("no trace events recorded")
+	}
+	// Phases: 2 dims x 2 stages x 2 steps = 8 sweep phases.
+	phases := map[int64]bool{}
+	totalZones := 0
+	lastEnd := map[string]float64{}
+	for _, e := range events {
+		phases[e.Phase] = true
+		totalZones += e.Zones
+		if e.End <= e.Start {
+			t.Fatalf("empty interval %+v", e)
+		}
+		if e.Start < lastEnd[e.Device]-1e-15 {
+			t.Fatalf("overlapping intervals on %s: %v < %v", e.Device, e.Start, lastEnd[e.Device])
+		}
+		lastEnd[e.Device] = e.End
+	}
+	if len(phases) != 8 {
+		t.Errorf("phases = %d, want 8", len(phases))
+	}
+	want := 48 * 48 * 2 * 2 * steps
+	if totalZones != want {
+		t.Errorf("traced zones = %d, want %d", totalZones, want)
+	}
+	var buf bytes.Buffer
+	if err := ex.WriteTraceCSV(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), "phase,device") {
+		t.Error("trace CSV header missing")
+	}
+	ex.ResetClocks()
+	if len(ex.TraceEvents()) != 0 {
+		t.Error("ResetClocks kept trace events")
+	}
+}
+
+func TestReportAndImbalance(t *testing.T) {
+	a := NewDevice(Spec{Name: "a", ZoneRate: 1e6, Workers: 1})
+	b := NewDevice(Spec{Name: "b", ZoneRate: 1e6, Workers: 1})
+	ex := NewExecutor(Static, a, b)
+	a.Charge(1000)
+	b.Charge(1000)
+	if im := ex.Imbalance(); math.Abs(im) > 1e-6 {
+		t.Errorf("balanced imbalance = %v", im)
+	}
+	b.Charge(2000)
+	if im := ex.Imbalance(); im < 0.3 {
+		t.Errorf("imbalance = %v, want ~0.5", im)
+	}
+	rep := ex.Report()
+	if len(rep) != 2 || rep[0].Name != "a" {
+		t.Fatalf("report = %+v", rep)
+	}
+	if math.Abs(rep[1].Share-0.75) > 1e-12 {
+		t.Errorf("share = %v, want 0.75", rep[1].Share)
+	}
+}
+
+func TestExecutorValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("empty device list accepted")
+		}
+	}()
+	NewExecutor(Static)
+}
+
+func TestNewDeviceValidation(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("zero ZoneRate accepted")
+		}
+	}()
+	NewDevice(Spec{Name: "bad"})
+}
+
+func TestPolicyKindStrings(t *testing.T) {
+	if Static.String() != "static" || Dynamic.String() != "dynamic" {
+		t.Error("policy names")
+	}
+	if CPU.String() != "cpu" || GPU.String() != "gpu" {
+		t.Error("kind names")
+	}
+}

@@ -1,0 +1,281 @@
+package mathutil
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestSign(t *testing.T) {
+	cases := []struct{ in, want float64 }{
+		{3.5, 1}, {-2, -1}, {0, 0}, {math.SmallestNonzeroFloat64, 1},
+	}
+	for _, c := range cases {
+		if got := Sign(c.in); got != c.want {
+			t.Errorf("Sign(%v) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestClamp(t *testing.T) {
+	if got := Clamp(5, 0, 1); got != 1 {
+		t.Errorf("Clamp(5,0,1) = %v", got)
+	}
+	if got := Clamp(-5, 0, 1); got != 0 {
+		t.Errorf("Clamp(-5,0,1) = %v", got)
+	}
+	if got := Clamp(0.5, 0, 1); got != 0.5 {
+		t.Errorf("Clamp(0.5,0,1) = %v", got)
+	}
+}
+
+func TestMinmodBasic(t *testing.T) {
+	if got := Minmod(1, 2); got != 1 {
+		t.Errorf("Minmod(1,2) = %v", got)
+	}
+	if got := Minmod(-3, -2); got != -2 {
+		t.Errorf("Minmod(-3,-2) = %v", got)
+	}
+	if got := Minmod(1, -1); got != 0 {
+		t.Errorf("Minmod(1,-1) = %v", got)
+	}
+	if got := Minmod(0, 4); got != 0 {
+		t.Errorf("Minmod(0,4) = %v", got)
+	}
+}
+
+// Minmod must be symmetric, bounded by both arguments in magnitude, and
+// share the sign of its arguments: the defining TVD-limiter properties.
+func TestMinmodProperties(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		m := Minmod(a, b)
+		if m != Minmod(b, a) {
+			return false
+		}
+		if math.Abs(m) > math.Abs(a) && math.Abs(m) > math.Abs(b) {
+			return false
+		}
+		if a*b > 0 && Sign(m) != Sign(a) {
+			return false
+		}
+		if a*b <= 0 && m != 0 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMinmod3Properties(t *testing.T) {
+	prop := func(a, b, c float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsNaN(c) {
+			return true
+		}
+		m := Minmod3(a, b, c)
+		if math.Abs(m) > math.Abs(a)+1e-300 || math.Abs(m) > math.Abs(b)+1e-300 || math.Abs(m) > math.Abs(c)+1e-300 {
+			return false
+		}
+		if Sign(a) == Sign(b) && Sign(b) == Sign(c) && Sign(a) != 0 {
+			return Sign(m) == Sign(a)
+		}
+		return m == 0
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+// MC limiter must reduce to the centered slope on smooth monotone data and
+// vanish at extrema.
+func TestMCLimiter(t *testing.T) {
+	if got := MC(1, 1); got != 1 {
+		t.Errorf("MC(1,1) = %v, want 1", got)
+	}
+	if got := MC(1, -1); got != 0 {
+		t.Errorf("MC(1,-1) = %v, want 0", got)
+	}
+	// Steep one-sided gradient: limited to 2x the smaller slope.
+	if got := MC(1, 100); got != 2 {
+		t.Errorf("MC(1,100) = %v, want 2", got)
+	}
+}
+
+func TestVanLeer(t *testing.T) {
+	if got := VanLeer(1, 1); got != 1 {
+		t.Errorf("VanLeer(1,1) = %v", got)
+	}
+	if got := VanLeer(2, -3); got != 0 {
+		t.Errorf("VanLeer(2,-3) = %v", got)
+	}
+	// Harmonic mean of 1 and 3 slopes: 2*1*3/4 = 1.5.
+	if got := VanLeer(1, 3); math.Abs(got-1.5) > 1e-15 {
+		t.Errorf("VanLeer(1,3) = %v, want 1.5", got)
+	}
+}
+
+func TestVanLeerBoundedByMC(t *testing.T) {
+	prop := func(a, b float64) bool {
+		if math.IsNaN(a) || math.IsNaN(b) || math.IsInf(a, 0) || math.IsInf(b, 0) {
+			return true
+		}
+		// Both limiters are TVD: |phi| <= |MC| is not a theorem, but both
+		// must be bounded by 2*min(|a|,|b|) on same-sign input.
+		vl := math.Abs(VanLeer(a, b))
+		bound := 2 * math.Min(math.Abs(a), math.Abs(b))
+		return vl <= bound*(1+1e-12)
+	}
+	if err := quick.Check(prop, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestNorms(t *testing.T) {
+	a := []float64{1, 2, 3}
+	b := []float64{0, 0, 0}
+	if got := L1Norm(a, b, 0.5); math.Abs(got-3) > 1e-15 {
+		t.Errorf("L1Norm = %v, want 3", got)
+	}
+	if got := L2Norm(a, b, 1); math.Abs(got-math.Sqrt(14)) > 1e-14 {
+		t.Errorf("L2Norm = %v", got)
+	}
+	if got := LInfNorm(a, b); got != 3 {
+		t.Errorf("LInfNorm = %v", got)
+	}
+}
+
+func TestNormsPanicOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("expected panic on length mismatch")
+		}
+	}()
+	L1Norm([]float64{1}, []float64{1, 2}, 1)
+}
+
+func TestConvergenceOrder(t *testing.T) {
+	// Second-order errors: e = C h^2.
+	e1, e2 := 4.0, 1.0
+	h1, h2 := 2.0, 1.0
+	if got := ConvergenceOrder(e1, e2, h1, h2); math.Abs(got-2) > 1e-12 {
+		t.Errorf("order = %v, want 2", got)
+	}
+	if got := ConvergenceOrder(0, 1, 2, 1); !math.IsNaN(got) {
+		t.Errorf("order with zero error = %v, want NaN", got)
+	}
+}
+
+func TestBisect(t *testing.T) {
+	f := func(x float64) float64 { return x*x - 2 }
+	root, err := Bisect(f, 0, 2, 1e-12, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root-math.Sqrt2) > 1e-10 {
+		t.Errorf("root = %v", root)
+	}
+}
+
+func TestBisectNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return x*x + 1 }
+	if _, err := Bisect(f, -1, 1, 1e-12, 100); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+func TestBisectEndpointRoot(t *testing.T) {
+	f := func(x float64) float64 { return x }
+	root, err := Bisect(f, 0, 1, 1e-12, 100)
+	if err != nil || root != 0 {
+		t.Errorf("root = %v err = %v", root, err)
+	}
+}
+
+func TestBrentPolynomial(t *testing.T) {
+	f := func(x float64) float64 { return (x + 3) * (x - 1) * (x - 1) * (x - 1) }
+	// Root at x = -3 bracketed in [-4, 0].
+	root, err := Brent(f, -4, 0, 1e-13, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(root+3) > 1e-9 {
+		t.Errorf("root = %v, want -3", root)
+	}
+}
+
+func TestBrentTranscendental(t *testing.T) {
+	f := func(x float64) float64 { return math.Cos(x) - x }
+	root, err := Brent(f, 0, 1, 1e-14, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(f(root)) > 1e-12 {
+		t.Errorf("f(root) = %v", f(root))
+	}
+}
+
+func TestBrentNoBracket(t *testing.T) {
+	f := func(x float64) float64 { return 1 + x*x }
+	if _, err := Brent(f, -1, 1, 1e-12, 50); err != ErrNoBracket {
+		t.Errorf("err = %v, want ErrNoBracket", err)
+	}
+}
+
+// Brent must agree with Bisect on random monotone cubics.
+func TestBrentMatchesBisect(t *testing.T) {
+	prop := func(shift float64) bool {
+		s := math.Mod(math.Abs(shift), 10)
+		f := func(x float64) float64 { return x*x*x + x - s }
+		rb, err1 := Bisect(f, -20, 20, 1e-13, 300)
+		rr, err2 := Brent(f, -20, 20, 1e-13, 300)
+		if err1 != nil || err2 != nil {
+			return false
+		}
+		return math.Abs(rb-rr) < 1e-9
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 200}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestLinspace(t *testing.T) {
+	xs := Linspace(0, 1, 5)
+	want := []float64{0, 0.25, 0.5, 0.75, 1}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-15 {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestCellCenters(t *testing.T) {
+	xs := CellCenters(0, 1, 4)
+	want := []float64{0.125, 0.375, 0.625, 0.875}
+	for i := range want {
+		if math.Abs(xs[i]-want[i]) > 1e-15 {
+			t.Errorf("xs[%d] = %v, want %v", i, xs[i], want[i])
+		}
+	}
+}
+
+func TestIsFiniteAll(t *testing.T) {
+	if !IsFiniteAll([]float64{1, 2, 3}) {
+		t.Error("finite slice reported non-finite")
+	}
+	if IsFiniteAll([]float64{1, math.NaN()}) {
+		t.Error("NaN not detected")
+	}
+	if IsFiniteAll([]float64{math.Inf(1)}) {
+		t.Error("Inf not detected")
+	}
+}
+
+func TestMax3Min3(t *testing.T) {
+	if Max3(1, 5, 3) != 5 || Min3(1, 5, 3) != 1 {
+		t.Error("Max3/Min3 wrong")
+	}
+}

@@ -1,0 +1,188 @@
+// Package metrics provides the performance instrumentation used by the
+// benchmark harness: wall-clock timers, zone-update throughput, and the
+// table formatting that reproduces the paper's reported rows (Mzups,
+// parallel efficiency, speedup).
+package metrics
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Timer measures accumulated wall-clock time over named phases.
+type Timer struct {
+	mu      sync.Mutex
+	totals  map[string]time.Duration
+	counts  map[string]int
+	started map[string]time.Time
+}
+
+// NewTimer returns an empty timer.
+func NewTimer() *Timer {
+	return &Timer{
+		totals:  make(map[string]time.Duration),
+		counts:  make(map[string]int),
+		started: make(map[string]time.Time),
+	}
+}
+
+// Start begins (or restarts) phase name.
+func (t *Timer) Start(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.started[name] = time.Now()
+}
+
+// Stop ends phase name and accumulates its elapsed time. Stopping a phase
+// that was never started is a no-op.
+func (t *Timer) Stop(name string) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s, ok := t.started[name]; ok {
+		t.totals[name] += time.Since(s)
+		t.counts[name]++
+		delete(t.started, name)
+	}
+}
+
+// Time runs fn under phase name. Unlike Start/Stop pairs (which track one
+// exclusive phase), Time measures locally and merely accumulates, so it is
+// safe for many goroutines to Time the same phase concurrently.
+func (t *Timer) Time(name string, fn func()) {
+	start := time.Now()
+	fn()
+	d := time.Since(start)
+	t.mu.Lock()
+	t.totals[name] += d
+	t.counts[name]++
+	t.mu.Unlock()
+}
+
+// Total returns the accumulated duration of phase name.
+func (t *Timer) Total(name string) time.Duration {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.totals[name]
+}
+
+// Count returns how many times phase name completed.
+func (t *Timer) Count(name string) int {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return t.counts[name]
+}
+
+// Summary formats all phases sorted by total time, descending.
+func (t *Timer) Summary() string {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	names := make([]string, 0, len(t.totals))
+	for n := range t.totals {
+		names = append(names, n)
+	}
+	sort.Slice(names, func(i, j int) bool { return t.totals[names[i]] > t.totals[names[j]] })
+	var b strings.Builder
+	for _, n := range names {
+		fmt.Fprintf(&b, "%-24s %12v  x%d\n", n, t.totals[n].Round(time.Microsecond), t.counts[n])
+	}
+	return b.String()
+}
+
+// Throughput converts zone updates and elapsed time into the standard
+// mega-zone-updates-per-second figure of merit.
+func Throughput(zoneUpdates int64, elapsed time.Duration) float64 {
+	s := elapsed.Seconds()
+	if s <= 0 {
+		return 0
+	}
+	return float64(zoneUpdates) / s / 1e6
+}
+
+// Speedup returns t1/tp.
+func Speedup(t1, tp time.Duration) float64 {
+	if tp <= 0 {
+		return 0
+	}
+	return t1.Seconds() / tp.Seconds()
+}
+
+// Efficiency returns the parallel efficiency t1/(p·tp) in percent.
+func Efficiency(t1, tp time.Duration, p int) float64 {
+	if tp <= 0 || p <= 0 {
+		return 0
+	}
+	return 100 * t1.Seconds() / (float64(p) * tp.Seconds())
+}
+
+// Table accumulates rows and renders an aligned text table, the output
+// format of every experiment in EXPERIMENTS.md.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable returns a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; values are formatted with %v, and float64 values
+// with 4 significant digits.
+func (t *Table) AddRow(vals ...any) {
+	row := make([]string, len(vals))
+	for i, v := range vals {
+		switch x := v.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.4g", x)
+		case time.Duration:
+			row[i] = x.Round(time.Microsecond).String()
+		default:
+			row[i] = fmt.Sprint(x)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// NumRows returns the number of data rows added so far.
+func (t *Table) NumRows() int { return len(t.rows) }
+
+// String renders the table.
+func (t *Table) String() string {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		fmt.Fprintf(&b, "== %s ==\n", t.Title)
+	}
+	for i, h := range t.Headers {
+		fmt.Fprintf(&b, "%-*s  ", widths[i], h)
+	}
+	b.WriteByte('\n')
+	for i := range t.Headers {
+		b.WriteString(strings.Repeat("-", widths[i]))
+		b.WriteString("  ")
+	}
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) {
+				fmt.Fprintf(&b, "%-*s  ", widths[i], c)
+			}
+		}
+		b.WriteByte('\n')
+	}
+	return b.String()
+}

@@ -1,0 +1,152 @@
+// Package output writes simulation data: CSV profiles and slabs for
+// plotting (gnuplot/matplotlib-ready), and binary checkpoints that capture
+// the full conserved state for exact restart.
+package output
+
+import (
+	"encoding/csv"
+	"encoding/gob"
+	"fmt"
+	"io"
+	"strconv"
+
+	"rhsc/internal/grid"
+	"rhsc/internal/state"
+)
+
+// WriteProfileCSV writes a 1-D profile of the primitives along x (at the
+// first interior j, k row): columns x, rho, vx, vy, vz, p.
+func WriteProfileCSV(w io.Writer, g *grid.Grid) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "rho", "vx", "vy", "vz", "p"}); err != nil {
+		return err
+	}
+	j, k := g.JBeg(), g.KBeg()
+	for i := g.IBeg(); i < g.IEnd(); i++ {
+		p := g.W.GetPrim(g.Idx(i, j, k))
+		rec := []string{
+			fmtF(g.X(i)), fmtF(p.Rho), fmtF(p.Vx), fmtF(p.Vy), fmtF(p.Vz), fmtF(p.P),
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSlabCSV writes the 2-D slab at the first interior k: columns
+// x, y, rho, vx, vy, p. Rows are emitted in y-major order with a blank
+// record between y-rows being unnecessary for CSV consumers.
+func WriteSlabCSV(w io.Writer, g *grid.Grid) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write([]string{"x", "y", "rho", "vx", "vy", "p"}); err != nil {
+		return err
+	}
+	k := g.KBeg()
+	for j := g.JBeg(); j < g.JEnd(); j++ {
+		for i := g.IBeg(); i < g.IEnd(); i++ {
+			p := g.W.GetPrim(g.Idx(i, j, k))
+			rec := []string{
+				fmtF(g.X(i)), fmtF(g.Y(j)), fmtF(p.Rho), fmtF(p.Vx), fmtF(p.Vy), fmtF(p.P),
+			}
+			if err := cw.Write(rec); err != nil {
+				return err
+			}
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteSeriesCSV writes aligned series data (e.g. a scaling curve):
+// header names and one row per index across the columns. All columns must
+// have equal length.
+func WriteSeriesCSV(w io.Writer, headers []string, cols ...[]float64) error {
+	if len(headers) != len(cols) {
+		return fmt.Errorf("output: %d headers for %d columns", len(headers), len(cols))
+	}
+	n := 0
+	for i, c := range cols {
+		if i == 0 {
+			n = len(c)
+		} else if len(c) != n {
+			return fmt.Errorf("output: column %d has %d rows, want %d", i, len(c), n)
+		}
+	}
+	cw := csv.NewWriter(w)
+	if err := cw.Write(headers); err != nil {
+		return err
+	}
+	rec := make([]string, len(cols))
+	for r := 0; r < n; r++ {
+		for c := range cols {
+			rec[c] = fmtF(cols[c][r])
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 12, 64) }
+
+// checkpoint is the gob payload. Only the conserved state is stored:
+// primitives are re-derived on load.
+type checkpoint struct {
+	Geom grid.Geometry
+	BCs  [3][2]grid.BC
+	Time float64
+	U    []float64
+}
+
+// SaveCheckpoint serialises grid geometry, boundary conditions, solution
+// time and the conserved state.
+func SaveCheckpoint(w io.Writer, g *grid.Grid, t float64) error {
+	cp := checkpoint{Geom: g.Geometry, BCs: g.BCs, Time: t}
+	cp.U = make([]float64, len(g.U.Raw()))
+	copy(cp.U, g.U.Raw())
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
+// LoadCheckpoint reconstructs the grid and returns it with the stored
+// solution time. The primitive field is left zeroed; callers must run
+// their solver's RecoverPrimitives to refill it.
+func LoadCheckpoint(r io.Reader) (*grid.Grid, float64, error) {
+	var cp checkpoint
+	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+		return nil, 0, fmt.Errorf("output: decode checkpoint: %w", err)
+	}
+	g := grid.New(cp.Geom)
+	g.BCs = cp.BCs
+	if len(cp.U) != len(g.U.Raw()) {
+		return nil, 0, fmt.Errorf("output: checkpoint holds %d values, grid needs %d",
+			len(cp.U), len(g.U.Raw()))
+	}
+	copy(g.U.Raw(), cp.U)
+	return g, cp.Time, nil
+}
+
+// WriteGnuplotHeatmap writes the density of the first interior k-slab in
+// gnuplot's nonuniform-matrix text format: rows of "x y value", with blank
+// lines between scanlines so `plot ... with image` works directly.
+func WriteGnuplotHeatmap(w io.Writer, g *grid.Grid, comp int) error {
+	if comp < 0 || comp >= state.NComp {
+		return fmt.Errorf("output: component %d out of range", comp)
+	}
+	k := g.KBeg()
+	for j := g.JBeg(); j < g.JEnd(); j++ {
+		for i := g.IBeg(); i < g.IEnd(); i++ {
+			v := g.W.Comp[comp][g.Idx(i, j, k)]
+			if _, err := fmt.Fprintf(w, "%g %g %g\n", g.X(i), g.Y(j), v); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintln(w); err != nil {
+			return err
+		}
+	}
+	return nil
+}

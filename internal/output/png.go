@@ -1,0 +1,114 @@
+package output
+
+import (
+	"fmt"
+	"image"
+	"image/color"
+	"image/png"
+	"io"
+	"math"
+
+	"rhsc/internal/grid"
+	"rhsc/internal/state"
+)
+
+// PNGOptions controls slab rendering.
+type PNGOptions struct {
+	// Comp selects the primitive component (state.IRho, state.IP, …).
+	Comp int
+	// Log maps the field through log10 before normalising — the usual
+	// choice for blast waves and jets whose density spans decades.
+	Log bool
+	// Scale enlarges each cell to Scale×Scale pixels (default 1).
+	Scale int
+}
+
+// inferno-like compact colormap: anchor points interpolated linearly.
+var pngPalette = [][3]float64{
+	{0.001, 0.000, 0.014},
+	{0.258, 0.039, 0.406},
+	{0.576, 0.149, 0.404},
+	{0.865, 0.317, 0.226},
+	{0.988, 0.645, 0.040},
+	{0.988, 0.998, 0.645},
+}
+
+func paletteColor(t float64) color.NRGBA {
+	if t < 0 {
+		t = 0
+	}
+	if t > 1 {
+		t = 1
+	}
+	pos := t * float64(len(pngPalette)-1)
+	i := int(pos)
+	if i >= len(pngPalette)-1 {
+		i = len(pngPalette) - 2
+	}
+	f := pos - float64(i)
+	a, b := pngPalette[i], pngPalette[i+1]
+	return color.NRGBA{
+		R: uint8(255 * (a[0] + f*(b[0]-a[0]))),
+		G: uint8(255 * (a[1] + f*(b[1]-a[1]))),
+		B: uint8(255 * (a[2] + f*(b[2]-a[2]))),
+		A: 255,
+	}
+}
+
+// WritePNG renders the first interior k-slab of the selected primitive
+// component as a PNG heatmap (y up, x right). Values are normalised to
+// the slab's min/max (after the optional log map).
+func WritePNG(w io.Writer, g *grid.Grid, opts PNGOptions) error {
+	if opts.Comp < 0 || opts.Comp >= state.NComp {
+		return fmt.Errorf("output: component %d out of range", opts.Comp)
+	}
+	scale := opts.Scale
+	if scale < 1 {
+		scale = 1
+	}
+	nx := g.IEnd() - g.IBeg()
+	ny := g.JEnd() - g.JBeg()
+	k := g.KBeg()
+
+	val := func(i, j int) float64 {
+		v := g.W.Comp[opts.Comp][g.Idx(g.IBeg()+i, g.JBeg()+j, k)]
+		if opts.Log {
+			if v <= 0 {
+				v = math.SmallestNonzeroFloat64
+			}
+			v = math.Log10(v)
+		}
+		return v
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			v := val(i, j)
+			if v < lo {
+				lo = v
+			}
+			if v > hi {
+				hi = v
+			}
+		}
+	}
+	den := hi - lo
+	if den <= 0 {
+		den = 1
+	}
+
+	img := image.NewNRGBA(image.Rect(0, 0, nx*scale, ny*scale))
+	for j := 0; j < ny; j++ {
+		for i := 0; i < nx; i++ {
+			c := paletteColor((val(i, j) - lo) / den)
+			for dy := 0; dy < scale; dy++ {
+				for dx := 0; dx < scale; dx++ {
+					// Flip vertically: image origin is top-left, physics
+					// origin bottom-left.
+					img.SetNRGBA(i*scale+dx, (ny-1-j)*scale+dy, c)
+				}
+			}
+		}
+	}
+	return png.Encode(w, img)
+}

@@ -1,0 +1,83 @@
+package output
+
+import (
+	"bytes"
+	"image/png"
+	"testing"
+
+	"rhsc/internal/grid"
+	"rhsc/internal/state"
+)
+
+func pngGrid() *grid.Grid {
+	g := grid.New(grid.Geometry{Nx: 8, Ny: 6, Nz: 1, Ng: 2, X0: 0, X1: 1, Y0: 0, Y1: 1})
+	g.ForEachInterior(func(idx, i, j, _ int) {
+		g.W.SetPrim(idx, state.Prim{Rho: float64(1 + i + 10*j), P: 1})
+	})
+	return g
+}
+
+func TestWritePNGDecodes(t *testing.T) {
+	g := pngGrid()
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, g, PNGOptions{Comp: state.IRho, Scale: 3}); err != nil {
+		t.Fatal(err)
+	}
+	img, err := png.Decode(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b := img.Bounds()
+	if b.Dx() != 8*3 || b.Dy() != 6*3 {
+		t.Errorf("image %dx%d, want 24x18", b.Dx(), b.Dy())
+	}
+	// The gradient must produce varying colors: corner pixels differ.
+	c1 := img.At(0, 0)
+	c2 := img.At(b.Dx()-1, b.Dy()-1)
+	if c1 == c2 {
+		t.Error("no color variation across the gradient")
+	}
+}
+
+func TestWritePNGLogAndUniform(t *testing.T) {
+	g := pngGrid()
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, g, PNGOptions{Comp: state.IRho, Log: true}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Uniform field: degenerate range must not divide by zero.
+	u := grid.New(grid.Geometry{Nx: 4, Ny: 4, Nz: 1, Ng: 2, X0: 0, X1: 1, Y0: 0, Y1: 1})
+	u.ForEachInterior(func(idx, _, _, _ int) {
+		u.W.SetPrim(idx, state.Prim{Rho: 2, P: 1})
+	})
+	buf.Reset()
+	if err := WritePNG(&buf, u, PNGOptions{Comp: state.IRho}); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := png.Decode(&buf); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestWritePNGValidation(t *testing.T) {
+	g := pngGrid()
+	var buf bytes.Buffer
+	if err := WritePNG(&buf, g, PNGOptions{Comp: 99}); err == nil {
+		t.Error("bad component accepted")
+	}
+}
+
+func TestPaletteEndpoints(t *testing.T) {
+	lo := paletteColor(-1)
+	hi := paletteColor(2)
+	if lo == hi {
+		t.Error("palette endpoints identical")
+	}
+	mid := paletteColor(0.5)
+	if mid == lo || mid == hi {
+		t.Error("palette midpoint degenerate")
+	}
+}

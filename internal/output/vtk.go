@@ -1,0 +1,61 @@
+package output
+
+import (
+	"bufio"
+	"fmt"
+	"io"
+
+	"rhsc/internal/grid"
+	"rhsc/internal/state"
+)
+
+// WriteVTK writes the grid's primitive fields as a legacy-format VTK
+// STRUCTURED_POINTS dataset (ASCII), readable by ParaView and VisIt:
+// scalars rho and p, and the vector field velocity. Only interior zones
+// are written.
+func WriteVTK(w io.Writer, g *grid.Grid, title string) error {
+	bw := bufio.NewWriter(w)
+	nz := g.KEnd() - g.KBeg()
+	ny := g.JEnd() - g.JBeg()
+	nx := g.IEnd() - g.IBeg()
+
+	fmt.Fprintln(bw, "# vtk DataFile Version 3.0")
+	if title == "" {
+		title = "rhsc output"
+	}
+	fmt.Fprintln(bw, title)
+	fmt.Fprintln(bw, "ASCII")
+	fmt.Fprintln(bw, "DATASET STRUCTURED_POINTS")
+	fmt.Fprintf(bw, "DIMENSIONS %d %d %d\n", nx, ny, nz)
+	fmt.Fprintf(bw, "ORIGIN %g %g %g\n", g.X(g.IBeg()), g.Y(g.JBeg()), g.Z(g.KBeg()))
+	fmt.Fprintf(bw, "SPACING %g %g %g\n", g.Dx, g.Dy, g.Dz)
+	fmt.Fprintf(bw, "POINT_DATA %d\n", nx*ny*nz)
+
+	writeScalar := func(name string, comp int) {
+		fmt.Fprintf(bw, "SCALARS %s double 1\n", name)
+		fmt.Fprintln(bw, "LOOKUP_TABLE default")
+		for k := g.KBeg(); k < g.KEnd(); k++ {
+			for j := g.JBeg(); j < g.JEnd(); j++ {
+				for i := g.IBeg(); i < g.IEnd(); i++ {
+					fmt.Fprintf(bw, "%g\n", g.W.Comp[comp][g.Idx(i, j, k)])
+				}
+			}
+		}
+	}
+	writeScalar("rho", state.IRho)
+	writeScalar("p", state.IP)
+
+	fmt.Fprintln(bw, "VECTORS velocity double")
+	for k := g.KBeg(); k < g.KEnd(); k++ {
+		for j := g.JBeg(); j < g.JEnd(); j++ {
+			for i := g.IBeg(); i < g.IEnd(); i++ {
+				idx := g.Idx(i, j, k)
+				fmt.Fprintf(bw, "%g %g %g\n",
+					g.W.Comp[state.IVx][idx],
+					g.W.Comp[state.IVy][idx],
+					g.W.Comp[state.IVz][idx])
+			}
+		}
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,59 @@
+package output
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"rhsc/internal/grid"
+	"rhsc/internal/state"
+)
+
+func TestWriteVTKStructure(t *testing.T) {
+	g := grid.New(grid.Geometry{Nx: 3, Ny: 2, Nz: 1, Ng: 2, X0: 0, X1: 3, Y0: 0, Y1: 2})
+	g.ForEachInterior(func(idx, i, j, _ int) {
+		g.W.SetPrim(idx, state.Prim{Rho: float64(i), Vx: 0.5, Vy: -0.25, P: 2})
+	})
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, g, "test dataset"); err != nil {
+		t.Fatal(err)
+	}
+	s := buf.String()
+	for _, want := range []string{
+		"# vtk DataFile Version 3.0",
+		"test dataset",
+		"DATASET STRUCTURED_POINTS",
+		"DIMENSIONS 3 2 1",
+		"POINT_DATA 6",
+		"SCALARS rho double 1",
+		"SCALARS p double 1",
+		"VECTORS velocity double",
+		"0.5 -0.25 0",
+	} {
+		if !strings.Contains(s, want) {
+			t.Errorf("VTK output missing %q", want)
+		}
+	}
+	// Exactly 6 rho values, 6 p values, 6 velocity triples.
+	lines := strings.Split(strings.TrimSpace(s), "\n")
+	count := 0
+	for _, l := range lines {
+		if strings.Count(l, " ") == 2 && strings.HasPrefix(l, "0.5 ") {
+			count++
+		}
+	}
+	if count != 6 {
+		t.Errorf("velocity rows = %d, want 6", count)
+	}
+}
+
+func TestWriteVTKDefaultTitle(t *testing.T) {
+	g := grid.New(grid.Geometry{Nx: 2, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1})
+	var buf bytes.Buffer
+	if err := WriteVTK(&buf, g, ""); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "rhsc output") {
+		t.Error("default title missing")
+	}
+}

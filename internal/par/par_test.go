@@ -1,0 +1,230 @@
+package par
+
+import (
+	"sync"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestFutureResolveOnce(t *testing.T) {
+	f, resolve := NewFuture[int]()
+	resolve(42)
+	resolve(7) // ignored: first writer wins
+	if got := f.Get(); got != 42 {
+		t.Errorf("Get = %d, want 42", got)
+	}
+}
+
+func TestFutureTryGet(t *testing.T) {
+	f, resolve := NewFuture[string]()
+	if _, ok := f.TryGet(); ok {
+		t.Error("unresolved future reported ready")
+	}
+	resolve("x")
+	if v, ok := f.TryGet(); !ok || v != "x" {
+		t.Errorf("TryGet = %q, %v", v, ok)
+	}
+}
+
+func TestReady(t *testing.T) {
+	f := Ready(3.14)
+	if v, ok := f.TryGet(); !ok || v != 3.14 {
+		t.Errorf("Ready future = %v, %v", v, ok)
+	}
+}
+
+func TestFutureBlocksUntilResolved(t *testing.T) {
+	f, resolve := NewFuture[int]()
+	go func() {
+		time.Sleep(10 * time.Millisecond)
+		resolve(9)
+	}()
+	if got := f.Get(); got != 9 {
+		t.Errorf("Get = %d", got)
+	}
+}
+
+func TestAsync(t *testing.T) {
+	p := NewPool(4)
+	f := Async(p, func() int { return 11 })
+	if got := f.Get(); got != 11 {
+		t.Errorf("Async = %d", got)
+	}
+}
+
+func TestPoolConcurrencyBound(t *testing.T) {
+	p := NewPool(3)
+	var cur, peak atomic.Int64
+	var wg sync.WaitGroup
+	for i := 0; i < 50; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			p.Go(func() {
+				n := cur.Add(1)
+				for {
+					old := peak.Load()
+					if n <= old || peak.CompareAndSwap(old, n) {
+						break
+					}
+				}
+				time.Sleep(time.Millisecond)
+				cur.Add(-1)
+			})
+		}()
+	}
+	wg.Wait()
+	p.Wait()
+	if peak.Load() > 3 {
+		t.Errorf("peak concurrency %d exceeds bound 3", peak.Load())
+	}
+}
+
+func TestPoolWait(t *testing.T) {
+	p := NewPool(2)
+	var done atomic.Int64
+	for i := 0; i < 10; i++ {
+		p.Go(func() {
+			time.Sleep(time.Millisecond)
+			done.Add(1)
+		})
+	}
+	p.Wait()
+	if done.Load() != 10 {
+		t.Errorf("Wait returned with %d/10 tasks done", done.Load())
+	}
+}
+
+func TestParallelForCoversRange(t *testing.T) {
+	p := NewPool(8)
+	n := 10000
+	hits := make([]int32, n)
+	p.ParallelFor(0, n, 37, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			atomic.AddInt32(&hits[i], 1)
+		}
+	})
+	for i, h := range hits {
+		if h != 1 {
+			t.Fatalf("index %d visited %d times", i, h)
+		}
+	}
+}
+
+func TestParallelForOffsetRange(t *testing.T) {
+	p := NewPool(4)
+	var sum atomic.Int64
+	p.ParallelFor(100, 200, 7, func(lo, hi int) {
+		local := int64(0)
+		for i := lo; i < hi; i++ {
+			local += int64(i)
+		}
+		sum.Add(local)
+	})
+	want := int64(100+199) * 100 / 2
+	if sum.Load() != want {
+		t.Errorf("sum = %d, want %d", sum.Load(), want)
+	}
+}
+
+func TestParallelForEmptyAndTiny(t *testing.T) {
+	p := NewPool(4)
+	called := false
+	p.ParallelFor(5, 5, 1, func(lo, hi int) { called = true })
+	if called {
+		t.Error("empty range invoked the body")
+	}
+	count := 0
+	p.ParallelFor(0, 1, 0, func(lo, hi int) { count += hi - lo })
+	if count != 1 {
+		t.Errorf("tiny range covered %d", count)
+	}
+}
+
+func TestParallelForAutoGrain(t *testing.T) {
+	p := NewPool(4)
+	var visits atomic.Int64
+	p.ParallelFor(0, 1000, 0, func(lo, hi int) {
+		visits.Add(int64(hi - lo))
+	})
+	if visits.Load() != 1000 {
+		t.Errorf("auto-grain covered %d/1000", visits.Load())
+	}
+}
+
+// Nested parallelism must not deadlock: a pooled task launching its own
+// ParallelFor on the same pool.
+func TestNestedParallelForNoDeadlock(t *testing.T) {
+	p := NewPool(2)
+	doneCh := make(chan struct{})
+	go func() {
+		var outer sync.WaitGroup
+		for i := 0; i < 4; i++ {
+			outer.Add(1)
+			p.Go(func() {
+				defer outer.Done()
+				var sum atomic.Int64
+				p.ParallelFor(0, 100, 10, func(lo, hi int) {
+					sum.Add(int64(hi - lo))
+				})
+				if sum.Load() != 100 {
+					t.Errorf("inner loop covered %d", sum.Load())
+				}
+			})
+		}
+		outer.Wait()
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(10 * time.Second):
+		t.Fatal("nested ParallelFor deadlocked")
+	}
+}
+
+func TestMapOrdered(t *testing.T) {
+	p := NewPool(8)
+	out := Map(p, 100, func(i int) int { return i * i })
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d", i, v)
+		}
+	}
+}
+
+func TestWhenAll(t *testing.T) {
+	p := NewPool(4)
+	fs := make([]*Future[int], 5)
+	for i := range fs {
+		i := i
+		fs[i] = Async(p, func() int {
+			time.Sleep(time.Duration(i) * time.Millisecond)
+			return i
+		})
+	}
+	all := WhenAll(fs...)
+	if n := all.Get(); n != 5 {
+		t.Errorf("WhenAll = %d", n)
+	}
+	for i, f := range fs {
+		if v, ok := f.TryGet(); !ok || v != i {
+			t.Errorf("future %d = %v, %v", i, v, ok)
+		}
+	}
+}
+
+func TestNewPoolDefaults(t *testing.T) {
+	if NewPool(0).Size() < 1 {
+		t.Error("default pool empty")
+	}
+	if NewPool(7).Size() != 7 {
+		t.Error("explicit size ignored")
+	}
+}
+
+func TestPoolString(t *testing.T) {
+	if NewPool(2).String() == "" {
+		t.Error("empty String()")
+	}
+}

@@ -1,0 +1,404 @@
+package recon
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// allSchemes returns every scheme under test.
+func allSchemes() []Scheme { return All() }
+
+// evalOn fills a row with f(x_j) for cells j = 0..n−1 on a unit spacing.
+func evalOn(n int, f func(float64) float64) []float64 {
+	u := make([]float64, n)
+	for j := range u {
+		u[j] = f(float64(j))
+	}
+	return u
+}
+
+func reconstruct(s Scheme, u []float64) (uL, uR []float64) {
+	n := len(u)
+	uL = make([]float64, n+1)
+	uR = make([]float64, n+1)
+	s.Reconstruct(u, uL, uR)
+	return uL, uR
+}
+
+// Every scheme must reproduce constant data exactly — the most basic
+// consistency requirement.
+func TestConstantPreservation(t *testing.T) {
+	for _, s := range allSchemes() {
+		u := evalOn(32, func(float64) float64 { return 3.7 })
+		uL, uR := reconstruct(s, u)
+		g := s.Ghost()
+		for i := g; i <= len(u)-g; i++ {
+			if math.Abs(uL[i]-3.7) > 1e-14 || math.Abs(uR[i]-3.7) > 1e-14 {
+				t.Errorf("%s: face %d = (%v, %v), want 3.7", s.Name(), i, uL[i], uR[i])
+			}
+		}
+	}
+}
+
+// Schemes of order >= 2 must reproduce linear data exactly away from
+// boundaries (limiters are inactive on monotone linear data).
+func TestLinearExactness(t *testing.T) {
+	for _, s := range allSchemes() {
+		if s.Order() < 2 {
+			continue
+		}
+		u := evalOn(32, func(x float64) float64 { return 2*x - 5 })
+		uL, uR := reconstruct(s, u)
+		g := s.Ghost()
+		for i := g; i <= len(u)-g; i++ {
+			// Face i sits at x = i − 1/2 on the unit grid (cell j centre at x=j).
+			want := 2*(float64(i)-0.5) - 5
+			if math.Abs(uL[i]-want) > 1e-12 || math.Abs(uR[i]-want) > 1e-12 {
+				t.Errorf("%s: face %d = (%v, %v), want %v", s.Name(), i, uL[i], uR[i], want)
+			}
+		}
+	}
+}
+
+// PCM reduces to neighbouring cell values.
+func TestPCMIsGodunov(t *testing.T) {
+	u := []float64{1, 2, 3, 4, 5}
+	uL, uR := reconstruct(PCM{}, u)
+	for i := 1; i <= 4; i++ {
+		if uL[i] != u[i-1] || uR[i] != u[i] {
+			t.Errorf("face %d: (%v,%v)", i, uL[i], uR[i])
+		}
+	}
+}
+
+// TVD property: PLM reconstructions must stay within the range of the two
+// adjacent cells on arbitrary data (no new extrema at faces).
+func TestPLMBoundedByNeighbours(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, lim := range []Limiter{Minmod, MonotonizedCentral, VanLeer} {
+		s := PLM{Lim: lim}
+		for trial := 0; trial < 200; trial++ {
+			u := make([]float64, 24)
+			for j := range u {
+				u[j] = rng.NormFloat64()
+			}
+			uL, uR := reconstruct(s, u)
+			for i := 2; i <= len(u)-2; i++ {
+				// Both face states lie in the hull of the two adjacent
+				// cells: |slope| <= 2|du| on each side for all three
+				// limiters.
+				lo := math.Min(u[i-1], u[i])
+				hi := math.Max(u[i-1], u[i])
+				if uL[i] < lo-1e-12 || uL[i] > hi+1e-12 {
+					t.Fatalf("%s: uL[%d]=%v outside [%v,%v]", s.Name(), i, uL[i], lo, hi)
+				}
+				if uR[i] < lo-1e-12 || uR[i] > hi+1e-12 {
+					t.Fatalf("%s: uR[%d]=%v outside [%v,%v]", s.Name(), i, uR[i], lo, hi)
+				}
+			}
+		}
+	}
+}
+
+// Monotone data must stay monotone across all face states for the TVD
+// schemes (PLM and PPM).
+func TestMonotonicityPreserved(t *testing.T) {
+	u := evalOn(24, func(x float64) float64 { return math.Tanh(0.8 * (x - 12)) })
+	for _, s := range []Scheme{
+		PLM{Lim: Minmod}, PLM{Lim: MonotonizedCentral}, PLM{Lim: VanLeer}, PPM{},
+	} {
+		uL, uR := reconstruct(s, u)
+		g := s.Ghost()
+		prev := math.Inf(-1)
+		for i := g; i <= len(u)-g; i++ {
+			if uL[i] < prev-1e-12 {
+				t.Errorf("%s: uL[%d]=%v breaks monotonicity (prev %v)", s.Name(), i, uL[i], prev)
+			}
+			if uR[i] < uL[i]-0.5 { // faces ordered within a jump tolerance
+				t.Errorf("%s: face %d states wildly inverted: %v %v", s.Name(), i, uL[i], uR[i])
+			}
+			prev = uL[i]
+		}
+	}
+}
+
+// PPM cell parabola edges must never overshoot the cell averages of the
+// neighbouring cells on discontinuous data.
+func TestPPMNoOvershoot(t *testing.T) {
+	u := evalOn(24, func(x float64) float64 {
+		if x < 12 {
+			return 10
+		}
+		return 1
+	})
+	uL, uR := reconstruct(PPM{}, u)
+	for i := 3; i <= len(u)-3; i++ {
+		for _, v := range []float64{uL[i], uR[i]} {
+			if v > 10+1e-12 || v < 1-1e-12 {
+				t.Errorf("face %d value %v outside data range [1,10]", i, v)
+			}
+		}
+	}
+}
+
+// WENO must not produce significant over/undershoots at a step (ENO
+// property: O(1) oscillations are forbidden, small ones are inherent).
+func TestWENO5EssentiallyNonOscillatory(t *testing.T) {
+	u := evalOn(30, func(x float64) float64 {
+		if x < 15 {
+			return 1
+		}
+		return 0
+	})
+	uL, uR := reconstruct(WENO5{}, u)
+	for i := 3; i <= len(u)-3; i++ {
+		for _, v := range []float64{uL[i], uR[i]} {
+			if v > 1.05 || v < -0.05 {
+				t.Errorf("face %d value %v oscillates beyond 5%%", i, v)
+			}
+		}
+	}
+}
+
+// Convergence order on smooth data: reconstruct sin on successively finer
+// grids and verify the error at faces shrinks at the formal order (within
+// half an order to absorb limiter effects near inflection points for PLM).
+func TestSmoothConvergenceOrder(t *testing.T) {
+	for _, tc := range []struct {
+		s        Scheme
+		minOrder float64
+	}{
+		{PLM{Lim: MonotonizedCentral}, 1.7},
+		{PPM{}, 2.5},
+		{WENO5{}, 3.5},
+		{WENOZ{}, 4.0},
+	} {
+		err := func(n int) float64 {
+			h := 2 * math.Pi / float64(n)
+			u := make([]float64, n)
+			for j := range u {
+				// Cell averages of sin over [x_j−h/2, x_j+h/2]:
+				// (cos(a)−cos(b))/h.
+				a := float64(j) * h
+				b := a + h
+				u[j] = (math.Cos(a) - math.Cos(b)) / h
+			}
+			uL := make([]float64, n+1)
+			uR := make([]float64, n+1)
+			tc.s.Reconstruct(u, uL, uR)
+			g := tc.s.Ghost()
+			e := 0.0
+			cnt := 0
+			for i := g; i <= n-g; i++ {
+				x := float64(i) * h // face i at x_{i−1/2} = i*h − h... face between cells i−1,i is at i*h
+				want := math.Sin(x)
+				e += math.Abs(uL[i]-want) + math.Abs(uR[i]-want)
+				cnt += 2
+			}
+			return e / float64(cnt)
+		}
+		e1, e2 := err(64), err(128)
+		order := math.Log2(e1 / e2)
+		if order < tc.minOrder {
+			t.Errorf("%s: observed order %.2f < %.2f (e64=%.3e e128=%.3e)",
+				tc.s.Name(), order, tc.minOrder, e1, e2)
+		}
+	}
+}
+
+func TestGhostCounts(t *testing.T) {
+	want := map[string]int{
+		"pcm": 1, "plm-minmod": 2, "plm-mc": 2, "plm-vanleer": 2,
+		"ppm": 3, "weno5": 3, "wenoz": 3,
+	}
+	for _, s := range allSchemes() {
+		if g, ok := want[s.Name()]; !ok || s.Ghost() != g {
+			t.Errorf("%s: ghost = %d, want %d", s.Name(), s.Ghost(), g)
+		}
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"pcm", "plm", "plm-mc", "plm-minmod", "plm-vanleer", "ppm", "weno5", "wenoz"} {
+		if _, err := ByName(name); err != nil {
+			t.Errorf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("nope"); err == nil {
+		t.Error("unknown name accepted")
+	}
+}
+
+func TestShortRowPanics(t *testing.T) {
+	for _, s := range allSchemes() {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("%s: short row not rejected", s.Name())
+				}
+			}()
+			u := make([]float64, 2*s.Ghost())
+			s.Reconstruct(u, make([]float64, len(u)+1), make([]float64, len(u)+1))
+		}()
+	}
+}
+
+func TestShortFaceArraysPanic(t *testing.T) {
+	s := PLM{Lim: Minmod}
+	defer func() {
+		if recover() == nil {
+			t.Error("short face arrays not rejected")
+		}
+	}()
+	u := make([]float64, 16)
+	s.Reconstruct(u, make([]float64, 10), make([]float64, 10))
+}
+
+// The two WENO edge evaluations must be mirror images: reconstructing
+// reversed data must give reversed faces.
+func TestWENO5MirrorSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	n := 20
+	u := make([]float64, n)
+	for j := range u {
+		u[j] = rng.Float64()
+	}
+	rev := make([]float64, n)
+	for j := range rev {
+		rev[j] = u[n-1-j]
+	}
+	uL, uR := reconstruct(WENO5{}, u)
+	rL, rR := reconstruct(WENO5{}, rev)
+	for i := 3; i <= n-3; i++ {
+		// Face i of u corresponds to face n−i of rev with L/R swapped.
+		if math.Abs(uL[i]-rR[n-i]) > 1e-13 || math.Abs(uR[i]-rL[n-i]) > 1e-13 {
+			t.Fatalf("mirror symmetry broken at face %d: (%v,%v) vs (%v,%v)",
+				i, uL[i], uR[i], rR[n-i], rL[n-i])
+		}
+	}
+}
+
+// Property check via testing/quick: for every TVD scheme and random data,
+// face states stay within the global data range (no new global extrema),
+// and every scheme maps finite data to finite faces.
+func TestQuickFaceBounds(t *testing.T) {
+	type row [16]float64
+	prop := func(r row) bool {
+		u := make([]float64, len(r))
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for i, v := range r {
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return true
+			}
+			u[i] = math.Mod(v, 1e6)
+			if u[i] < lo {
+				lo = u[i]
+			}
+			if u[i] > hi {
+				hi = u[i]
+			}
+		}
+		for _, s := range []Scheme{PLM{Lim: Minmod}, PLM{Lim: MonotonizedCentral}, PLM{Lim: VanLeer}, PPM{}} {
+			uL := make([]float64, len(u)+1)
+			uR := make([]float64, len(u)+1)
+			s.Reconstruct(u, uL, uR)
+			for i := s.Ghost(); i <= len(u)-s.Ghost(); i++ {
+				tol := 1e-9 * (1 + math.Abs(lo) + math.Abs(hi))
+				if uL[i] < lo-tol || uL[i] > hi+tol || uR[i] < lo-tol || uR[i] > hi+tol {
+					return false
+				}
+			}
+		}
+		return true
+	}
+	if err := quick.Check(prop, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+// WENO-Z must be essentially non-oscillatory like WENO5 and at least as
+// accurate on smooth data (its weights restore order at critical points).
+func TestWENOZProperties(t *testing.T) {
+	// Step data: bounded overshoot.
+	u := evalOn(30, func(x float64) float64 {
+		if x < 15 {
+			return 1
+		}
+		return 0
+	})
+	uL, uR := reconstruct(WENOZ{}, u)
+	for i := 3; i <= len(u)-3; i++ {
+		for _, v := range []float64{uL[i], uR[i]} {
+			if v > 1.05 || v < -0.05 {
+				t.Errorf("face %d value %v oscillates beyond 5%%", i, v)
+			}
+		}
+	}
+	// Mirror symmetry.
+	rng := rand.New(rand.NewSource(5))
+	n := 20
+	w := make([]float64, n)
+	for j := range w {
+		w[j] = rng.Float64()
+	}
+	rev := make([]float64, n)
+	for j := range rev {
+		rev[j] = w[n-1-j]
+	}
+	wL, wR := reconstruct(WENOZ{}, w)
+	rL, rR := reconstruct(WENOZ{}, rev)
+	for i := 3; i <= n-3; i++ {
+		if math.Abs(wL[i]-rR[n-i]) > 1e-13 || math.Abs(wR[i]-rL[n-i]) > 1e-13 {
+			t.Fatalf("mirror symmetry broken at face %d", i)
+		}
+	}
+	// Accuracy at a critical point: reconstruct sin around its extremum
+	// and compare against WENO5 — Z weights must not be worse.
+	m := 64
+	h := 2 * math.Pi / float64(m)
+	u2 := make([]float64, m)
+	for j := range u2 {
+		a := float64(j) * h
+		u2[j] = (math.Cos(a) - math.Cos(a+h)) / h
+	}
+	errOf := func(s Scheme) float64 {
+		aL := make([]float64, m+1)
+		aR := make([]float64, m+1)
+		s.Reconstruct(u2, aL, aR)
+		e := 0.0
+		for i := 3; i <= m-3; i++ {
+			want := math.Sin(float64(i) * h)
+			e += math.Abs(aL[i]-want) + math.Abs(aR[i]-want)
+		}
+		return e
+	}
+	if ez, e5 := errOf(WENOZ{}), errOf(WENO5{}); ez > e5*1.05 {
+		t.Errorf("WENO-Z error %v worse than WENO5 %v", ez, e5)
+	}
+}
+
+// Same symmetry for PLM and PPM.
+func TestPLMPPMMirrorSymmetry(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	n := 20
+	u := make([]float64, n)
+	for j := range u {
+		u[j] = rng.Float64()
+	}
+	rev := make([]float64, n)
+	for j := range rev {
+		rev[j] = u[n-1-j]
+	}
+	for _, s := range []Scheme{PLM{Lim: Minmod}, PLM{Lim: MonotonizedCentral}, PPM{}} {
+		uL, uR := reconstruct(s, u)
+		rL, rR := reconstruct(s, rev)
+		g := s.Ghost()
+		for i := g; i <= n-g; i++ {
+			if math.Abs(uL[i]-rR[n-i]) > 1e-13 || math.Abs(uR[i]-rL[n-i]) > 1e-13 {
+				t.Fatalf("%s: mirror symmetry broken at face %d", s.Name(), i)
+			}
+		}
+	}
+}

@@ -1,0 +1,246 @@
+// Package riemann implements the approximate Riemann solvers that supply
+// the numerical flux at cell faces: local Lax–Friedrichs (LLF/Rusanov),
+// HLL (Harten–Lax–van Leer), and HLLC for SRHD following Mignone & Bodo
+// (2005, MNRAS 364, 126), which restores the contact wave HLL averages
+// away.
+//
+// Every solver consumes the reconstructed primitive states on the two
+// sides of a face and returns the flux of the conserved variables through
+// it. All solvers reduce to the exact flux when the two states agree
+// (consistency), and upwind fully for supersonic flow.
+package riemann
+
+import (
+	"fmt"
+	"math"
+
+	"rhsc/internal/eos"
+	"rhsc/internal/state"
+)
+
+// Solver computes the numerical flux through a face from the reconstructed
+// primitive states on its two sides. Implementations must be stateless or
+// otherwise safe for concurrent use.
+type Solver interface {
+	// Name identifies the solver in output and benchmarks.
+	Name() string
+	// Flux returns the numerical flux along direction d given left and
+	// right primitive states.
+	Flux(e eos.EOS, pl, pr state.Prim, d state.Direction) state.Cons
+}
+
+// consSub returns a − b componentwise.
+func consSub(a, b state.Cons) state.Cons {
+	return state.Cons{
+		D: a.D - b.D, Sx: a.Sx - b.Sx, Sy: a.Sy - b.Sy, Sz: a.Sz - b.Sz,
+		Tau: a.Tau - b.Tau,
+	}
+}
+
+// consAXPY returns a + s·b componentwise.
+func consAXPY(a state.Cons, s float64, b state.Cons) state.Cons {
+	return state.Cons{
+		D: a.D + s*b.D, Sx: a.Sx + s*b.Sx, Sy: a.Sy + s*b.Sy,
+		Sz: a.Sz + s*b.Sz, Tau: a.Tau + s*b.Tau,
+	}
+}
+
+// LLF is the local Lax–Friedrichs (Rusanov) solver: maximally dissipative
+// single-wave flux F = ½(F_L + F_R − α(U_R − U_L)) with α the largest
+// absolute signal speed of the two states.
+type LLF struct{}
+
+// Name implements Solver.
+func (LLF) Name() string { return "llf" }
+
+// Flux implements Solver.
+func (LLF) Flux(e eos.EOS, pl, pr state.Prim, d state.Direction) state.Cons {
+	ul := pl.ToCons(e)
+	ur := pr.ToCons(e)
+	fl := state.Flux(pl, ul, d)
+	fr := state.Flux(pr, ur, d)
+	al := state.MaxAbsSpeed(e, pl, d)
+	ar := state.MaxAbsSpeed(e, pr, d)
+	alpha := math.Max(al, ar)
+	du := consSub(ur, ul)
+	return state.Cons{
+		D:   0.5 * (fl.D + fr.D - alpha*du.D),
+		Sx:  0.5 * (fl.Sx + fr.Sx - alpha*du.Sx),
+		Sy:  0.5 * (fl.Sy + fr.Sy - alpha*du.Sy),
+		Sz:  0.5 * (fl.Sz + fr.Sz - alpha*du.Sz),
+		Tau: 0.5 * (fl.Tau + fr.Tau - alpha*du.Tau),
+	}
+}
+
+// outerSpeeds returns the Davis estimates S_L = min(λ−(L), λ−(R)) and
+// S_R = max(λ+(L), λ+(R)) used by HLL and HLLC.
+func outerSpeeds(e eos.EOS, pl, pr state.Prim, d state.Direction) (sl, sr float64) {
+	lmL, lpL := state.WaveSpeeds(e, pl, d)
+	lmR, lpR := state.WaveSpeeds(e, pr, d)
+	return math.Min(lmL, lmR), math.Max(lpL, lpR)
+}
+
+// HLL is the two-wave Harten–Lax–van Leer solver.
+type HLL struct{}
+
+// Name implements Solver.
+func (HLL) Name() string { return "hll" }
+
+// Flux implements Solver.
+func (HLL) Flux(e eos.EOS, pl, pr state.Prim, d state.Direction) state.Cons {
+	sl, sr := outerSpeeds(e, pl, pr, d)
+	ul := pl.ToCons(e)
+	ur := pr.ToCons(e)
+	switch {
+	case sl >= 0:
+		return state.Flux(pl, ul, d)
+	case sr <= 0:
+		return state.Flux(pr, ur, d)
+	}
+	fl := state.Flux(pl, ul, d)
+	fr := state.Flux(pr, ur, d)
+	inv := 1 / (sr - sl)
+	hll := func(flc, frc, ulc, urc float64) float64 {
+		return (sr*flc - sl*frc + sl*sr*(urc-ulc)) * inv
+	}
+	return state.Cons{
+		D:   hll(fl.D, fr.D, ul.D, ur.D),
+		Sx:  hll(fl.Sx, fr.Sx, ul.Sx, ur.Sx),
+		Sy:  hll(fl.Sy, fr.Sy, ul.Sy, ur.Sy),
+		Sz:  hll(fl.Sz, fr.Sz, ul.Sz, ur.Sz),
+		Tau: hll(fl.Tau, fr.Tau, ul.Tau, ur.Tau),
+	}
+}
+
+// HLLC is the three-wave solver of Mignone & Bodo (2005) for SRHD: the HLL
+// fan is split by the contact wave moving at λ*, restoring exact contact
+// and shear-wave resolution.
+type HLLC struct{}
+
+// Name implements Solver.
+func (HLLC) Name() string { return "hllc" }
+
+// Flux implements Solver.
+func (HLLC) Flux(e eos.EOS, pl, pr state.Prim, d state.Direction) state.Cons {
+	sl, sr := outerSpeeds(e, pl, pr, d)
+	ul := pl.ToCons(e)
+	ur := pr.ToCons(e)
+	switch {
+	case sl >= 0:
+		return state.Flux(pl, ul, d)
+	case sr <= 0:
+		return state.Flux(pr, ur, d)
+	}
+	fl := state.Flux(pl, ul, d)
+	fr := state.Flux(pr, ur, d)
+
+	// HLL state and flux of the total energy E = τ + D and the normal
+	// momentum m = S_d. F(E) = F(τ) + F(D) = S_d.
+	inv := 1 / (sr - sl)
+	hllU := func(ulc, urc, flc, frc float64) float64 {
+		return (sr*urc - sl*ulc + flc - frc) * inv
+	}
+	hllF := func(flc, frc, ulc, urc float64) float64 {
+		return (sr*flc - sl*frc + sl*sr*(urc-ulc)) * inv
+	}
+	eL := ul.Tau + ul.D
+	eR := ur.Tau + ur.D
+	mL := ul.S(d)
+	mR := ur.S(d)
+	feL := fl.Tau + fl.D // = S_d(L)
+	feR := fr.Tau + fr.D
+	var fmL, fmR float64
+	switch d {
+	case state.X:
+		fmL, fmR = fl.Sx, fr.Sx
+	case state.Y:
+		fmL, fmR = fl.Sy, fr.Sy
+	default:
+		fmL, fmR = fl.Sz, fr.Sz
+	}
+	eH := hllU(eL, eR, feL, feR)
+	mH := hllU(mL, mR, fmL, fmR)
+	feH := hllF(feL, feR, eL, eR)
+	fmH := hllF(fmL, fmR, mL, mR)
+
+	// Contact speed: F_E λ*² − (E + F_m) λ* + m = 0, taking the root that
+	// lies inside the fan (minus branch, M&B eq. 18).
+	a := feH
+	b := -(eH + fmH)
+	c := mH
+	var lstar float64
+	if math.Abs(a) > 1e-12*(math.Abs(b)+math.Abs(c)) {
+		disc := b*b - 4*a*c
+		if disc < 0 {
+			disc = 0
+		}
+		// Numerically stable quadratic: q = −(b + sign(b)·sqrt(disc))/2.
+		q := -0.5 * (b + math.Copysign(math.Sqrt(disc), b))
+		lstar = c / q
+	} else {
+		lstar = -c / b
+	}
+	// Guard against roundoff pushing λ* outside the fan.
+	if lstar < sl {
+		lstar = sl
+	}
+	if lstar > sr {
+		lstar = sr
+	}
+
+	// Star-region pressure (M&B eq. 17).
+	pstar := -feH*lstar + fmH
+
+	// Jump conditions across the outer wave on the side containing the
+	// face (λ* >= 0 → left star state).
+	if lstar >= 0 {
+		return starFlux(pl, ul, fl, sl, lstar, pstar, d)
+	}
+	return starFlux(pr, ur, fr, sr, lstar, pstar, d)
+}
+
+// starFlux builds the star state on side K from the Rankine–Hugoniot jump
+// across the outer wave S_K and returns F_K + S_K (U*_K − U_K).
+func starFlux(p state.Prim, u state.Cons, f state.Cons, sk, lstar, pstar float64, d state.Direction) state.Cons {
+	vk := p.V(d)
+	ek := u.Tau + u.D
+	inv := 1 / (sk - lstar)
+	dstar := u.D * (sk - vk) * inv
+	estar := (ek*(sk-vk) + pstar*lstar - p.P*vk) * inv
+	// Normal momentum: m* = (m(S_K − v) + p* − p)/(S_K − λ*).
+	// Transverse momenta advect: S_t* = S_t (S_K − v)/(S_K − λ*).
+	adv := (sk - vk) * inv
+	var sxs, sys, szs float64
+	switch d {
+	case state.X:
+		sxs = (u.Sx*(sk-vk) + pstar - p.P) * inv
+		sys = u.Sy * adv
+		szs = u.Sz * adv
+	case state.Y:
+		sys = (u.Sy*(sk-vk) + pstar - p.P) * inv
+		sxs = u.Sx * adv
+		szs = u.Sz * adv
+	default:
+		szs = (u.Sz*(sk-vk) + pstar - p.P) * inv
+		sxs = u.Sx * adv
+		sys = u.Sy * adv
+	}
+	ustar := state.Cons{D: dstar, Sx: sxs, Sy: sys, Sz: szs, Tau: estar - dstar}
+	return consAXPY(f, sk, consSub(ustar, u))
+}
+
+// ByName returns the solver registered under name: "llf", "hll", "hllc".
+func ByName(name string) (Solver, error) {
+	switch name {
+	case "llf":
+		return LLF{}, nil
+	case "hll":
+		return HLL{}, nil
+	case "hllc":
+		return HLLC{}, nil
+	}
+	return nil, fmt.Errorf("riemann: unknown solver %q", name)
+}
+
+// All returns every solver, for sweep-style benchmarks.
+func All() []Solver { return []Solver{LLF{}, HLL{}, HLLC{}} }

@@ -1,0 +1,651 @@
+// Package rhsc is a scalable special-relativistic high-resolution
+// shock-capturing (HRSC) hydrodynamics framework for heterogeneous
+// computing, reproducing Glines, Anderson & Neilsen (IEEE CLUSTER 2015).
+//
+// The package is a façade over the engine packages:
+//
+//   - a finite-volume SRHD solver (reconstruction × Riemann solver ×
+//     SSP-RK integrator) on uniform 1/2/3-D grids,
+//   - block-structured adaptive mesh refinement,
+//   - a heterogeneous device model with static/dynamic strip scheduling,
+//   - a distributed (rank-decomposed) driver with sync/async halo
+//     exchange and a virtual network model, and
+//   - the exact SRHD Riemann solver for validation.
+//
+// A minimal run:
+//
+//	sim, err := rhsc.NewSim(rhsc.Options{Problem: "sod", N: 400})
+//	if err != nil { ... }
+//	err = sim.Run()
+//	sim.WriteProfile(os.Stdout)
+package rhsc
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"rhsc/internal/amr"
+	"rhsc/internal/cluster"
+	"rhsc/internal/core"
+	"rhsc/internal/eos"
+	"rhsc/internal/exact"
+	"rhsc/internal/grid"
+	"rhsc/internal/hetero"
+	"rhsc/internal/newton"
+	"rhsc/internal/output"
+	"rhsc/internal/par"
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+	"rhsc/internal/state"
+	"rhsc/internal/testprob"
+)
+
+// Version identifies the library release.
+const Version = "1.0.0"
+
+// Prim is the primitive hydrodynamic state (ρ, v, p) of one cell.
+type Prim = state.Prim
+
+// Cons is the conserved state (D, S, τ) of one cell.
+type Cons = state.Cons
+
+// Options selects a catalogued problem and the numerical method. Zero
+// fields take the documented defaults.
+type Options struct {
+	// Problem is a name from Problems() — e.g. "sod", "blast", "blast2d",
+	// "kh2d", "smooth-wave", "shock-heating", "implosion2d".
+	Problem string
+	// N is the number of cells along x (2-D problems scale y by the
+	// domain aspect). Default 256.
+	N int
+	// Recon names the reconstruction: "pcm", "plm" (default, MC limiter),
+	// "plm-minmod", "plm-vanleer", "ppm", "weno5", "wenoz".
+	Recon string
+	// Riemann names the flux: "llf", "hll", "hllc" (default).
+	Riemann string
+	// Integrator is "rk1", "rk2" (default) or "rk3".
+	Integrator string
+	// CFL is the Courant factor (default 0.4).
+	CFL float64
+	// Threads > 1 runs strip sweeps on a pool of that many workers;
+	// 0 or 1 runs serially.
+	Threads int
+	// Gamma overrides the problem's adiabatic index when > 0.
+	Gamma float64
+	// TaubMathews selects the TM equation of state instead of the Γ-law.
+	TaubMathews bool
+	// HybridK > 0 selects the hybrid (cold polytrope + thermal Γ-law)
+	// EOS with cold constant HybridK, cold exponent HybridGammaC and the
+	// thermal index from Gamma (or the problem default).
+	HybridK      float64
+	HybridGammaC float64
+}
+
+// buildConfig resolves Options into a core configuration plus the problem.
+func buildConfig(o Options) (*testprob.Problem, core.Config, error) {
+	name := o.Problem
+	if name == "" {
+		name = "sod"
+	}
+	p, err := testprob.ByName(name)
+	if err != nil {
+		return nil, core.Config{}, err
+	}
+	cfg := core.DefaultConfig()
+
+	gamma := p.Gamma
+	if o.Gamma > 0 {
+		gamma = o.Gamma
+	}
+	switch {
+	case o.TaubMathews:
+		cfg.EOS = eos.TaubMathews{}
+	case o.HybridK > 0:
+		gc := o.HybridGammaC
+		if gc <= 1 {
+			gc = 2
+		}
+		cfg.EOS = eos.NewHybrid(o.HybridK, gc, gamma)
+	default:
+		cfg.EOS = eos.NewIdealGas(gamma)
+	}
+	if o.Recon != "" {
+		r, err := recon.ByName(o.Recon)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		cfg.Recon = r
+	}
+	if o.Riemann != "" {
+		r, err := riemann.ByName(o.Riemann)
+		if err != nil {
+			return nil, core.Config{}, err
+		}
+		cfg.Riemann = r
+	}
+	switch o.Integrator {
+	case "":
+	case "rk1":
+		cfg.Integrator = core.RK1
+	case "rk2":
+		cfg.Integrator = core.RK2
+	case "rk3":
+		cfg.Integrator = core.RK3
+	default:
+		return nil, core.Config{}, fmt.Errorf("rhsc: unknown integrator %q", o.Integrator)
+	}
+	if o.CFL > 0 {
+		cfg.CFL = o.CFL
+	}
+	if o.Threads > 1 {
+		cfg.Pool = par.NewPool(o.Threads)
+	}
+	// The specialised kernel is bitwise-identical to the generic path, so
+	// it is always enabled; it activates only when the configuration
+	// matches (PLM-MC + HLLC + ideal gas).
+	cfg.Fused = true
+	return p, cfg, nil
+}
+
+// Problems lists the catalogued problem names.
+func Problems() []string { return testprob.Names() }
+
+// Sim is a single-grid simulation.
+type Sim struct {
+	Problem *testprob.Problem
+	Solver  *core.Solver
+	Grid    *grid.Grid
+
+	opts Options
+}
+
+// NewSim builds a simulation from options and imposes the initial
+// condition.
+func NewSim(o Options) (*Sim, error) {
+	p, cfg, err := buildConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	n := o.N
+	if n <= 0 {
+		n = 256
+	}
+	g := p.NewGrid(n, cfg.Recon.Ghost())
+	s, err := core.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.InitFromPrim(p.Init)
+	return &Sim{Problem: p, Solver: s, Grid: g, opts: o}, nil
+}
+
+// Run advances to the problem's canonical end time.
+func (s *Sim) Run() error { return s.RunTo(s.Problem.TEnd) }
+
+// RunTo advances to the given time.
+func (s *Sim) RunTo(t float64) error {
+	_, err := s.Solver.Advance(t)
+	return err
+}
+
+// Step advances a single CFL-limited step and returns the dt used.
+func (s *Sim) Step() (float64, error) {
+	dt := s.Solver.MaxDt()
+	return dt, s.Solver.Step(dt)
+}
+
+// Time returns the current solution time.
+func (s *Sim) Time() float64 { return s.Solver.Time() }
+
+// At returns the primitive state at the cell nearest to (x, y).
+func (s *Sim) At(x, y float64) Prim {
+	g := s.Grid
+	i := g.IBeg() + int((x-g.X0)/g.Dx)
+	if i < g.IBeg() {
+		i = g.IBeg()
+	}
+	if i >= g.IEnd() {
+		i = g.IEnd() - 1
+	}
+	j := g.JBeg()
+	if g.Ny > 1 {
+		j = g.JBeg() + int((y-g.Y0)/g.Dy)
+		if j < g.JBeg() {
+			j = g.JBeg()
+		}
+		if j >= g.JEnd() {
+			j = g.JEnd() - 1
+		}
+	}
+	return g.W.GetPrim(g.Idx(i, j, g.KBeg()))
+}
+
+// WriteProfile writes the 1-D primitive profile as CSV.
+func (s *Sim) WriteProfile(w io.Writer) error { return output.WriteProfileCSV(w, s.Grid) }
+
+// WriteSlab writes the 2-D slab as CSV.
+func (s *Sim) WriteSlab(w io.Writer) error { return output.WriteSlabCSV(w, s.Grid) }
+
+// Checkpoint writes a restartable snapshot.
+func (s *Sim) Checkpoint(w io.Writer) error {
+	return output.SaveCheckpoint(w, s.Grid, s.Solver.Time())
+}
+
+// Restore rebuilds a Sim from a checkpoint written by Checkpoint. The
+// options must name the same problem and method.
+func Restore(r io.Reader, o Options) (*Sim, error) {
+	p, cfg, err := buildConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	g, t, err := output.LoadCheckpoint(r)
+	if err != nil {
+		return nil, err
+	}
+	s, err := core.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.SetTime(t)
+	s.RecoverPrimitives()
+	return &Sim{Problem: p, Solver: s, Grid: g, opts: o}, nil
+}
+
+// Mass returns the conserved total rest mass.
+func (s *Sim) Mass() float64 { return s.Grid.TotalMass() }
+
+// EnableTracer activates a passive composition scalar X(x,y,z) (electron
+// fraction, metallicity, dye, …) advected with the fluid; call after
+// NewSim and before stepping.
+func (s *Sim) EnableTracer(fn func(x, y, z float64) float64) error {
+	return s.Solver.EnableTracer(fn)
+}
+
+// TracerAt returns the tracer concentration at the cell nearest (x, y);
+// zero when no tracer is enabled.
+func (s *Sim) TracerAt(x, y float64) float64 {
+	g := s.Grid
+	i := g.IBeg() + int((x-g.X0)/g.Dx)
+	if i < g.IBeg() {
+		i = g.IBeg()
+	}
+	if i >= g.IEnd() {
+		i = g.IEnd() - 1
+	}
+	j := g.JBeg()
+	if g.Ny > 1 {
+		j = g.JBeg() + int((y-g.Y0)/g.Dy)
+		if j < g.JBeg() {
+			j = g.JBeg()
+		}
+		if j >= g.JEnd() {
+			j = g.JEnd() - 1
+		}
+	}
+	return s.Solver.Tracer(g.Idx(i, j, g.KBeg()))
+}
+
+// WriteVTK writes the current primitive fields as a legacy VTK dataset
+// (ParaView/VisIt-readable).
+func (s *Sim) WriteVTK(w io.Writer, title string) error {
+	return output.WriteVTK(w, s.Grid, title)
+}
+
+// WritePNG renders the density of the 2-D slab as a PNG heatmap; set log
+// to map through log10 first (blast waves, jets), and scale to enlarge
+// cells to scale×scale pixels.
+func (s *Sim) WritePNG(w io.Writer, logScale bool, scale int) error {
+	return output.WritePNG(w, s.Grid, output.PNGOptions{
+		Comp: state.IRho, Log: logScale, Scale: scale,
+	})
+}
+
+// Monitor re-exports the run-time diagnostics recorder.
+type Monitor = core.Monitor
+
+// DiagRow re-exports one diagnostics sample.
+type DiagRow = core.DiagRow
+
+// AttachMonitor records diagnostics (conserved totals, max Lorentz
+// factor, c2p resets) every n accepted steps; it returns the monitor for
+// later inspection or CSV dumping.
+func (s *Sim) AttachMonitor(n int) *Monitor {
+	m := core.NewMonitor(n)
+	s.Solver.AttachMonitor(m)
+	return m
+}
+
+// ZoneUpdates returns the cumulative zones × RHS evaluations.
+func (s *Sim) ZoneUpdates() int64 { return s.Solver.St.ZoneUpdates.Load() }
+
+// ExactSod solves the 1-D Riemann problem (ρ,v,p) L/R exactly and returns
+// a sampler of the density profile at time t with the jump at x0:
+// rho(x) = sampler(x).
+func ExactSod(rhoL, vL, pL, rhoR, vR, pR, gamma, x0, t float64) (func(x float64) Prim, error) {
+	sol, err := exact.Solve(
+		exact.State{Rho: rhoL, V: vL, P: pL},
+		exact.State{Rho: rhoR, V: vR, P: pR}, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return func(x float64) Prim {
+		if t <= 0 {
+			if x < x0 {
+				return Prim{Rho: rhoL, Vx: vL, P: pL}
+			}
+			return Prim{Rho: rhoR, Vx: vR, P: pR}
+		}
+		st := sol.Sample((x - x0) / t)
+		return Prim{Rho: st.Rho, Vx: st.V, P: st.P}
+	}, nil
+}
+
+// ExactSodVt solves the 1-D Riemann problem with transverse velocities
+// exactly (Pons–Martí–Müller class) and returns a profile sampler: the
+// returned Prim carries the transverse velocity in Vy.
+func ExactSodVt(left, right Prim, gamma, x0, t float64) (func(x float64) Prim, error) {
+	sol, err := exact.SolveVt(
+		exact.State2{Rho: left.Rho, Vx: left.Vx, Vt: left.Vy, P: left.P},
+		exact.State2{Rho: right.Rho, Vx: right.Vx, Vt: right.Vy, P: right.P}, gamma)
+	if err != nil {
+		return nil, err
+	}
+	return func(x float64) Prim {
+		if t <= 0 {
+			if x < x0 {
+				return left
+			}
+			return right
+		}
+		st := sol.Sample((x - x0) / t)
+		return Prim{Rho: st.Rho, Vx: st.Vx, Vy: st.Vt, P: st.P}
+	}, nil
+}
+
+// --- Heterogeneous execution -------------------------------------------
+
+// Device re-exports the heterogeneous device model.
+type Device = hetero.Device
+
+// DeviceSpec re-exports the device performance spec.
+type DeviceSpec = hetero.Spec
+
+// Device presets and policies.
+func HostCPU(cores int) DeviceSpec { return hetero.SpecHostCPU(cores) }
+func GPU() DeviceSpec              { return hetero.SpecK20GPU() }
+func StagedGPU() DeviceSpec        { return hetero.SpecK20GPUStaged() }
+
+// SchedulePolicy selects static or dynamic strip scheduling.
+type SchedulePolicy = hetero.Policy
+
+// Scheduling policies.
+const (
+	StaticSchedule  = hetero.Static
+	DynamicSchedule = hetero.Dynamic
+)
+
+// HeteroSim couples a Sim to a modelled device set.
+type HeteroSim struct {
+	*Sim
+	Exec *hetero.Executor
+}
+
+// NewHeteroSim builds a simulation whose strip sweeps are scheduled over
+// the given devices.
+func NewHeteroSim(o Options, policy SchedulePolicy, specs ...DeviceSpec) (*HeteroSim, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("rhsc: heterogeneous run needs at least one device")
+	}
+	sim, err := NewSim(o)
+	if err != nil {
+		return nil, err
+	}
+	devs := make([]*hetero.Device, len(specs))
+	for i, sp := range specs {
+		devs[i] = hetero.NewDevice(sp)
+	}
+	ex := hetero.NewExecutor(policy, devs...)
+	ex.Attach(sim.Solver)
+	return &HeteroSim{Sim: sim, Exec: ex}, nil
+}
+
+// VirtualSeconds returns the modelled execution time so far.
+func (h *HeteroSim) VirtualSeconds() float64 { return h.Exec.VirtualTime() }
+
+// --- Distributed execution ---------------------------------------------
+
+// ClusterOptions configures a distributed run.
+type ClusterOptions struct {
+	Ranks int
+	// Px, Py optionally arrange the ranks in a 2-D process grid
+	// (Px·Py = Ranks); zero values select 1-D slabs along x.
+	Px, Py int
+	// Async overlaps halo exchange with interior computation.
+	Async bool
+	// Network selects the virtual interconnect: "ideal" (default),
+	// "gige", "ib".
+	Network string
+	// Steps > 0 runs fixed steps instead of the problem end time.
+	Steps int
+	// TEnd overrides the problem end time when > 0.
+	TEnd float64
+	// RankRates gives each rank its own modelled throughput (a
+	// heterogeneous cluster); WeightedDecomp sizes subdomains
+	// proportionally to those rates.
+	RankRates      []float64
+	WeightedDecomp bool
+}
+
+// ClusterResult re-exports the distributed run summary.
+type ClusterResult = cluster.Result
+
+// RunCluster executes the problem decomposed over ranks.
+func RunCluster(o Options, co ClusterOptions) (*ClusterResult, error) {
+	p, cfg, err := buildConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	n := o.N
+	if n <= 0 {
+		n = 256
+	}
+	var net cluster.NetModel
+	switch co.Network {
+	case "", "ideal":
+	case "gige":
+		net = cluster.GigE()
+	case "ib":
+		net = cluster.Infiniband()
+	default:
+		return nil, fmt.Errorf("rhsc: unknown network %q", co.Network)
+	}
+	mode := cluster.Sync
+	if co.Async {
+		mode = cluster.Async
+	}
+	return cluster.Run(p, n, cfg, cluster.Options{
+		Ranks: co.Ranks, Px: co.Px, Py: co.Py, Mode: mode, Net: net,
+		Steps: co.Steps, TEnd: co.TEnd,
+		RankRates: co.RankRates, WeightedDecomp: co.WeightedDecomp,
+	})
+}
+
+// --- Adaptive mesh refinement ------------------------------------------
+
+// AMRSim is an adaptively refined simulation.
+type AMRSim struct {
+	Problem *testprob.Problem
+	Tree    *amr.Tree
+}
+
+// AMROptions configures the refinement policy on top of Options.
+type AMROptions struct {
+	// RootBlocks is the number of root blocks along x (default 8).
+	RootBlocks int
+	// BlockN is the cells per block side (default 16, must be even).
+	BlockN int
+	// MaxLevel is the deepest refinement level (default 2).
+	MaxLevel int
+	// RefineTol / CoarsenTol bound the relative-jump indicator.
+	RefineTol  float64
+	CoarsenTol float64
+}
+
+// NewAMRSim builds an adaptively refined simulation of the problem.
+func NewAMRSim(o Options, ao AMROptions) (*AMRSim, error) {
+	p, cfg, err := buildConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	ac := amr.DefaultConfig(cfg)
+	if ao.BlockN > 0 {
+		ac.BlockN = ao.BlockN
+	}
+	if ao.MaxLevel > 0 {
+		ac.MaxLevel = ao.MaxLevel
+	}
+	if ao.RefineTol > 0 {
+		ac.RefineTol = ao.RefineTol
+	}
+	if ao.CoarsenTol > 0 {
+		ac.CoarsenTol = ao.CoarsenTol
+	}
+	nb := ao.RootBlocks
+	if nb <= 0 {
+		nb = 8
+	}
+	tr, err := amr.NewTree(p, nb, ac)
+	if err != nil {
+		return nil, err
+	}
+	return &AMRSim{Problem: p, Tree: tr}, nil
+}
+
+// Run advances the tree to the problem's end time.
+func (a *AMRSim) Run() error {
+	_, err := a.Tree.Advance(a.Problem.TEnd)
+	return err
+}
+
+// RunTo advances the tree to time t.
+func (a *AMRSim) RunTo(t float64) error {
+	_, err := a.Tree.Advance(t)
+	return err
+}
+
+// At samples the solution at a point on the finest covering block.
+func (a *AMRSim) At(x, y float64) Prim { return a.Tree.SampleAt(x, y) }
+
+// Stats summarises the adaptive hierarchy.
+func (a *AMRSim) Stats() (leaves, zones int, maxLevel int, zoneUpdates int64) {
+	return a.Tree.NumLeaves(), a.Tree.TotalZones(), a.Tree.MaxLevelInUse(), a.Tree.ZoneUpdates()
+}
+
+// Checkpoint writes the full hierarchy (structure + conserved data).
+func (a *AMRSim) Checkpoint(w io.Writer) error { return a.Tree.Save(w) }
+
+// RestoreAMR rebuilds an adaptive simulation from a checkpoint written by
+// AMRSim.Checkpoint. The numerical method is rebuilt from the options
+// (which must use the same reconstruction ghost width).
+func RestoreAMR(r io.Reader, o Options) (*AMRSim, error) {
+	_, cfg, err := buildConfig(o)
+	if err != nil {
+		return nil, err
+	}
+	tr, err := amr.Load(r, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &AMRSim{Problem: tr.Problem(), Tree: tr}, nil
+}
+
+// --- Newtonian baseline --------------------------------------------------
+
+// NewtonSim is the classical (non-relativistic) Euler baseline on the
+// same problems and grids, for relativistic-vs-Newtonian comparisons.
+type NewtonSim struct {
+	Problem *testprob.Problem
+	Solver  *newton.Solver
+	Grid    *grid.Grid
+}
+
+// NewNewtonSim builds the baseline simulation of a catalogued problem.
+// Only the Problem, N, Recon, CFL and Gamma options are honoured (the
+// baseline always uses the classical HLLC flux and an ideal gas).
+func NewNewtonSim(o Options) (*NewtonSim, error) {
+	name := o.Problem
+	if name == "" {
+		name = "sod"
+	}
+	p, err := testprob.ByName(name)
+	if err != nil {
+		return nil, err
+	}
+	cfg := newton.DefaultConfig()
+	cfg.Gamma = p.Gamma
+	if o.Gamma > 0 {
+		cfg.Gamma = o.Gamma
+	}
+	if o.Recon != "" {
+		r, err := recon.ByName(o.Recon)
+		if err != nil {
+			return nil, err
+		}
+		cfg.Recon = r
+	}
+	if o.CFL > 0 {
+		cfg.CFL = o.CFL
+	}
+	n := o.N
+	if n <= 0 {
+		n = 256
+	}
+	g := p.NewGrid(n, cfg.Recon.Ghost())
+	s, err := newton.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	s.InitFromPrim(p.Init)
+	return &NewtonSim{Problem: p, Solver: s, Grid: g}, nil
+}
+
+// RunTo advances the baseline to time t.
+func (s *NewtonSim) RunTo(t float64) error {
+	_, err := s.Solver.Advance(t)
+	return err
+}
+
+// At returns the primitive state at the cell nearest (x, y).
+func (s *NewtonSim) At(x, y float64) Prim {
+	g := s.Grid
+	i := g.IBeg() + int((x-g.X0)/g.Dx)
+	if i < g.IBeg() {
+		i = g.IBeg()
+	}
+	if i >= g.IEnd() {
+		i = g.IEnd() - 1
+	}
+	j := g.JBeg()
+	if g.Ny > 1 {
+		j = g.JBeg() + int((y-g.Y0)/g.Dy)
+		if j < g.JBeg() {
+			j = g.JBeg()
+		}
+		if j >= g.JEnd() {
+			j = g.JEnd() - 1
+		}
+	}
+	return g.W.GetPrim(g.Idx(i, j, g.KBeg()))
+}
+
+// --- Timing helper -------------------------------------------------------
+
+// Mzups converts zone updates over a wall-clock duration into mega-zone
+// updates per second.
+func Mzups(zoneUpdates int64, elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(zoneUpdates) / elapsed.Seconds() / 1e6
+}
