@@ -418,8 +418,15 @@ func avgPrim(a, b state.Prim) state.Prim {
 
 // fillGhosts fills the External-face ghost zones of every leaf from the
 // current leaf data.
-func (t *Tree) fillGhosts() {
-	for _, n := range t.leaves {
+func (t *Tree) fillGhosts() { t.fillGhostsOf(t.leaves) }
+
+// fillGhostsOf fills the External-face ghost zones of the given leaves.
+// Sampling only reads the interiors of face-adjacent leaves (the ghost
+// band is at most half a block wide at any admissible BlockN), which is
+// what lets the distributed driver fill ghosts of locally owned blocks
+// from a halo of neighbour copies.
+func (t *Tree) fillGhostsOf(ls []*node) {
+	for _, n := range ls {
 		g := n.sol.G
 		ng := g.Ng
 		fill := func(i, j int) {

@@ -11,9 +11,15 @@ import (
 )
 
 // leafRecord is one leaf's identity and conserved data in a checkpoint.
+// W is only populated by the block-migration path (see EncodeLeaves):
+// primitive recovery seeds its Newton iteration with the previous
+// pressure, so a migrated replica must inherit the owner's primitives to
+// continue bit-identically. Checkpoints leave W nil and re-recover on
+// load; gob tolerates the absent field in either direction.
 type leafRecord struct {
 	Level, Bi, Bj int
 	U             []float64
+	W             []float64
 }
 
 // treeCheckpoint is the gob payload of a hierarchy snapshot.

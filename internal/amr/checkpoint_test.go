@@ -62,6 +62,70 @@ func TestCheckpointRoundTrip(t *testing.T) {
 	}
 }
 
+// TestCheckpointAfterRegrid saves immediately after a step that regridded
+// — the structure the restored tree must rebuild includes both refined
+// and (potentially) coarsened regions created mid-run, which is exactly
+// the serialization state block migration reuses. Stepping both trees
+// onward must keep their conserved sums together.
+func TestCheckpointAfterRegrid(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig())
+	cfg.MaxLevel = 2
+	cfg.BlockN = 8
+	cfg.RegridEvery = 3
+	tr, err := NewTree(testprob.Blast2D, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Land exactly on a regrid step so the checkpoint captures a
+	// just-reshaped hierarchy, and verify at least one regrid changed it.
+	leaves0 := tr.NumLeaves()
+	for i := 0; i < 2*cfg.RegridEvery; i++ {
+		if err := tr.Step(tr.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if tr.Steps()%cfg.RegridEvery != 0 {
+		t.Fatalf("test out of phase: %d steps, regrid every %d", tr.Steps(), cfg.RegridEvery)
+	}
+
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.NumLeaves() != tr.NumLeaves() {
+		t.Fatalf("restored %d leaves, want %d", restored.NumLeaves(), tr.NumLeaves())
+	}
+	if restored.Steps() != tr.Steps() {
+		t.Errorf("restored %d steps, want %d", restored.Steps(), tr.Steps())
+	}
+
+	// Step both trees in lockstep past another regrid and compare the
+	// conserved sums — identical grids must produce identical dynamics
+	// (tolerance covers the con2prim re-seed on load).
+	for i := 0; i < 2*cfg.RegridEvery; i++ {
+		dt := tr.MaxDt()
+		if err := tr.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+		if err := restored.Step(dt); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if restored.NumLeaves() != tr.NumLeaves() {
+		t.Errorf("after stepping: %d leaves vs %d", restored.NumLeaves(), tr.NumLeaves())
+	}
+	if rel := math.Abs(restored.TotalMass()-tr.TotalMass()) / tr.TotalMass(); rel > 1e-12 {
+		t.Errorf("conserved sums diverged by %v", rel)
+	}
+	if tr.NumLeaves() == leaves0 && tr.MaxLevelInUse() == 0 {
+		t.Error("hierarchy never refined — the test exercised nothing")
+	}
+}
+
 func TestCheckpointGarbage(t *testing.T) {
 	if _, err := Load(strings.NewReader("junk"), core.DefaultConfig()); err == nil {
 		t.Error("garbage accepted")

@@ -1,0 +1,356 @@
+package amr
+
+import (
+	"bytes"
+	"encoding/gob"
+	"fmt"
+	"math"
+	"sort"
+
+	"rhsc/internal/grid"
+)
+
+// This file is the distribution interface of the tree: the minimal set of
+// exported, leaf-indexed operations package damr needs to run one Tree
+// replica per rank in lockstep. Leaves are addressed by their index into
+// the current leaf ordering (deterministic depth-first traversal); the
+// ordering — and therefore every index — is invalidated by a regrid, so
+// callers re-enumerate via LeafRefs after RegridWithIndicators reports a
+// change.
+
+// BlockRef identifies a block by refinement level and block coordinates.
+// It is stable across processes and regrids (unlike leaf indices).
+type BlockRef struct {
+	Level, Bi, Bj int
+}
+
+// Parent returns the ref of the containing block one level up.
+func (r BlockRef) Parent(dim int) BlockRef {
+	p := BlockRef{Level: r.Level - 1, Bi: r.Bi >> 1, Bj: r.Bj}
+	if dim >= 2 {
+		p.Bj = r.Bj >> 1
+	}
+	return p
+}
+
+// FirstChild returns the ref of the Morton-first (lower-left) child.
+func (r BlockRef) FirstChild(dim int) BlockRef {
+	c := BlockRef{Level: r.Level + 1, Bi: r.Bi << 1, Bj: r.Bj}
+	if dim >= 2 {
+		c.Bj = r.Bj << 1
+	}
+	return c
+}
+
+// Dim returns the dimensionality of the tree's problem (1 or 2).
+func (t *Tree) Dim() int { return t.dim }
+
+// RootBlocks returns the root-level block counts along x and y.
+func (t *Tree) RootBlocks() (nbx, nby int) { return t.nbx, t.nby }
+
+// RegridEvery returns the configured regrid cadence.
+func (t *Tree) RegridEvery() int { return t.cfg.RegridEvery }
+
+// Steps returns the number of completed time steps.
+func (t *Tree) Steps() int { return t.steps }
+
+// LeafRefs returns the refs of the current leaves, aligned with the leaf
+// indices every other method in this file accepts.
+func (t *Tree) LeafRefs() []BlockRef {
+	refs := make([]BlockRef, len(t.leaves))
+	for i, n := range t.leaves {
+		refs[i] = BlockRef{Level: n.level, Bi: n.bi, Bj: n.bj}
+	}
+	return refs
+}
+
+// LeafZones returns the number of interior zones of leaf i.
+func (t *Tree) LeafZones(i int) int {
+	g := t.leaves[i].sol.G
+	return g.Nx * g.Ny
+}
+
+// LeafRawU returns the raw conserved storage of leaf i (interior and
+// ghosts, component-major). The slice aliases the live solver state: a
+// distributed driver overwrites it wholesale when installing a received
+// halo copy, and reads it when packing one.
+func (t *Tree) LeafRawU(i int) []float64 { return t.leaves[i].sol.G.U.Raw() }
+
+// LeafIndicator returns the refinement indicator of leaf i. It reads the
+// leaf's interior and one ghost layer, so ghosts must be current.
+func (t *Tree) LeafIndicator(i int) float64 { return t.indicator(t.leaves[i]) }
+
+// LeafNeighborRefs returns the refs of every leaf overlapping the
+// one-block ring (faces and corners) around leaf i, excluding i itself.
+// Corners are included deliberately: ghost sampling only reads face
+// neighbours, but conservative restriction during coarsening reads all
+// sibling blocks of a parent, and the diagonal sibling is a corner
+// neighbour of the Morton-first child.
+func (t *Tree) LeafNeighborRefs(i int) []BlockRef {
+	n := t.leaves[i]
+	periodic := t.prob.BC == grid.Periodic
+	nbxL := t.nbx << n.level
+	nbyL := t.nby << n.level
+	seen := map[BlockRef]bool{}
+	var out []BlockRef
+	// add collects the leaves covering ring region k that actually touch
+	// leaf n. A leaf coarser than (or equal to) the ring region touches n
+	// because the whole region does; a finer descendant touches n only if
+	// it reaches the region's edge facing n (di, dj say which edge) —
+	// without this filter a coarse leaf would claim every fine leaf
+	// buried inside its neighbouring region, and the relation would stop
+	// being symmetric, which the distributed exchange plan relies on.
+	add := func(k key, di, dj int) {
+		for _, m := range t.coveringLeaves(k) {
+			if m == n || m.level > k.level && !touchesEdge(m, k, di, dj, t.dim) {
+				continue
+			}
+			r := BlockRef{Level: m.level, Bi: m.bi, Bj: m.bj}
+			if !seen[r] {
+				seen[r] = true
+				out = append(out, r)
+			}
+		}
+	}
+	djs := []int{0}
+	if t.dim >= 2 {
+		djs = []int{-1, 0, 1}
+	}
+	for _, dj := range djs {
+		for di := -1; di <= 1; di++ {
+			if di == 0 && dj == 0 {
+				continue
+			}
+			bi, bj := n.bi+di, n.bj+dj
+			if bi < 0 || bi >= nbxL {
+				if !periodic {
+					continue
+				}
+				bi = (bi + nbxL) % nbxL
+			}
+			if bj < 0 || bj >= nbyL {
+				if !periodic {
+					continue
+				}
+				bj = (bj + nbyL) % nbyL
+			}
+			add(key{n.level, bi, bj}, di, dj)
+		}
+	}
+	sort.Slice(out, func(a, b int) bool {
+		x, y := out[a], out[b]
+		if x.Level != y.Level {
+			return x.Level < y.Level
+		}
+		if x.Bj != y.Bj {
+			return x.Bj < y.Bj
+		}
+		return x.Bi < y.Bi
+	})
+	return out
+}
+
+// touchesEdge reports whether block m (a strict descendant of region k)
+// reaches the edge of k adjacent to the leaf the ring was built around:
+// the +x edge when di < 0 (k lies to the left of the leaf), the −x edge
+// when di > 0, and likewise in y; a zero offset puts no constraint on
+// that axis. A diagonal offset demands both, shrinking the match to the
+// corner-touching descendant.
+func touchesEdge(m *node, k key, di, dj, dim int) bool {
+	shift := uint(m.level - k.level)
+	x0 := k.bi << shift
+	x1 := (k.bi + 1) << shift
+	switch {
+	case di < 0 && m.bi+1 != x1:
+		return false
+	case di > 0 && m.bi != x0:
+		return false
+	}
+	if dim >= 2 {
+		y0 := k.bj << shift
+		y1 := (k.bj + 1) << shift
+		switch {
+		case dj < 0 && m.bj+1 != y1:
+			return false
+		case dj > 0 && m.bj != y0:
+			return false
+		}
+	}
+	return true
+}
+
+// coveringLeaves returns the leaves covering the block region k: the leaf
+// descendants of the node at k, or the coarser leaf containing k.
+func (t *Tree) coveringLeaves(k key) []*node {
+	if n, ok := t.nodes[k]; ok {
+		var out []*node
+		var walk func(m *node)
+		walk = func(m *node) {
+			if m.leaf() {
+				out = append(out, m)
+				return
+			}
+			for _, c := range m.children {
+				walk(c)
+			}
+		}
+		walk(n)
+		return out
+	}
+	for l, bi, bj := k.level, k.bi, k.bj; l > 0; {
+		l--
+		bi >>= 1
+		if t.dim >= 2 {
+			bj >>= 1
+		}
+		if n, ok := t.nodes[key{l, bi, bj}]; ok {
+			if n.leaf() {
+				return []*node{n}
+			}
+			// The region is covered by a refined ancestor but the exact
+			// key is absent — structurally impossible on a consistent
+			// tree.
+			panic(fmt.Sprintf("amr: region L%d (%d,%d) under refined non-leaf", k.level, k.bi, k.bj))
+		}
+	}
+	return nil
+}
+
+// BeginStep snapshots the conserved state of the given leaves into their
+// RK stage-zero storage (the first half of Tree.Step, restricted to a
+// leaf subset).
+func (t *Tree) BeginStep(idx []int) {
+	for _, i := range idx {
+		n := t.leaves[i]
+		n.u0.CopyFrom(n.sol.G.U)
+	}
+}
+
+// StageAdvance evaluates the RHS of the given leaves and applies the
+// Euler update u += dt·L(u), accounting the zone updates. Ghosts must be
+// current; the caller re-synchronises afterwards.
+func (t *Tree) StageAdvance(idx []int, dt float64) {
+	for _, i := range idx {
+		n := t.leaves[i]
+		n.sol.ComputeRHS(n.rhs)
+		t.zoneUpdates += int64(n.sol.G.Nx * n.sol.G.Ny)
+	}
+	for _, i := range idx {
+		n := t.leaves[i]
+		n.sol.G.U.AXPY(dt, n.rhs)
+	}
+}
+
+// CombineStage applies the SSP-RK2 combination u ← ½u⁰ + ½u to the given
+// leaves.
+func (t *Tree) CombineStage(idx []int) {
+	for _, i := range idx {
+		n := t.leaves[i]
+		n.sol.G.U.LinComb2(0.5, n.u0, 0.5, n.sol.G.U)
+	}
+}
+
+// SyncSubset recovers primitives on the `recover` leaves and refills the
+// External ghosts of the `ghosts` leaves. The ghost fill of a leaf reads
+// the recovered interiors of its neighbours, so `recover` must cover the
+// neighbourhood of every leaf in `ghosts`.
+func (t *Tree) SyncSubset(recover, ghosts []int) {
+	for _, i := range recover {
+		t.leaves[i].sol.RecoverPrimitives()
+	}
+	ls := make([]*node, len(ghosts))
+	for j, i := range ghosts {
+		ls[j] = t.leaves[i]
+	}
+	t.fillGhostsOf(ls)
+}
+
+// SyncAll re-establishes the full primitive/ghost invariant on every leaf
+// (exported for drivers that bulk-install conserved data).
+func (t *Tree) SyncAll() { t.sync() }
+
+// MaxDtOf returns the CFL step minimised over the given leaves (+Inf for
+// an empty set, ready for an all-reduce).
+func (t *Tree) MaxDtOf(idx []int) float64 {
+	dt := math.Inf(1)
+	for _, i := range idx {
+		if d := t.leaves[i].sol.MaxDt(); d < dt {
+			dt = d
+		}
+	}
+	return dt
+}
+
+// AdvanceTime moves the solution clock forward one step of size dt. The
+// caller is responsible for having advanced every leaf consistently.
+func (t *Tree) AdvanceTime(dt float64) {
+	t.t += dt
+	t.steps++
+}
+
+// RegridWithIndicators runs the regrid cycle with externally supplied
+// per-leaf indicator values (keyed by ref; typically allgathered from the
+// owning ranks). Leaves created during the cycle itself fall back to the
+// locally computed indicator, which is exactly 1 for any freshly built
+// block (its External ghosts are still zero), on every rank alike — so
+// the outcome is identical across replicas regardless of which leaf data
+// is locally fresh. It reports whether the hierarchy changed.
+func (t *Tree) RegridWithIndicators(vals map[BlockRef]float64) bool {
+	return t.regridWith(func(n *node) float64 {
+		if v, ok := vals[BlockRef{Level: n.level, Bi: n.bi, Bj: n.bj}]; ok {
+			return v
+		}
+		return t.indicator(n)
+	})
+}
+
+// EncodeLeaves gob-serialises the identified leaves' conserved state and
+// primitives using the checkpoint machinery (the leafRecord layout Save
+// writes, plus the W field), for block migration between ranks. The
+// primitives travel along because they seed the next con2prim Newton
+// iteration: without them a migrated replica would recover from a
+// different guess and drift off the owner's bit pattern.
+func (t *Tree) EncodeLeaves(idx []int) ([]byte, error) {
+	recs := make([]leafRecord, 0, len(idx))
+	for _, i := range idx {
+		n := t.leaves[i]
+		recs = append(recs, leafRecord{
+			Level: n.level, Bi: n.bi, Bj: n.bj,
+			U: append([]float64(nil), n.sol.G.U.Raw()...),
+			W: append([]float64(nil), n.sol.G.W.Raw()...),
+		})
+	}
+	var buf bytes.Buffer
+	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
+		return nil, fmt.Errorf("amr: encode leaves: %w", err)
+	}
+	return buf.Bytes(), nil
+}
+
+// DecodeLeaves installs a blob produced by EncodeLeaves into the matching
+// leaves of this tree and returns how many blocks it carried. The tree
+// structure must already contain every encoded leaf.
+func (t *Tree) DecodeLeaves(data []byte) (int, error) {
+	var recs []leafRecord
+	if err := gob.NewDecoder(bytes.NewReader(data)).Decode(&recs); err != nil {
+		return 0, fmt.Errorf("amr: decode leaves: %w", err)
+	}
+	for _, rec := range recs {
+		n, ok := t.nodes[key{rec.Level, rec.Bi, rec.Bj}]
+		if !ok || !n.leaf() {
+			return 0, fmt.Errorf("amr: migrated leaf L%d (%d,%d) not a leaf here", rec.Level, rec.Bi, rec.Bj)
+		}
+		raw := n.sol.G.U.Raw()
+		if len(rec.U) != len(raw) {
+			return 0, fmt.Errorf("amr: migrated leaf data size %d, grid needs %d", len(rec.U), len(raw))
+		}
+		copy(raw, rec.U)
+		if rec.W != nil {
+			if len(rec.W) != len(raw) {
+				return 0, fmt.Errorf("amr: migrated leaf prim size %d, grid needs %d", len(rec.W), len(raw))
+			}
+			copy(n.sol.G.W.Raw(), rec.W)
+		}
+	}
+	return len(recs), nil
+}

@@ -1,0 +1,142 @@
+package amr
+
+import (
+	"testing"
+
+	"rhsc/internal/core"
+	"rhsc/internal/testprob"
+)
+
+// TestLeafNeighborSymmetry pins the property the distributed exchange
+// plan is built on: the face+corner leaf-neighbour relation is symmetric
+// even across refinement jumps (a coarse leaf's ring region contains
+// many fine leaves, but only the ones touching it may appear).
+func TestLeafNeighborSymmetry(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig())
+	cfg.BlockN = 8
+	cfg.MaxLevel = 2
+	for _, p := range []*testprob.Problem{testprob.Blast2D, testprob.Sod} {
+		tree, err := NewTree(p, 4, cfg)
+		if err != nil {
+			t.Fatalf("%s: %v", p.Name, err)
+		}
+		refs := tree.LeafRefs()
+		idx := map[BlockRef]int{}
+		for i, r := range refs {
+			idx[r] = i
+		}
+		neigh := make([]map[int]bool, len(refs))
+		for i := range refs {
+			neigh[i] = map[int]bool{}
+			for _, r := range tree.LeafNeighborRefs(i) {
+				j, ok := idx[r]
+				if !ok {
+					t.Fatalf("%s: leaf %v neighbour %v is not a leaf", p.Name, refs[i], r)
+				}
+				if j == i {
+					t.Fatalf("%s: leaf %v lists itself", p.Name, refs[i])
+				}
+				neigh[i][j] = true
+			}
+		}
+		for i := range refs {
+			for j := range neigh[i] {
+				if !neigh[j][i] {
+					t.Errorf("%s: %v has neighbour %v but not vice versa", p.Name, refs[i], refs[j])
+				}
+			}
+		}
+	}
+}
+
+// TestLeafNeighborSiblings checks the corner inclusion the coarsening
+// authority depends on: every sibling of a refined block's first child —
+// including the diagonal one — must be in its neighbourhood.
+func TestLeafNeighborSiblings(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig())
+	cfg.BlockN = 8
+	cfg.MaxLevel = 2
+	tree, err := NewTree(testprob.Blast2D, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	refs := tree.LeafRefs()
+	idx := map[BlockRef]int{}
+	for i, r := range refs {
+		idx[r] = i
+	}
+	checked := 0
+	for i, r := range refs {
+		if r.Level == 0 || r.Bi%2 != 0 || r.Bj%2 != 0 {
+			continue
+		}
+		// r is a first child; its three siblings share the parent.
+		sibs := []BlockRef{
+			{Level: r.Level, Bi: r.Bi + 1, Bj: r.Bj},
+			{Level: r.Level, Bi: r.Bi, Bj: r.Bj + 1},
+			{Level: r.Level, Bi: r.Bi + 1, Bj: r.Bj + 1},
+		}
+		neigh := map[BlockRef]bool{}
+		for _, nr := range tree.LeafNeighborRefs(i) {
+			neigh[nr] = true
+		}
+		for _, s := range sibs {
+			if _, isLeaf := idx[s]; isLeaf && !neigh[s] {
+				t.Errorf("first child %v misses sibling %v", r, s)
+			}
+		}
+		checked++
+	}
+	if checked == 0 {
+		t.Fatal("no refined first children in the bootstrap tree")
+	}
+}
+
+// TestEncodeDecodeLeaves round-trips conserved and primitive data through
+// the migration serialisation.
+func TestEncodeDecodeLeaves(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig())
+	cfg.BlockN = 8
+	cfg.MaxLevel = 1
+	src, err := NewTree(testprob.Blast2D, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dst, err := NewTree(testprob.Blast2D, 2, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Perturb the source so the copy is observable.
+	for i := 0; i < src.NumLeaves(); i++ {
+		raw := src.LeafRawU(i)
+		for k := range raw {
+			raw[k] *= 1.5
+		}
+	}
+	idx := make([]int, src.NumLeaves())
+	for i := range idx {
+		idx[i] = i
+	}
+	blob, err := src.EncodeLeaves(idx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := dst.DecodeLeaves(blob)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != src.NumLeaves() {
+		t.Fatalf("decoded %d leaves, want %d", n, src.NumLeaves())
+	}
+	for i := 0; i < src.NumLeaves(); i++ {
+		a, b := src.LeafRawU(i), dst.LeafRawU(i)
+		for k := range a {
+			if a[k] != b[k] {
+				t.Fatalf("leaf %d U[%d]: %v != %v", i, k, a[k], b[k])
+			}
+		}
+	}
+	if _, err := dst.DecodeLeaves([]byte("not a gob stream")); err == nil {
+		t.Error("decoded garbage without error")
+	}
+}

@@ -1,6 +1,8 @@
 package amr
 
 import (
+	"sort"
+
 	"rhsc/internal/grid"
 	"rhsc/internal/state"
 )
@@ -259,13 +261,20 @@ func deepest(n *node) int {
 // regrid evaluates refinement flags, enforces 2:1 balance, refines and
 // coarsens, and rebuilds the leaf cache. It reports whether the hierarchy
 // changed.
-func (t *Tree) regrid() bool {
+func (t *Tree) regrid() bool { return t.regridWith(t.indicator) }
+
+// regridWith is regrid with an injectable indicator: the distributed
+// driver supplies allgathered per-leaf values so that every rank replica
+// makes identical decisions. All structural choices (refine flags,
+// balance cascade, coarsen order) are deterministic functions of the
+// supplied indicator and the tree structure.
+func (t *Tree) regridWith(ind func(n *node) float64) bool {
 	changed := false
 
 	// Refinement flags from the indicator.
 	want := map[*node]bool{}
 	for _, n := range t.leaves {
-		if n.level < t.cfg.MaxLevel && t.indicator(n) > t.cfg.RefineTol {
+		if n.level < t.cfg.MaxLevel && ind(n) > t.cfg.RefineTol {
 			want[n] = true
 		}
 	}
@@ -300,18 +309,43 @@ func (t *Tree) regrid() bool {
 
 	// Coarsening: a parent whose children are all quiet leaves merges,
 	// provided the merge keeps every neighbouring region within one
-	// level of the parent.
-	parents := map[*node]bool{}
+	// level of the parent. The candidates are visited in sorted order
+	// (deepest level first, then block coordinates) — map iteration
+	// order would make the outcome of neighbour-guard interactions
+	// nondeterministic, which distributed rank replicas cannot tolerate.
+	// Only children that entered the pass as leaves qualify: allowing a
+	// freshly merged parent to merge again same-pass would coarsen two
+	// levels at once, whose restriction stencil reaches two block-widths
+	// from the surviving first child — beyond the one-block halo ring
+	// the distributed driver keeps fresh. A deep cascade instead settles
+	// over consecutive regrid events.
+	preLeaf := map[*node]bool{}
+	parentSet := map[*node]bool{}
 	for _, n := range t.leaves {
+		preLeaf[n] = true
 		if n.parent == nil {
 			continue
 		}
-		parents[n.parent] = true
+		parentSet[n.parent] = true
 	}
-	for p := range parents {
+	parents := make([]*node, 0, len(parentSet))
+	for p := range parentSet {
+		parents = append(parents, p)
+	}
+	sort.Slice(parents, func(i, j int) bool {
+		a, b := parents[i], parents[j]
+		if a.level != b.level {
+			return a.level > b.level
+		}
+		if a.bj != b.bj {
+			return a.bj < b.bj
+		}
+		return a.bi < b.bi
+	})
+	for _, p := range parents {
 		ok := true
 		for _, c := range p.children {
-			if !c.leaf() || t.indicator(c) > t.cfg.CoarsenTol {
+			if !c.leaf() || !preLeaf[c] || ind(c) > t.cfg.CoarsenTol {
 				ok = false
 				break
 			}

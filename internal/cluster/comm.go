@@ -33,6 +33,21 @@ type World struct {
 	boxes [][]chan message // boxes[src][dst]
 }
 
+// mailboxDepth is the buffer depth of each pairwise mailbox. Every
+// protocol in this repository posts a bounded number of sends to any
+// single peer before turning around and receiving: the uniform-grid halo
+// exchange posts at most four face messages per stage (two of which can
+// target the same peer only on tiny periodic worlds), the collectives
+// post at most two, and the distributed-AMR exchange batches everything
+// for a peer into one message per phase. A send therefore never finds
+// more than four messages already in flight to the same peer, so a depth
+// of eight means Send never blocks mid-protocol and no cyclic
+// send-waits-for-send deadlock can form. A receiver blocked in Recv
+// additionally drains mismatched tags into its pending stash (see Recv),
+// so even bursts of many distinct tags cannot wedge the pair —
+// TestDeepTagExchange pins this down.
+const mailboxDepth = 8
+
 // NewWorld creates a world of n ranks with buffered pairwise mailboxes.
 func NewWorld(n int) *World {
 	if n < 1 {
@@ -42,7 +57,7 @@ func NewWorld(n int) *World {
 	for s := 0; s < n; s++ {
 		w.boxes[s] = make([]chan message, n)
 		for d := 0; d < n; d++ {
-			w.boxes[s][d] = make(chan message, 8)
+			w.boxes[s][d] = make(chan message, mailboxDepth)
 		}
 	}
 	return w
@@ -162,6 +177,47 @@ func (c *Comm) Gather(data []float64) [][]float64 {
 		out[src] = v
 	}
 	return out
+}
+
+// AllGather collects every rank's slice on every rank, in rank order.
+// Slices may have different lengths (including zero). Every rank must
+// call it. The returned slices alias the transported buffers; callers
+// must not mutate them.
+func (c *Comm) AllGather(data []float64) [][]float64 {
+	n := c.Size()
+	if n == 1 {
+		return [][]float64{data}
+	}
+	if c.rank == 0 {
+		parts := make([][]float64, n)
+		parts[0] = data
+		for src := 1; src < n; src++ {
+			v, _ := c.Recv(src, tagReduce)
+			parts[src] = v
+		}
+		// Rebroadcast as one flat message: [len_0 … len_{n-1}, payload…].
+		flat := make([]float64, n)
+		for r, p := range parts {
+			flat[r] = float64(len(p))
+		}
+		for _, p := range parts {
+			flat = append(flat, p...)
+		}
+		for dst := 1; dst < n; dst++ {
+			c.Send(dst, tagBcast, flat, 0)
+		}
+		return parts
+	}
+	c.Send(0, tagReduce, data, 0)
+	flat, _ := c.Recv(0, tagBcast)
+	parts := make([][]float64, n)
+	off := n
+	for r := 0; r < n; r++ {
+		l := int(flat[r])
+		parts[r] = flat[off : off+l]
+		off += l
+	}
+	return parts
 }
 
 // NetModel charges virtual time to messages: Latency seconds per message

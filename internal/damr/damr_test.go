@@ -1,0 +1,269 @@
+package damr
+
+import (
+	"math"
+	"testing"
+
+	"rhsc/internal/amr"
+	"rhsc/internal/cluster"
+	"rhsc/internal/core"
+	"rhsc/internal/testprob"
+)
+
+func blastConfig() amr.Config {
+	cfg := amr.DefaultConfig(core.DefaultConfig())
+	cfg.BlockN = 8
+	cfg.MaxLevel = 2
+	cfg.RegridEvery = 4
+	return cfg
+}
+
+// referenceRun advances a plain single-process amr tree by the same fixed
+// number of CFL steps the distributed driver takes.
+func referenceRun(t *testing.T, p *testprob.Problem, nbx, steps int, cfg amr.Config) *amr.Tree {
+	t.Helper()
+	tree, err := amr.NewTree(p, nbx, cfg)
+	if err != nil {
+		t.Fatalf("reference tree: %v", err)
+	}
+	for s := 0; s < steps; s++ {
+		if err := tree.Step(tree.MaxDt()); err != nil {
+			t.Fatalf("reference step %d: %v", s, err)
+		}
+	}
+	return tree
+}
+
+// sampleL1 returns the max-abs and L1 density differences between two
+// trees over a uniform probe lattice.
+func sampleL1(a, b *amr.Tree, p *testprob.Problem, n int) (linf, l1 float64) {
+	count := 0
+	for j := 0; j < n; j++ {
+		y := p.Y0 + (float64(j)+0.5)/float64(n)*(p.Y1-p.Y0)
+		for i := 0; i < n; i++ {
+			x := p.X0 + (float64(i)+0.5)/float64(n)*(p.X1-p.X0)
+			d := math.Abs(a.SampleAt(x, y).Rho - b.SampleAt(x, y).Rho)
+			if d > linf {
+				linf = d
+			}
+			l1 += d
+			count++
+		}
+	}
+	return linf, l1 / float64(count)
+}
+
+// TestRankCountInvariance is the acceptance test of the subsystem: the
+// 2-D blast on 1, 2, and 4 ranks must reproduce the single-rank amr run
+// — total conserved mass and the density field — within 1e-12 (the
+// design argues bit-exactness; the tolerance is the acceptance bar).
+func TestRankCountInvariance(t *testing.T) {
+	p := testprob.Blast2D
+	cfg := blastConfig()
+	const nbx, steps = 4, 10
+
+	ref := referenceRun(t, p, nbx, steps, cfg)
+
+	for _, ranks := range []int{1, 2, 4} {
+		res, err := Run(p, nbx, cfg, Options{
+			Ranks: ranks,
+			Mode:  cluster.Async,
+			Net:   cluster.Infiniband(),
+			Steps: steps,
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if res.Steps != steps {
+			t.Errorf("ranks=%d: took %d steps, want %d", ranks, res.Steps, steps)
+		}
+		if res.Leaves != ref.NumLeaves() {
+			t.Errorf("ranks=%d: %d leaves, reference %d", ranks, res.Leaves, ref.NumLeaves())
+		}
+		if res.MaxLevel != ref.MaxLevelInUse() {
+			t.Errorf("ranks=%d: max level %d, reference %d", ranks, res.MaxLevel, ref.MaxLevelInUse())
+		}
+		if res.Tree.Steps() != ref.Steps() {
+			t.Errorf("ranks=%d: tree steps %d, reference %d", ranks, res.Tree.Steps(), ref.Steps())
+		}
+		refMass := ref.TotalMass()
+		if rel := math.Abs(res.TotalMass-refMass) / refMass; rel > 1e-12 {
+			t.Errorf("ranks=%d: mass %v vs reference %v (rel %.3e)", ranks, res.TotalMass, refMass, rel)
+		}
+		linf, l1 := sampleL1(res.Tree, ref, p, 64)
+		if linf > 1e-12 || l1 > 1e-12 {
+			t.Errorf("ranks=%d: density mismatch Linf=%.3e L1=%.3e", ranks, linf, l1)
+		}
+	}
+}
+
+// TestSod1DInvariance exercises the 1-D code path (binary tree, x-only
+// halos) across ranks.
+func TestSod1DInvariance(t *testing.T) {
+	p := testprob.Sod
+	cfg := amr.DefaultConfig(core.DefaultConfig())
+	cfg.BlockN = 16
+	cfg.MaxLevel = 2
+	cfg.RegridEvery = 3
+	const nbx, steps = 4, 12
+
+	ref := referenceRun(t, p, nbx, steps, cfg)
+	for _, ranks := range []int{2, 3} {
+		res, err := Run(p, nbx, cfg, Options{Ranks: ranks, Steps: steps})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		refMass := ref.TotalMass()
+		if rel := math.Abs(res.TotalMass-refMass) / refMass; rel > 1e-12 {
+			t.Errorf("ranks=%d: mass %v vs reference %v", ranks, res.TotalMass, refMass)
+		}
+		if res.Leaves != ref.NumLeaves() {
+			t.Errorf("ranks=%d: %d leaves, reference %d", ranks, res.Leaves, ref.NumLeaves())
+		}
+		maxd := 0.0
+		for i := 0; i < 200; i++ {
+			x := p.X0 + (float64(i)+0.5)/200*(p.X1-p.X0)
+			d := math.Abs(res.Tree.SampleAt(x, 0).Rho - ref.SampleAt(x, 0).Rho)
+			if d > maxd {
+				maxd = d
+			}
+		}
+		if maxd > 1e-12 {
+			t.Errorf("ranks=%d: density Linf %.3e", ranks, maxd)
+		}
+	}
+}
+
+// TestMigrationOccurs confirms the blast run actually rebalances and
+// moves blocks between owners as the refined region grows — otherwise
+// the migration path is dead code and the invariance test proves less
+// than it claims. Three ranks on a four-quadrant problem force the curve
+// cuts off the quadrant boundaries, so growth must shift ownership (with
+// four ranks the symmetric blast is a fixed point of the partition).
+func TestMigrationOccurs(t *testing.T) {
+	res, err := Run(testprob.Blast2D, 4, blastConfig(), Options{
+		Ranks: 3, Steps: 48, Net: cluster.Infiniband(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Regrids == 0 {
+		t.Fatal("run never regridded")
+	}
+	if res.Rebalances == 0 {
+		t.Error("no regrid changed the hierarchy — pick a more dynamic setup")
+	}
+	if res.MigratedBlocks == 0 {
+		t.Error("no block changed owner across rebalances")
+	}
+	if res.MigratedBytes == 0 {
+		t.Error("rebalances moved no data")
+	}
+	if res.Imbalance < 0 {
+		t.Errorf("negative imbalance %v", res.Imbalance)
+	}
+}
+
+// TestMortonKeys pins the curve ordering: children enumerate in N-order
+// (Morton order) and keys are unique and properly nested.
+func TestMortonKeys(t *testing.T) {
+	// 2-D: the four children of (0,0) at level 1, in child-array order
+	// (cy*2+cx), must be strictly increasing on the curve.
+	prev := uint64(0)
+	for c, ref := range []amr.BlockRef{
+		{Level: 1, Bi: 0, Bj: 0}, {Level: 1, Bi: 1, Bj: 0},
+		{Level: 1, Bi: 0, Bj: 1}, {Level: 1, Bi: 1, Bj: 1},
+	} {
+		k := mortonKey(ref, 2, 2)
+		if c > 0 && k <= prev {
+			t.Errorf("child %d key %d not increasing (prev %d)", c, k, prev)
+		}
+		prev = k
+	}
+	// A coarse block sorts at its first descendant's position.
+	if mortonKey(amr.BlockRef{Level: 0, Bi: 1, Bj: 0}, 2, 2) !=
+		mortonKey(amr.BlockRef{Level: 2, Bi: 4, Bj: 0}, 2, 2) {
+		t.Error("coarse block does not anchor at its lower-left descendant")
+	}
+	// Distinct sibling keys in 1-D too.
+	if mortonKey(amr.BlockRef{Level: 1, Bi: 0, Bj: 0}, 3, 1) ==
+		mortonKey(amr.BlockRef{Level: 1, Bi: 1, Bj: 0}, 3, 1) {
+		t.Error("1-D sibling keys collide")
+	}
+}
+
+// TestPartitionCurve pins the midpoint splitting rule: contiguity,
+// monotonicity, weighting, and graceful behaviour with more ranks than
+// blocks.
+func TestPartitionCurve(t *testing.T) {
+	owner := partitionCurve([]float64{1, 1, 1, 1}, nil, 2)
+	want := []int{0, 0, 1, 1}
+	for i := range owner {
+		if owner[i] != want[i] {
+			t.Fatalf("even split: got %v want %v", owner, want)
+		}
+	}
+	// A 3:1 weighted two-rank split of four equal blocks gives rank 0
+	// three blocks.
+	owner = partitionCurve([]float64{1, 1, 1, 1}, []float64{3, 1}, 2)
+	want = []int{0, 0, 0, 1}
+	for i := range owner {
+		if owner[i] != want[i] {
+			t.Fatalf("weighted split: got %v want %v", owner, want)
+		}
+	}
+	// Monotone non-decreasing owners (contiguous segments) on uneven
+	// costs.
+	owner = partitionCurve([]float64{5, 1, 1, 1, 5, 1}, nil, 3)
+	for i := 1; i < len(owner); i++ {
+		if owner[i] < owner[i-1] {
+			t.Fatalf("owners not contiguous: %v", owner)
+		}
+	}
+	// More ranks than blocks: no panic, owners valid, some ranks empty.
+	owner = partitionCurve([]float64{1, 1}, nil, 5)
+	for _, r := range owner {
+		if r < 0 || r >= 5 {
+			t.Fatalf("owner out of range: %v", owner)
+		}
+	}
+}
+
+// TestWeightedPartitionRuns drives the hetero-style path end to end: a
+// fast rank and a slow rank, curve split by throughput.
+func TestWeightedPartitionRuns(t *testing.T) {
+	res, err := Run(testprob.Blast2D, 4, blastConfig(), Options{
+		Ranks:             2,
+		RankRates:         []float64{48e6, 16e6},
+		WeightedPartition: true,
+		Steps:             4,
+		Net:               cluster.GigE(),
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref := referenceRun(t, testprob.Blast2D, 4, 4, blastConfig())
+	if rel := math.Abs(res.TotalMass-ref.TotalMass()) / ref.TotalMass(); rel > 1e-12 {
+		t.Errorf("weighted run mass off by %.3e", rel)
+	}
+	if res.VirtualTime <= 0 {
+		t.Errorf("virtual clock not charged: %v", res.VirtualTime)
+	}
+}
+
+// TestOptionsValidation covers the error paths.
+func TestOptionsValidation(t *testing.T) {
+	cfg := blastConfig()
+	if _, err := Run(testprob.Blast2D, 4, cfg, Options{Ranks: 0}); err == nil {
+		t.Error("accepted zero ranks")
+	}
+	if _, err := Run(testprob.Blast2D, 4, cfg, Options{Ranks: 2, RankRates: []float64{1}}); err == nil {
+		t.Error("accepted mismatched RankRates")
+	}
+	if _, err := Run(testprob.Blast2D, 4, cfg, Options{Ranks: 2, WeightedPartition: true}); err == nil {
+		t.Error("accepted WeightedPartition without RankRates")
+	}
+	if _, err := Run(testprob.Blast2D, 4, cfg, Options{Ranks: 2, RankRates: []float64{1, -1}}); err == nil {
+		t.Error("accepted negative rank rate")
+	}
+}

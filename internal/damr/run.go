@@ -1,0 +1,573 @@
+package damr
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"sync"
+	"time"
+
+	"rhsc/internal/amr"
+	"rhsc/internal/cluster"
+	"rhsc/internal/metrics"
+	"rhsc/internal/testprob"
+)
+
+// Exchange tags (clear of the uniform-grid halo tags 100–103 and the
+// collective tags in cluster/comm.go). Each phase sends at most one
+// message per (src, dst) pair, so per-pair FIFO keeps phases ordered
+// under a single halo tag; migration gets its own tag anyway so a
+// regrid burst can never be confused with stage traffic.
+const (
+	tagHalo    = 200
+	tagMigrate = 201
+	tagGather  = 202
+)
+
+// epoch is the replicated picture of one partition generation: who owns
+// which leaf, which copies this rank keeps fresh, and the symmetric
+// exchange plan. It is a pure function of the (identical) tree structure
+// and the options, so every rank computes the same epoch without
+// communication; only the leaf *data* is distributed.
+type epoch struct {
+	refs  []amr.BlockRef
+	index map[amr.BlockRef]int
+	owner []int   // by leaf index
+	mines [][]int // per rank: owned leaf indices, ascending
+	mine  []int   // mines[rank]
+	halo  []int   // fresh but not owned, ascending
+	fresh []int   // mine ∪ halo, ascending
+
+	// neigh[i] is the face+corner leaf neighbourhood of leaf i.
+	neigh [][]int
+
+	// sendTo[dst] / recvFrom[src] are the per-peer halo exchange sets
+	// (leaf indices, ascending); computed symmetrically on both sides so
+	// message sizes agree without negotiation.
+	sendTo   map[int][]int
+	recvFrom map[int][]int
+	peersOut []int // dsts with non-empty sendTo, ascending
+	peersIn  []int // srcs with non-empty recvFrom, ascending
+
+	// Interior/boundary split of this rank's compute for the Async
+	// overlap model: a block that feeds any peer is boundary work.
+	interiorZones int
+	boundaryZones int
+
+	rankCost  []float64
+	imbalance float64
+}
+
+// buildEpoch enumerates the leaves, partitions the Morton curve, and
+// derives this rank's freshness sets and exchange plan.
+func buildEpoch(t *amr.Tree, opts *Options, maxLevel, rank int) *epoch {
+	ep := &epoch{
+		refs:     t.LeafRefs(),
+		sendTo:   map[int][]int{},
+		recvFrom: map[int][]int{},
+	}
+	n := len(ep.refs)
+	ep.index = make(map[amr.BlockRef]int, n)
+	for i, r := range ep.refs {
+		ep.index[r] = i
+	}
+
+	// Partition the Morton curve by cost.
+	order := mortonOrder(ep.refs, maxLevel, t.Dim())
+	costs := make([]float64, n)
+	for pos, i := range order {
+		costs[pos] = float64(t.LeafZones(i)) * math.Pow(opts.LevelCostFactor, float64(ep.refs[i].Level))
+	}
+	var weights []float64
+	if opts.WeightedPartition {
+		weights = opts.RankRates
+	}
+	curveOwner := partitionCurve(costs, weights, opts.Ranks)
+	ep.owner = make([]int, n)
+	ep.rankCost = make([]float64, opts.Ranks)
+	for pos, i := range order {
+		ep.owner[i] = curveOwner[pos]
+		ep.rankCost[curveOwner[pos]] += costs[pos]
+	}
+	ep.imbalance = metrics.Imbalance(ep.rankCost)
+
+	ep.mines = make([][]int, opts.Ranks)
+	for i := 0; i < n; i++ {
+		r := ep.owner[i]
+		ep.mines[r] = append(ep.mines[r], i)
+	}
+	ep.mine = ep.mines[rank]
+
+	// Neighbourhoods, halo, and the symmetric exchange plan. Geometric
+	// adjacency is symmetric, so "L ∈ mine, M ∈ neigh(L), owner(M) = s"
+	// seen from here is exactly "M ∈ mine, L ∈ neigh(M), owner(L) = me"
+	// seen from rank s — both sides derive equal send/recv sets.
+	ep.neigh = make([][]int, n)
+	for i := 0; i < n; i++ {
+		refs := t.LeafNeighborRefs(i)
+		ni := make([]int, len(refs))
+		for k, r := range refs {
+			ni[k] = ep.index[r]
+		}
+		ep.neigh[i] = ni
+	}
+	inHalo := map[int]bool{}
+	inSend := map[int]map[int]bool{}
+	boundary := map[int]bool{}
+	for _, i := range ep.mine {
+		for _, j := range ep.neigh[i] {
+			s := ep.owner[j]
+			if s == rank {
+				continue
+			}
+			inHalo[j] = true
+			if inSend[s] == nil {
+				inSend[s] = map[int]bool{}
+			}
+			inSend[s][i] = true
+			boundary[i] = true
+		}
+	}
+	for j := range inHalo {
+		ep.halo = append(ep.halo, j)
+	}
+	sort.Ints(ep.halo)
+	ep.fresh = append(append([]int{}, ep.mine...), ep.halo...)
+	sort.Ints(ep.fresh)
+	for s, set := range inSend {
+		idx := make([]int, 0, len(set))
+		for i := range set {
+			idx = append(idx, i)
+		}
+		sort.Ints(idx)
+		ep.sendTo[s] = idx
+		ep.peersOut = append(ep.peersOut, s)
+	}
+	sort.Ints(ep.peersOut)
+	for _, j := range ep.halo {
+		s := ep.owner[j]
+		ep.recvFrom[s] = append(ep.recvFrom[s], j)
+	}
+	for s := range ep.recvFrom {
+		ep.peersIn = append(ep.peersIn, s)
+	}
+	sort.Ints(ep.peersIn)
+
+	for _, i := range ep.mine {
+		z := t.LeafZones(i)
+		if boundary[i] {
+			ep.boundaryZones += z
+		} else {
+			ep.interiorZones += z
+		}
+	}
+	return ep
+}
+
+// needers returns the ranks that keep leaf i fresh under this epoch: its
+// owner plus every rank owning a neighbour.
+func (ep *epoch) needers(i int) []int {
+	set := map[int]bool{ep.owner[i]: true}
+	for _, j := range ep.neigh[i] {
+		set[ep.owner[j]] = true
+	}
+	out := make([]int, 0, len(set))
+	for r := range set {
+		out = append(out, r)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// rankRun is one rank's goroutine: a full tree replica advanced in
+// lockstep with its peers.
+type rankRun struct {
+	t    *amr.Tree
+	comm *cluster.Comm
+	opts *Options
+	ep   *epoch
+	rank int
+	rate float64
+
+	clock       float64
+	rebalClock  float64
+	rebalReal   time.Duration
+	imbAccum    float64
+	regrids     int
+	rebalances  int
+	migBlocks   int
+	migBytes    int64
+	maxLevelCfg int
+}
+
+// exchangeHalos runs one halo phase: post packed conserved blocks to
+// every peer, receive the symmetric sets, then restore the recover/ghost
+// invariant on the fresh set. When stageZones > 0 the phase also charges
+// that much compute to the virtual clock, split interior/boundary for
+// the Async overlap model exactly as cluster.rankState.exchange does.
+func (r *rankRun) exchangeHalos(stageZones bool) {
+	t, ep := r.t, r.ep
+	dims := float64(t.Dim())
+	full, boundary := 0.0, 0.0
+	if stageZones {
+		full = float64(ep.interiorZones+ep.boundaryZones) * dims / r.rate
+		boundary = float64(ep.boundaryZones) * dims / r.rate
+		if boundary > full {
+			boundary = full
+		}
+	}
+	interior := full - boundary
+
+	for _, dst := range ep.peersOut {
+		idx := ep.sendTo[dst]
+		size := 0
+		for _, i := range idx {
+			size += len(t.LeafRawU(i))
+		}
+		buf := make([]float64, 0, size)
+		for _, i := range idx {
+			buf = append(buf, t.LeafRawU(i)...)
+		}
+		r.comm.Send(dst, tagHalo, buf, r.clock)
+	}
+	if r.opts.Mode == cluster.Async {
+		r.clock += interior
+	}
+	for _, src := range ep.peersIn {
+		data, stamp := r.comm.Recv(src, tagHalo)
+		off := 0
+		for _, j := range ep.recvFrom[src] {
+			raw := t.LeafRawU(j)
+			copy(raw, data[off:off+len(raw)])
+			off += len(raw)
+		}
+		if avail := stamp + r.opts.Net.Cost(len(data) * 8); avail > r.clock {
+			r.clock = avail
+		}
+	}
+	if r.opts.Mode == cluster.Async {
+		r.clock += boundary
+	} else {
+		r.clock += full
+	}
+
+	t.SyncSubset(ep.fresh, ep.mine)
+}
+
+// step advances one global CFL step, mirroring amr.Tree.Step stage for
+// stage so every fresh leaf follows the identical operation sequence.
+func (r *rankRun) step(dt float64) {
+	t, ep := r.t, r.ep
+	t.BeginStep(ep.mine)
+	for s := 0; s < 2; s++ {
+		t.StageAdvance(ep.mine, dt)
+		r.exchangeHalos(true)
+	}
+	t.CombineStage(ep.mine)
+	r.exchangeHalos(false)
+	t.AdvanceTime(dt)
+	r.imbAccum += r.ep.imbalance
+}
+
+// regridPhase mirrors the regrid branch of amr.Tree.Step: regrid with
+// owner-computed (allgathered) indicators, then — when the hierarchy
+// changed — repartition, migrate, and refresh before the post-regrid
+// sync. When nothing changed the phase reduces to the serial tree's
+// plain post-regrid sync.
+func (r *rankRun) regridPhase() {
+	start := time.Now()
+	clock0 := r.clock
+	t, ep, opts := r.t, r.ep, r.opts
+	r.regrids++
+
+	// Owners publish the refinement indicators of their leaves; the
+	// replicated epoch tells every rank how to zip the parts back into a
+	// global ref→value map without sending the refs themselves.
+	vals := make([]float64, len(ep.mine))
+	for k, i := range ep.mine {
+		vals[k] = t.LeafIndicator(i)
+	}
+	parts := r.comm.AllGather(vals)
+	totalBytes := 0
+	for _, p := range parts {
+		totalBytes += 8 * len(p)
+	}
+	// Coarse gather-to-root-and-rebroadcast charge, matching the
+	// transport's actual shape.
+	r.clock += 2 * opts.Net.Cost(totalBytes)
+	ind := make(map[amr.BlockRef]float64, len(ep.refs))
+	for rk, part := range parts {
+		for k, i := range ep.mines[rk] {
+			ind[ep.refs[i]] = part[k]
+		}
+	}
+
+	changed := t.RegridWithIndicators(ind)
+	if !changed {
+		// The serial stepper still re-syncs after a no-op regrid; match
+		// its recover count on every fresh copy.
+		t.SyncSubset(ep.fresh, ep.mine)
+		r.rebalClock += r.clock - clock0
+		r.rebalReal += time.Since(start)
+		return
+	}
+	r.rebalances++
+
+	newEp := buildEpoch(t, opts, r.maxLevelCfg, r.rank)
+
+	// Migration plan. The *authority* of a new leaf is the rank whose
+	// old fresh set provably contains bit-exact data for it:
+	//   unchanged leaf → its old owner;
+	//   refined leaf   → the old owner of the ancestor that was a leaf
+	//                    (prolongation read only that block's interior);
+	//   coarsened leaf → the old owner of its Morton-first child (the
+	//                    restriction read all children, and the corner-
+	//                    inclusive halo ring of child 0 covers them).
+	// The authority ships (U, W) to every rank that newly keeps the leaf
+	// fresh; ranks whose old fresh set already covered an unchanged leaf
+	// are skipped — their copies are in lockstep by construction.
+	authority := func(ref amr.BlockRef) int {
+		if i, ok := ep.index[ref]; ok {
+			return ep.owner[i]
+		}
+		if c, ok := ep.index[ref.FirstChild(t.Dim())]; ok {
+			return ep.owner[c]
+		}
+		for p := ref.Parent(t.Dim()); p.Level >= 0; p = p.Parent(t.Dim()) {
+			if i, ok := ep.index[p]; ok {
+				return ep.owner[i]
+			}
+		}
+		panic(fmt.Sprintf("damr: no authority for block L%d (%d,%d)", ref.Level, ref.Bi, ref.Bj))
+	}
+	oldNeeders := func(ref amr.BlockRef) []int {
+		i, ok := ep.index[ref]
+		if !ok {
+			return nil
+		}
+		return ep.needers(i)
+	}
+	sendPlan := map[int][]int{} // dst → new leaf indices this rank ships
+	recvPlan := map[int][]int{} // src → new leaf indices this rank expects
+	for i, ref := range newEp.refs {
+		auth := authority(ref)
+		// Each new owner counts the blocks it takes over from another
+		// rank's authority — whether or not bytes had to move (the halo
+		// often means the data is already resident).
+		if newEp.owner[i] == r.rank && auth != r.rank {
+			r.migBlocks++
+		}
+		old := oldNeeders(ref)
+		for _, need := range newEp.needers(i) {
+			if need == auth || contains(old, need) {
+				continue
+			}
+			if auth == r.rank {
+				sendPlan[need] = append(sendPlan[need], i)
+			}
+			if need == r.rank {
+				recvPlan[auth] = append(recvPlan[auth], i)
+			}
+		}
+	}
+	for dst, idx := range sendPlan {
+		blob, err := t.EncodeLeaves(idx)
+		if err != nil {
+			panic(err)
+		}
+		payload := packBytes(blob)
+		r.migBytes += int64(len(blob))
+		r.comm.Send(dst, tagMigrate, payload, r.clock)
+	}
+	for _, src := range sortedKeys(recvPlan) {
+		payload, stamp := r.comm.Recv(src, tagMigrate)
+		if avail := stamp + opts.Net.Cost(len(payload) * 8); avail > r.clock {
+			r.clock = avail
+		}
+		if _, err := t.DecodeLeaves(unpackBytes(payload)); err != nil {
+			panic(err)
+		}
+	}
+
+	// Post-regrid sync on the new fresh set (the serial tree recovers
+	// every leaf here; each fresh copy applies the same single recover).
+	t.SyncSubset(newEp.fresh, newEp.mine)
+	r.ep = newEp
+	r.rebalClock += r.clock - clock0
+	r.rebalReal += time.Since(start)
+}
+
+func contains(xs []int, v int) bool {
+	for _, x := range xs {
+		if x == v {
+			return true
+		}
+	}
+	return false
+}
+
+func sortedKeys(m map[int][]int) []int {
+	out := make([]int, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sort.Ints(out)
+	return out
+}
+
+// packBytes reinterprets a byte blob as the []float64 payload the
+// channel transport carries (8 bytes per element, zero-padded tail,
+// length prefix so the exact byte count survives).
+func packBytes(b []byte) []float64 {
+	n := len(b)
+	out := make([]float64, 1, 1+(n+7)/8)
+	out[0] = float64(n)
+	for off := 0; off < n; off += 8 {
+		var word uint64
+		for k := 0; k < 8 && off+k < n; k++ {
+			word |= uint64(b[off+k]) << (8 * k)
+		}
+		out = append(out, math.Float64frombits(word))
+	}
+	return out
+}
+
+// unpackBytes inverts packBytes.
+func unpackBytes(payload []float64) []byte {
+	n := int(payload[0])
+	out := make([]byte, n)
+	for w, word := range payload[1:] {
+		bits := math.Float64bits(word)
+		for k := 0; k < 8; k++ {
+			if i := w*8 + k; i < n {
+				out[i] = byte(bits >> (8 * k))
+			}
+		}
+	}
+	return out
+}
+
+// Run advances problem p on a hierarchy of nbx root blocks distributed
+// over opts.Ranks ranks and returns rank 0's result, with every leaf's
+// final data gathered into Result.Tree. The run is bit-identical to the
+// equivalent single-rank amr.Tree run at any rank count.
+func Run(p *testprob.Problem, nbx int, cfg amr.Config, opts Options) (*Result, error) {
+	if err := opts.validate(); err != nil {
+		return nil, err
+	}
+	world := cluster.NewWorld(opts.Ranks)
+	results := make([]*Result, opts.Ranks)
+	errs := make([]error, opts.Ranks)
+	var wg sync.WaitGroup
+	for rank := 0; rank < opts.Ranks; rank++ {
+		wg.Add(1)
+		go func(rank int) {
+			defer wg.Done()
+			defer func() {
+				if rec := recover(); rec != nil {
+					errs[rank] = fmt.Errorf("damr: rank %d: %v", rank, rec)
+				}
+			}()
+			results[rank], errs[rank] = runRank(world.Comm(rank), p, nbx, cfg, &opts)
+		}(rank)
+	}
+	wg.Wait()
+	for rank, err := range errs {
+		if err != nil {
+			return nil, fmt.Errorf("damr: rank %d: %w", rank, err)
+		}
+	}
+	return results[0], nil
+}
+
+func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, opts *Options) (*Result, error) {
+	// Every rank builds the same replica: NewTree is deterministic, so no
+	// initial exchange is needed — all copies start fresh everywhere.
+	t, err := amr.NewTree(p, nbx, cfg)
+	if err != nil {
+		return nil, err
+	}
+	rank := comm.Rank()
+	r := &rankRun{
+		t: t, comm: comm, opts: opts, rank: rank,
+		rate:        opts.ZoneRate,
+		maxLevelCfg: cfg.MaxLevel,
+	}
+	if len(opts.RankRates) > 0 {
+		r.rate = opts.RankRates[rank]
+	}
+	r.ep = buildEpoch(t, opts, cfg.MaxLevel, rank)
+
+	tEnd := p.TEnd
+	if opts.TEnd > 0 {
+		tEnd = opts.TEnd
+	}
+
+	start := time.Now()
+	steps := 0
+	for {
+		if opts.Steps > 0 {
+			if steps >= opts.Steps {
+				break
+			}
+		} else if t.Time() >= tEnd-1e-14 {
+			break
+		}
+		dt := comm.AllReduceMin(t.MaxDtOf(r.ep.mine))
+		r.clock += opts.Net.AllReduceCost(opts.Ranks)
+		if opts.Steps == 0 && t.Time()+dt > tEnd {
+			dt = tEnd - t.Time()
+		}
+		r.step(dt)
+		steps++
+		if t.Steps()%t.RegridEvery() == 0 {
+			r.regridPhase()
+		}
+		if steps > 1_000_000 {
+			return nil, fmt.Errorf("damr: step budget exhausted")
+		}
+	}
+	real := time.Since(start)
+
+	// Diagnostics (uncharged, like the uniform-grid driver).
+	vmax := comm.AllReduceMax(r.clock)
+	rebalMax := comm.AllReduceMax(r.rebalClock)
+	zu := comm.AllReduceSum(float64(t.ZoneUpdates()))
+	migBlocks := comm.AllReduceSum(float64(r.migBlocks))
+	migBytes := comm.AllReduceSum(float64(r.migBytes))
+
+	// Gather every owned leaf's final (U, W) onto rank 0 so its replica
+	// becomes globally fresh — deliberately without a re-sync, which
+	// would apply one recover more than the reference run.
+	if rank != 0 {
+		blob, err := t.EncodeLeaves(r.ep.mine)
+		if err != nil {
+			return nil, err
+		}
+		comm.Send(0, tagGather, packBytes(blob), 0)
+		return &Result{}, nil
+	}
+	for src := 1; src < opts.Ranks; src++ {
+		payload, _ := comm.Recv(src, tagGather)
+		if _, err := t.DecodeLeaves(unpackBytes(payload)); err != nil {
+			return nil, err
+		}
+	}
+	imb := 0.0
+	if steps > 0 {
+		imb = r.imbAccum / float64(steps)
+	}
+	return &Result{
+		Ranks: opts.Ranks, Mode: opts.Mode, Steps: steps,
+		RealTime: real, VirtualTime: vmax,
+		TotalMass:   t.TotalMass(),
+		ZoneUpdates: int64(zu),
+		Leaves:      t.NumLeaves(),
+		MaxLevel:    t.MaxLevelInUse(),
+		Regrids:     r.regrids, Rebalances: r.rebalances,
+		MigratedBlocks: int(migBlocks), MigratedBytes: int64(migBytes),
+		RebalanceTime: r.rebalReal, RebalanceVirtual: rebalMax,
+		Imbalance: imb,
+		Tree:      t,
+	}, nil
+}

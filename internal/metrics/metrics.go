@@ -117,6 +117,29 @@ func Efficiency(t1, tp time.Duration, p int) float64 {
 	return 100 * t1.Seconds() / (float64(p) * tp.Seconds())
 }
 
+// Imbalance returns the load-imbalance factor (max − mean)/mean of the
+// per-rank loads: 0 for a perfect partition, 1 when the busiest rank
+// carries twice the average. This is the standard AMR load-balance
+// figure; a lockstep run loses exactly this fraction of its time to
+// waiting.
+func Imbalance(loads []float64) float64 {
+	if len(loads) == 0 {
+		return 0
+	}
+	max, sum := loads[0], 0.0
+	for _, l := range loads {
+		if l > max {
+			max = l
+		}
+		sum += l
+	}
+	mean := sum / float64(len(loads))
+	if mean <= 0 {
+		return 0
+	}
+	return (max - mean) / mean
+}
+
 // Table accumulates rows and renders an aligned text table, the output
 // format of every experiment in EXPERIMENTS.md.
 type Table struct {
