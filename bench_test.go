@@ -119,7 +119,7 @@ func BenchmarkE6_WeakScaling(b *testing.B) {
 // blast (Table 4's unit).
 func BenchmarkE7_DeviceStep(b *testing.B) {
 	s := newSolver(b, testprob.Blast2D, 64, core.DefaultConfig())
-	ex := hetero.NewExecutor(hetero.Static, hetero.NewDevice(hetero.SpecK20GPU()))
+	ex := hetero.MustExecutor(hetero.Static, hetero.MustDevice(hetero.SpecK20GPU()))
 	ex.Attach(s)
 	dt := s.MaxDt()
 	b.ResetTimer()
@@ -134,9 +134,9 @@ func BenchmarkE7_DeviceStep(b *testing.B) {
 // (Fig 6's unit).
 func BenchmarkE8_HeteroDynamicStep(b *testing.B) {
 	s := newSolver(b, testprob.Blast2D, 64, core.DefaultConfig())
-	ex := hetero.NewExecutor(hetero.Dynamic,
-		hetero.NewDevice(hetero.SpecHostCPU(4)),
-		hetero.NewDevice(hetero.SpecK20GPU()))
+	ex := hetero.MustExecutor(hetero.Dynamic,
+		hetero.MustDevice(hetero.SpecHostCPU(4)),
+		hetero.MustDevice(hetero.SpecK20GPU()))
 	ex.Attach(s)
 	dt := s.MaxDt()
 	b.ResetTimer()

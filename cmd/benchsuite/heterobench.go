@@ -21,9 +21,16 @@ func heteroRun(n, steps int, pol hetero.Policy, specs ...hetero.Spec) (*hetero.E
 	}
 	devs := make([]*hetero.Device, len(specs))
 	for i, sp := range specs {
-		devs[i] = hetero.NewDevice(sp)
+		d, err := hetero.NewDevice(sp)
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = d
 	}
-	ex := hetero.NewExecutor(pol, devs...)
+	ex, err := hetero.NewExecutor(pol, devs...)
+	if err != nil {
+		return nil, err
+	}
 	ex.Attach(s)
 	s.InitFromPrim(p.Init)
 	for i := 0; i < steps; i++ {

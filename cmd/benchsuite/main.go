@@ -8,7 +8,7 @@
 //	benchsuite [flags] <experiment>
 //
 // Experiments: table1 fig2 table2 table3 fig4 fig5 table4 fig6 fig7
-// table5 fig8 damr, or "all".
+// table5 fig8 damr resilience, or "all".
 //
 // Flags:
 //
@@ -44,6 +44,7 @@ var experiments = []experiment{
 	{"table5", "E10: reconstruction x Riemann-solver cost ablation", (*suite).table5},
 	{"fig8", "E11: heterogeneous cluster, even vs weighted decomposition", (*suite).fig8},
 	{"damr", "E12: distributed AMR strong scaling", (*suite).damr},
+	{"resilience", "E13: checkpoint overhead and fault recovery", (*suite).resilience},
 }
 
 type suite struct {

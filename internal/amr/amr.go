@@ -122,14 +122,7 @@ func NewTree(p *testprob.Problem, nbx int, cfg Config) (*Tree, error) {
 		return nil, fmt.Errorf("amr: %d-D problems are not supported (quadtree refinement is 1-D/2-D)", p.Dim)
 	}
 	dim := p.Dim
-	nby := 1
-	if dim >= 2 {
-		aspect := (p.Y1 - p.Y0) / (p.X1 - p.X0)
-		nby = int(math.Round(float64(nbx) * aspect))
-		if nby < 1 {
-			nby = 1
-		}
-	}
+	nby := rootLayout(p, nbx)
 	t := &Tree{
 		cfg: cfg, prob: p, dim: dim, nbx: nbx, nby: nby,
 		x0: p.X0, x1: p.X1, y0: p.Y0, y1: p.Y1,
@@ -146,7 +139,9 @@ func NewTree(p *testprob.Problem, nbx int, cfg Config) (*Tree, error) {
 		}
 	}
 	t.rebuildLeaves()
-	t.initLeaves(t.leaves)
+	if err := t.initLeaves(t.leaves); err != nil {
+		return nil, err
+	}
 	t.fillGhosts()
 	// Bootstrap: regrid against the initial condition until the hierarchy
 	// stabilises, re-imposing the exact initial data each round.
@@ -154,11 +149,28 @@ func NewTree(p *testprob.Problem, nbx int, cfg Config) (*Tree, error) {
 		if !t.regrid() {
 			break
 		}
-		t.initLeaves(t.leaves)
+		if err := t.initLeaves(t.leaves); err != nil {
+			return nil, err
+		}
 		t.fillGhosts()
 	}
 	t.sync()
 	return t, nil
+}
+
+// rootLayout returns the root-block row count matching the domain aspect
+// ratio for nbx columns — the layout NewTree, and any rebuild claiming
+// structural identity with it, must share.
+func rootLayout(p *testprob.Problem, nbx int) int {
+	if p.Dim < 2 {
+		return 1
+	}
+	aspect := (p.Y1 - p.Y0) / (p.X1 - p.X0)
+	nby := int(math.Round(float64(nbx) * aspect))
+	if nby < 1 {
+		nby = 1
+	}
+	return nby
 }
 
 // blockExtent returns the physical bounds of block (level, bi, bj).
@@ -231,10 +243,13 @@ func (t *Tree) setLeafBCs(n *node, g *grid.Grid) {
 }
 
 // initLeaves imposes the problem's initial condition on the given leaves.
-func (t *Tree) initLeaves(ls []*node) {
+func (t *Tree) initLeaves(ls []*node) error {
 	for _, n := range ls {
-		n.sol.InitFromPrim(t.prob.Init)
+		if err := n.sol.InitFromPrim(t.prob.Init); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // rebuildLeaves refreshes the leaf cache.

@@ -1,6 +1,7 @@
 package amr
 
 import (
+	"bytes"
 	"encoding/gob"
 	"fmt"
 	"io"
@@ -82,18 +83,36 @@ func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
 		CoarsenTol:  cp.CoarsenTol,
 		RegridEvery: cp.RegridEvery,
 	}
-	// Build a fresh level-0 hierarchy without bootstrapping refinement:
-	// replicate NewTree's construction manually.
+	t, err := newSkeleton(p, cfg, cp.Nbx, cp.Nby)
+	if err != nil {
+		return nil, err
+	}
+	if err := t.installRecords(cp.Leaves, cp.Time); err != nil {
+		return nil, err
+	}
+	t.t = cp.Time
+	t.steps = cp.Steps
+	t.zoneUpdates = cp.ZoneUpdates
+	// Checkpoints carry no primitives: re-recover them. (This reseeds the
+	// Newton guesses, so a loaded run is accurate but not bit-identical;
+	// TreeFromLeafBlobs is the bit-exact path.)
+	t.sync()
+	return t, nil
+}
+
+// newSkeleton builds a level-0 hierarchy without bootstrap refinement:
+// NewTree's construction minus the initial condition and regrid rounds.
+func newSkeleton(p *testprob.Problem, cfg Config, nbx, nby int) (*Tree, error) {
+	if p.Dim > 2 {
+		return nil, fmt.Errorf("amr: checkpointed problem is %d-D", p.Dim)
+	}
 	t := &Tree{
-		cfg: cfg, prob: p, dim: p.Dim, nbx: cp.Nbx, nby: cp.Nby,
+		cfg: cfg, prob: p, dim: p.Dim, nbx: nbx, nby: nby,
 		x0: p.X0, x1: p.X1, y0: p.Y0, y1: p.Y1,
 		nodes: make(map[key]*node),
 	}
-	if t.dim > 2 {
-		return nil, fmt.Errorf("amr: checkpointed problem is %d-D", t.dim)
-	}
-	for bj := 0; bj < cp.Nby; bj++ {
-		for bi := 0; bi < cp.Nbx; bi++ {
+	for bj := 0; bj < nby; bj++ {
+		for bi := 0; bi < nbx; bi++ {
 			n := &node{level: 0, bi: bi, bj: bj}
 			if err := t.attachSolver(n); err != nil {
 				return nil, err
@@ -102,9 +121,15 @@ func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
 			t.nodes[key{0, bi, bj}] = n
 		}
 	}
+	return t, nil
+}
 
-	// Recreate the refinement structure: refine ancestors level by level.
-	recs := append([]leafRecord(nil), cp.Leaves...)
+// installRecords recreates the refinement structure implied by the
+// records (refining ancestors level by level) and installs each record's
+// data: U always, W when the record carries primitives. Together the
+// records must cover every leaf of one consistent snapshot.
+func (t *Tree) installRecords(recs []leafRecord, time float64) error {
+	recs = append([]leafRecord(nil), recs...)
 	sort.Slice(recs, func(i, j int) bool { return recs[i].Level < recs[j].Level })
 	for _, rec := range recs {
 		// Walk down from the containing root, refining as needed.
@@ -117,40 +142,72 @@ func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
 			}
 			anc, ok := t.nodes[key{lvl, bi, bj}]
 			if !ok {
-				return nil, fmt.Errorf("amr: checkpoint structure broken at L%d (%d,%d)", lvl, bi, bj)
+				return fmt.Errorf("amr: checkpoint structure broken at L%d (%d,%d)", lvl, bi, bj)
 			}
 			if anc.leaf() {
 				if err := t.refine(anc); err != nil {
-					return nil, err
+					return err
 				}
 			}
 		}
 	}
 	t.rebuildLeaves()
 
-	// Install the leaf data.
 	installed := 0
 	for _, rec := range recs {
 		n, ok := t.nodes[key{rec.Level, rec.Bi, rec.Bj}]
 		if !ok || !n.leaf() {
-			return nil, fmt.Errorf("amr: checkpoint leaf L%d (%d,%d) missing after rebuild",
+			return fmt.Errorf("amr: checkpoint leaf L%d (%d,%d) missing after rebuild",
 				rec.Level, rec.Bi, rec.Bj)
 		}
 		raw := n.sol.G.U.Raw()
 		if len(rec.U) != len(raw) {
-			return nil, fmt.Errorf("amr: leaf data size %d, grid needs %d", len(rec.U), len(raw))
+			return fmt.Errorf("amr: leaf data size %d, grid needs %d", len(rec.U), len(raw))
 		}
 		copy(raw, rec.U)
-		n.sol.SetTime(cp.Time)
+		if rec.W != nil {
+			if len(rec.W) != len(raw) {
+				return fmt.Errorf("amr: leaf prim size %d, grid needs %d", len(rec.W), len(raw))
+			}
+			copy(n.sol.G.W.Raw(), rec.W)
+		}
+		n.sol.SetTime(time)
 		installed++
 	}
 	if installed != len(t.leaves) {
-		return nil, fmt.Errorf("amr: checkpoint carries %d leaves, tree rebuilt %d",
+		return fmt.Errorf("amr: records carry %d leaves, tree rebuilt %d",
 			installed, len(t.leaves))
 	}
-	t.t = cp.Time
-	t.steps = cp.Steps
-	t.zoneUpdates = cp.ZoneUpdates
-	t.sync()
+	return nil
+}
+
+// TreeFromLeafBlobs rebuilds a hierarchy from EncodeLeaves blobs that
+// together cover every leaf of one consistent snapshot. Unlike Load it
+// restores both conserved and primitive fields (including ghosts)
+// bit-exactly and performs no re-recovery, so a restored run continues
+// bit-identically to the run the blobs were taken from — the property
+// the damr rank-failure recovery relies on. The problem, root block
+// count and config must match the tree the blobs were encoded from.
+func TreeFromLeafBlobs(p *testprob.Problem, nbx int, cfg Config,
+	blobs [][]byte, time float64, steps int, zoneUpdates int64) (*Tree, error) {
+
+	var recs []leafRecord
+	for _, b := range blobs {
+		var part []leafRecord
+		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&part); err != nil {
+			return nil, fmt.Errorf("amr: decode leaf blob: %w", err)
+		}
+		recs = append(recs, part...)
+	}
+	t, err := newSkeleton(p, cfg, nbx, rootLayout(p, nbx))
+	if err != nil {
+		return nil, err
+	}
+	if err := t.installRecords(recs, time); err != nil {
+		return nil, err
+	}
+	t.t = time
+	t.steps = steps
+	t.zoneUpdates = zoneUpdates
 	return t, nil
 }

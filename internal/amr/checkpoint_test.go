@@ -160,3 +160,84 @@ func TestCheckpoint2D(t *testing.T) {
 		t.Errorf("2D mass differs by %v", rel)
 	}
 }
+
+// TestTreeFromLeafBlobsBitExact pins the rank-failure recovery property:
+// a tree rebuilt from EncodeLeaves blobs (which carry U and W, including
+// ghosts) continues bit-identically to the original — unlike Load, which
+// re-recovers primitives and only matches to c2p tolerance.
+func TestTreeFromLeafBlobsBitExact(t *testing.T) {
+	cfg := DefaultConfig(core.DefaultConfig())
+	cfg.BlockN = 8
+	cfg.MaxLevel = 2
+	cfg.RegridEvery = 2
+	tr, err := NewTree(testprob.Blast2D, 4, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 6; i++ {
+		if err := tr.Step(tr.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Encode the leaves split across two "ranks" to mimic buddy blobs.
+	n := tr.NumLeaves()
+	half := make([]int, 0, n)
+	rest := make([]int, 0, n)
+	for i := 0; i < n; i++ {
+		if i < n/2 {
+			half = append(half, i)
+		} else {
+			rest = append(rest, i)
+		}
+	}
+	blobA, err := tr.EncodeLeaves(half)
+	if err != nil {
+		t.Fatal(err)
+	}
+	blobB, err := tr.EncodeLeaves(rest)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	re, err := TreeFromLeafBlobs(testprob.Blast2D, 4, cfg,
+		[][]byte{blobA, blobB}, tr.Time(), tr.Steps(), tr.ZoneUpdates())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if re.NumLeaves() != n || re.Steps() != tr.Steps() || re.Time() != tr.Time() {
+		t.Fatalf("rebuild mismatch: %d leaves t=%v steps=%d", re.NumLeaves(), re.Time(), re.Steps())
+	}
+
+	// March both six more steps (crossing a regrid) and demand bitwise
+	// agreement of every leaf's raw conserved and primitive data.
+	for i := 0; i < 6; i++ {
+		dtA, dtB := tr.MaxDt(), re.MaxDt()
+		if dtA != dtB {
+			t.Fatalf("step %d: dt %v vs %v", i, dtA, dtB)
+		}
+		if err := tr.Step(dtA); err != nil {
+			t.Fatal(err)
+		}
+		if err := re.Step(dtB); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if re.NumLeaves() != tr.NumLeaves() {
+		t.Fatalf("leaf count diverged: %d vs %d", re.NumLeaves(), tr.NumLeaves())
+	}
+	refA, refB := tr.LeafRefs(), re.LeafRefs()
+	for i := range refA {
+		if refA[i] != refB[i] {
+			t.Fatalf("leaf %d ref %v vs %v", i, refA[i], refB[i])
+		}
+	}
+	for i := range refA {
+		rawA, rawB := tr.LeafRawU(i), re.LeafRawU(i)
+		for j := range rawA {
+			if rawA[j] != rawB[j] {
+				t.Fatalf("leaf %d word %d: %v vs %v", i, j, rawA[j], rawB[j])
+			}
+		}
+	}
+}

@@ -63,6 +63,16 @@ func DefaultOptions() Options {
 
 // Stats counts recovery events. All fields are updated atomically so one
 // Solver may be shared across the strip-parallel RHS evaluation.
+//
+// Atomicity contract: each field is individually atomic, but the set of
+// counters is not updated under a common lock, so a Snapshot taken while
+// RecoverRange runs on other goroutines may observe intermediate mixes
+// (e.g. a Calls increment whose NewtonIters increment has not landed
+// yet). Every individual count is exact once the concurrent recoveries
+// have completed — there is a happens-before edge from each RecoverRange
+// return to a subsequent Snapshot, so callers that quiesce first (as the
+// solver does between stages) read exact totals. Snapshot never tears an
+// individual counter.
 type Stats struct {
 	Calls       atomic.Int64 // total inversions attempted
 	NewtonIters atomic.Int64 // total Newton iterations

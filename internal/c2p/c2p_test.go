@@ -3,6 +3,8 @@ package c2p
 import (
 	"math"
 	"math/rand"
+	"sync"
+	"sync/atomic"
 	"testing"
 
 	"rhsc/internal/eos"
@@ -398,5 +400,61 @@ func TestConcurrentRecover(t *testing.T) {
 		if err := <-done; err != nil {
 			t.Fatal(err)
 		}
+	}
+}
+
+// TestStatsConcurrentAccounting pins the Stats atomicity contract: with
+// parallel RecoverRange callers over disjoint ranges of one shared
+// solver, Snapshot may run concurrently (exercised under -race), and
+// once all workers have returned the counters must be exact — one call
+// per cell, failures matching the deliberately poisoned cells.
+func TestStatsConcurrentAccounting(t *testing.T) {
+	s := NewSolver(gamma53)
+	const workers = 8
+	const perWorker = 256
+	n := workers * perWorker
+	cons := state.NewFields(n)
+	prim := state.NewFields(n)
+	rng := rand.New(rand.NewSource(11))
+	poisoned := 0
+	for i := 0; i < n; i++ {
+		if i%97 == 0 {
+			// Unrecoverable state: negative conserved density.
+			cons.SetCons(i, state.Cons{D: -1, Tau: 1})
+			poisoned++
+			continue
+		}
+		cons.SetCons(i, randomPrim(rng, 0.99).ToCons(gamma53))
+	}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo int) {
+			defer wg.Done()
+			failures.Add(int64(s.RecoverRange(cons, prim, lo, lo+perWorker)))
+		}(w * perWorker)
+	}
+	// Concurrent snapshots must be race-free and monotone in Calls.
+	var last int64
+	for i := 0; i < 50; i++ {
+		calls, _, _, _, _ := s.Stat.Snapshot()
+		if calls < last {
+			t.Fatalf("Calls went backwards: %d -> %d", last, calls)
+		}
+		last = calls
+	}
+	wg.Wait()
+
+	calls, iters, _, _, failed := s.Stat.Snapshot()
+	if calls != int64(n) {
+		t.Fatalf("Calls = %d, want %d", calls, n)
+	}
+	if failed != int64(poisoned) || failures.Load() != int64(poisoned) {
+		t.Fatalf("Failures = %d (returned %d), want %d", failed, failures.Load(), poisoned)
+	}
+	if iters <= 0 {
+		t.Fatalf("NewtonIters = %d, want > 0", iters)
 	}
 }

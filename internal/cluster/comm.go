@@ -16,6 +16,8 @@ package cluster
 import (
 	"fmt"
 	"math"
+	"sync"
+	"sync/atomic"
 )
 
 // message is the unit of transport: payload plus the sender's virtual
@@ -31,6 +33,14 @@ type message struct {
 type World struct {
 	size  int
 	boxes [][]chan message // boxes[src][dst]
+	// Fault-injection state (see fault.go): failed[r] is set by Kill(r)
+	// before down[r] is closed, so any observer woken by the close sees
+	// the flag. Mailboxes of a dead rank are never closed — a send to a
+	// closed channel would panic the (innocent) sender; buffered messages
+	// a dead rank posted before dying remain receivable.
+	failed []atomic.Bool
+	down   []chan struct{}
+	killed []sync.Once
 }
 
 // mailboxDepth is the buffer depth of each pairwise mailbox. Every
@@ -53,9 +63,16 @@ func NewWorld(n int) *World {
 	if n < 1 {
 		panic("cluster: world needs at least one rank")
 	}
-	w := &World{size: n, boxes: make([][]chan message, n)}
+	w := &World{
+		size:   n,
+		boxes:  make([][]chan message, n),
+		failed: make([]atomic.Bool, n),
+		down:   make([]chan struct{}, n),
+		killed: make([]sync.Once, n),
+	}
 	for s := 0; s < n; s++ {
 		w.boxes[s] = make([]chan message, n)
+		w.down[s] = make(chan struct{})
 		for d := 0; d < n; d++ {
 			w.boxes[s][d] = make(chan message, mailboxDepth)
 		}

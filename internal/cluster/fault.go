@@ -1,0 +1,238 @@
+package cluster
+
+// Deterministic injectable rank faults. A rank "fails" by calling Kill on
+// itself and returning from its driver loop; it never closes its
+// mailboxes (closing would panic later senders) and never sends again.
+// Survivors observe the failure either by reading Failed, or — the only
+// race-free way during a protocol — through RecvErr, whose wake-up on the
+// victim's down channel happens-after Kill.
+//
+// Failure model (matches the damr recovery protocol): fail-stop, one
+// failure per detection window, failures only between protocol phases
+// (the injection harness fires at the top of the step loop). The
+// fault-tolerant collectives below additionally survive the root dying
+// mid-collective, because a victim that fails at a loop top may be the
+// root of the very next collective.
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+)
+
+// ErrRankFailed reports that a peer rank failed; use errors.Is to match.
+var ErrRankFailed = errors.New("cluster: peer rank failed")
+
+// Kill marks rank r failed. Safe to call multiple times and from any
+// goroutine; the flag is published before the down channel closes, so
+// every observer woken by the close sees Failed(r) == true.
+func (w *World) Kill(r int) {
+	w.failed[r].Store(true)
+	w.killed[r].Do(func() { close(w.down[r]) })
+}
+
+// Failed reports whether rank r has been killed.
+func (w *World) Failed(r int) bool { return w.failed[r].Load() }
+
+// AliveRanks returns the ranks not (yet) killed, ascending. Note the
+// caveat in the package comment: concurrent with a Kill this is only
+// eventually consistent — protocols needing agreement must derive the
+// survivor set from a fault-tolerant collective instead.
+func (w *World) AliveRanks() []int {
+	alive := make([]int, 0, w.size)
+	for r := 0; r < w.size; r++ {
+		if !w.Failed(r) {
+			alive = append(alive, r)
+		}
+	}
+	return alive
+}
+
+// Kill marks this communicator's own rank failed (the injection entry
+// point: a rank kills itself and stops participating).
+func (c *Comm) Kill() { c.w.Kill(c.rank) }
+
+// Failed reports whether rank r has been killed.
+func (c *Comm) Failed(r int) bool { return c.w.Failed(r) }
+
+// AliveRanks returns the ranks not yet killed, ascending.
+func (c *Comm) AliveRanks() []int { return c.w.AliveRanks() }
+
+// RecvErr is Recv with failure detection: it blocks for the next message
+// from src with the given tag, but returns ErrRankFailed once src is dead
+// and everything it sent before dying has been drained. Messages with
+// other tags are stashed exactly like Recv.
+func (c *Comm) RecvErr(src, tag int) ([]float64, float64, error) {
+	for i, m := range c.pending[src] {
+		if m.tag == tag {
+			c.pending[src] = append(c.pending[src][:i], c.pending[src][i+1:]...)
+			return m.data, m.stamp, nil
+		}
+	}
+	box := c.w.boxes[src][c.rank]
+	for {
+		// A dead sender can still have messages in flight (posted before
+		// Kill); drain them non-blocking before declaring the loss.
+		if c.w.Failed(src) {
+			for {
+				select {
+				case m := <-box:
+					if m.tag == tag {
+						return m.data, m.stamp, nil
+					}
+					c.pending[src] = append(c.pending[src], m)
+				default:
+					return nil, 0, fmt.Errorf("%w: rank %d (tag %d)", ErrRankFailed, src, tag)
+				}
+			}
+		}
+		select {
+		case m := <-box:
+			if m.tag == tag {
+				return m.data, m.stamp, nil
+			}
+			c.pending[src] = append(c.pending[src], m)
+		case <-c.w.down[src]:
+			// Loop back: the Failed branch drains remaining messages.
+		}
+	}
+}
+
+// Fault-tolerant collective tags (clear of halo, reduce and damr tags).
+const (
+	tagFTReduce = 1 << 22
+	tagFTBcast  = 1 << 23
+)
+
+// FTAllReduceMin is AllReduceMin over a participant list that survives
+// rank failures. participants must be ascending, identical on every
+// calling rank, and contain the caller; every participant that is alive
+// must call it. The root (lowest participant) gathers with RecvErr, so a
+// participant that died before contributing is simply excluded; the root
+// then broadcasts the reduced value together with the survivor list, and
+// every survivor returns the same (value, survivors) pair. If the root
+// itself died, the remaining participants retry with the next rank as
+// root (first-round contributions sent to the dead root rot unread in its
+// mailboxes, so retries cannot observe stale data). The error is always
+// nil today; it is reserved for exhaustion of the participant list.
+func (c *Comm) FTAllReduceMin(x float64, participants []int) (float64, []int, error) {
+	parts := append([]int(nil), participants...)
+	for {
+		if len(parts) == 0 {
+			return 0, nil, fmt.Errorf("%w: no participants left", ErrRankFailed)
+		}
+		if len(parts) == 1 {
+			return x, parts, nil
+		}
+		root := parts[0]
+		if c.rank == root {
+			val := x
+			alive := []int{root}
+			for _, p := range parts[1:] {
+				v, _, err := c.RecvErr(p, tagFTReduce)
+				if err != nil {
+					continue // p died before contributing
+				}
+				if v[0] < val {
+					val = v[0]
+				}
+				alive = append(alive, p)
+			}
+			payload := make([]float64, 0, 2+len(alive))
+			payload = append(payload, val, float64(len(alive)))
+			for _, p := range alive {
+				payload = append(payload, float64(p))
+			}
+			for _, p := range alive[1:] {
+				c.Send(p, tagFTBcast, payload, 0)
+			}
+			return val, alive, nil
+		}
+		c.Send(root, tagFTReduce, []float64{x}, 0)
+		v, _, err := c.RecvErr(root, tagFTBcast)
+		if err != nil {
+			// Root died: drop it and retry with the next participant as
+			// root. (Our contribution above is lost in its mailbox.)
+			parts = parts[1:]
+			continue
+		}
+		val := v[0]
+		n := int(v[1])
+		alive := make([]int, n)
+		for i := 0; i < n; i++ {
+			alive[i] = int(v[2+i])
+		}
+		return val, alive, nil
+	}
+}
+
+// FTAllGather is AllGather with the same failure semantics as
+// FTAllReduceMin: the returned slice is indexed by world rank (nil for
+// ranks that did not participate or died before contributing), and every
+// survivor gets the same survivor list. The returned slices alias
+// transported buffers; callers must not mutate them.
+func (c *Comm) FTAllGather(data []float64, participants []int) ([][]float64, []int, error) {
+	parts := append([]int(nil), participants...)
+	for {
+		if len(parts) == 0 {
+			return nil, nil, fmt.Errorf("%w: no participants left", ErrRankFailed)
+		}
+		if len(parts) == 1 {
+			out := make([][]float64, c.w.size)
+			out[c.rank] = data
+			return out, parts, nil
+		}
+		root := parts[0]
+		if c.rank == root {
+			out := make([][]float64, c.w.size)
+			out[root] = data
+			alive := []int{root}
+			for _, p := range parts[1:] {
+				v, _, err := c.RecvErr(p, tagFTReduce)
+				if err != nil {
+					continue
+				}
+				out[p] = v
+				alive = append(alive, p)
+			}
+			sort.Ints(alive)
+			// Flat rebroadcast: [nAlive, ranks…, lens…, payload…].
+			flat := make([]float64, 0, 1+2*len(alive))
+			flat = append(flat, float64(len(alive)))
+			for _, p := range alive {
+				flat = append(flat, float64(p))
+			}
+			for _, p := range alive {
+				flat = append(flat, float64(len(out[p])))
+			}
+			for _, p := range alive {
+				flat = append(flat, out[p]...)
+			}
+			for _, p := range alive {
+				if p != root {
+					c.Send(p, tagFTBcast, flat, 0)
+				}
+			}
+			return out, alive, nil
+		}
+		c.Send(root, tagFTReduce, data, 0)
+		flat, _, err := c.RecvErr(root, tagFTBcast)
+		if err != nil {
+			parts = parts[1:]
+			continue
+		}
+		n := int(flat[0])
+		alive := make([]int, n)
+		for i := 0; i < n; i++ {
+			alive[i] = int(flat[1+i])
+		}
+		out := make([][]float64, c.w.size)
+		off := 1 + 2*n
+		for i, p := range alive {
+			l := int(flat[1+n+i])
+			out[p] = flat[off : off+l]
+			off += l
+		}
+		return out, alive, nil
+	}
+}

@@ -1,0 +1,179 @@
+package cluster
+
+import (
+	"errors"
+	"reflect"
+	"sync"
+	"testing"
+)
+
+func TestFaultRecvErrDrainsBeforeFailing(t *testing.T) {
+	w := NewWorld(2)
+	a, b := w.Comm(0), w.Comm(1)
+	// Rank 0 posts two messages (one on a mismatched tag) and dies.
+	a.Send(1, 7, []float64{1}, 0)
+	a.Send(1, 9, []float64{2}, 0)
+	a.Kill()
+
+	// The mismatched tag is stashed, the matching one delivered.
+	v, _, err := b.RecvErr(0, 9)
+	if err != nil || v[0] != 2 {
+		t.Fatalf("RecvErr(9) = %v, %v", v, err)
+	}
+	v, _, err = b.RecvErr(0, 7)
+	if err != nil || v[0] != 1 {
+		t.Fatalf("RecvErr(7) = %v, %v", v, err)
+	}
+	// Mailbox empty, sender dead: typed failure.
+	if _, _, err = b.RecvErr(0, 7); !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("expected ErrRankFailed, got %v", err)
+	}
+}
+
+func TestFaultRecvErrWakesBlockedReceiver(t *testing.T) {
+	w := NewWorld(2)
+	b := w.Comm(1)
+	done := make(chan error, 1)
+	go func() {
+		_, _, err := b.RecvErr(0, 7) // blocks: nothing sent
+		done <- err
+	}()
+	w.Kill(0)
+	if err := <-done; !errors.Is(err, ErrRankFailed) {
+		t.Fatalf("expected ErrRankFailed, got %v", err)
+	}
+}
+
+// runFT spawns one goroutine per alive rank, runs fn, and collects each
+// rank's (value, survivors). The victim (if any) is killed first and
+// never calls the collective, like a rank dying at the top of its loop.
+func runFT(t *testing.T, n, victim int, fn func(c *Comm) (float64, []int, error)) (map[int]float64, map[int][]int) {
+	t.Helper()
+	w := NewWorld(n)
+	if victim >= 0 {
+		w.Kill(victim)
+	}
+	vals := make(map[int]float64)
+	lists := make(map[int][]int)
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	for r := 0; r < n; r++ {
+		if r == victim {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			v, alive, err := fn(w.Comm(r))
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			mu.Lock()
+			vals[r] = v
+			lists[r] = alive
+			mu.Unlock()
+		}(r)
+	}
+	wg.Wait()
+	return vals, lists
+}
+
+func TestFaultFTAllReduceMinNoFailure(t *testing.T) {
+	parts := []int{0, 1, 2, 3}
+	vals, lists := runFT(t, 4, -1, func(c *Comm) (float64, []int, error) {
+		return c.FTAllReduceMin(float64(10-c.Rank()), parts)
+	})
+	for r, v := range vals {
+		if v != 7 {
+			t.Fatalf("rank %d: min = %v, want 7", r, v)
+		}
+		if !reflect.DeepEqual(lists[r], parts) {
+			t.Fatalf("rank %d: survivors = %v", r, lists[r])
+		}
+	}
+}
+
+func TestFaultFTAllReduceMinExcludesDead(t *testing.T) {
+	parts := []int{0, 1, 2, 3}
+	// Victim 2 carried the smallest value; it must be excluded.
+	vals, lists := runFT(t, 4, 2, func(c *Comm) (float64, []int, error) {
+		return c.FTAllReduceMin(float64(10-c.Rank()), parts)
+	})
+	want := []int{0, 1, 3}
+	for r, v := range vals {
+		if v != 7 {
+			t.Fatalf("rank %d: min = %v, want 7", r, v)
+		}
+		if !reflect.DeepEqual(lists[r], want) {
+			t.Fatalf("rank %d: survivors = %v, want %v", r, lists[r], want)
+		}
+	}
+	if len(vals) != 3 {
+		t.Fatalf("%d survivors returned", len(vals))
+	}
+}
+
+func TestFaultFTAllReduceMinRootDeath(t *testing.T) {
+	parts := []int{0, 1, 2, 3}
+	vals, lists := runFT(t, 4, 0, func(c *Comm) (float64, []int, error) {
+		return c.FTAllReduceMin(float64(10-c.Rank()), parts)
+	})
+	want := []int{1, 2, 3}
+	for r, v := range vals {
+		if v != 7 {
+			t.Fatalf("rank %d: min = %v, want 7", r, v)
+		}
+		if !reflect.DeepEqual(lists[r], want) {
+			t.Fatalf("rank %d: survivors = %v, want %v", r, lists[r], want)
+		}
+	}
+}
+
+func TestFaultFTAllGather(t *testing.T) {
+	parts := []int{0, 1, 2, 3}
+	w := NewWorld(4)
+	w.Kill(1)
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		if r == 1 {
+			continue
+		}
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			c := w.Comm(r)
+			out, alive, err := c.FTAllGather([]float64{float64(r), float64(r * r)}, parts)
+			if err != nil {
+				t.Errorf("rank %d: %v", r, err)
+				return
+			}
+			if !reflect.DeepEqual(alive, []int{0, 2, 3}) {
+				t.Errorf("rank %d: survivors = %v", r, alive)
+				return
+			}
+			if out[1] != nil {
+				t.Errorf("rank %d: dead rank has data %v", r, out[1])
+			}
+			for _, p := range alive {
+				want := []float64{float64(p), float64(p * p)}
+				if !reflect.DeepEqual(out[p], want) {
+					t.Errorf("rank %d: out[%d] = %v, want %v", r, p, out[p], want)
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+}
+
+func TestFaultAliveRanks(t *testing.T) {
+	w := NewWorld(4)
+	w.Kill(2)
+	w.Kill(2) // idempotent
+	if got := w.AliveRanks(); !reflect.DeepEqual(got, []int{0, 1, 3}) {
+		t.Fatalf("AliveRanks = %v", got)
+	}
+	if !w.Failed(2) || w.Failed(0) {
+		t.Fatal("Failed flags wrong")
+	}
+}

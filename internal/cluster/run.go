@@ -426,7 +426,9 @@ func runRank(comm *Comm, p *testprob.Problem, nGlob int, starts []int, nyGlob, n
 	if err != nil {
 		return nil, err
 	}
-	s.InitFromPrim(p.Init)
+	if err := s.InitFromPrim(p.Init); err != nil {
+		return nil, err
+	}
 	s.RecoverPrimitives() // triggers the first (uncharged) halo exchange
 
 	tEnd := p.TEnd

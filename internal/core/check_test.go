@@ -1,0 +1,167 @@
+package core
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+	"rhsc/internal/state"
+)
+
+func checkSolver(t *testing.T) *Solver {
+	t.Helper()
+	g := grid1D(32, 2)
+	s, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InitFromPrim(sodInit); err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestCheckStateClean(t *testing.T) {
+	s := checkSolver(t)
+	if err := s.CheckState(); err != nil {
+		t.Fatalf("admissible state flagged: %v", err)
+	}
+}
+
+func TestCheckStateDetectsViolations(t *testing.T) {
+	cases := []struct {
+		name   string
+		poison func(s *Solver, idx int)
+		field  func(e *StateError) int
+	}{
+		{"nan", func(s *Solver, idx int) { s.G.U.Comp[state.ITau][idx] = math.NaN() },
+			func(e *StateError) int { return e.NonFinite }},
+		{"inf", func(s *Solver, idx int) { s.G.U.Comp[state.ISx][idx] = math.Inf(1) },
+			func(e *StateError) int { return e.NonFinite }},
+		{"negD", func(s *Solver, idx int) { s.G.U.Comp[state.ID][idx] = -1 },
+			func(e *StateError) int { return e.NegDens }},
+		{"negTau", func(s *Solver, idx int) { s.G.U.Comp[state.ITau][idx] = 0 },
+			func(e *StateError) int { return e.NegEnergy }},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := checkSolver(t)
+			g := s.G
+			i := g.IBeg() + 7
+			tc.poison(s, g.Idx(i, g.JBeg(), g.KBeg()))
+			err := s.CheckState()
+			var se *StateError
+			if !errors.As(err, &se) {
+				t.Fatalf("expected *StateError, got %v", err)
+			}
+			if tc.field(se) != 1 {
+				t.Fatalf("wrong violation count in %v", se)
+			}
+			if se.First[0] != i {
+				t.Fatalf("first cell %v, want i=%d", se.First, i)
+			}
+		})
+	}
+}
+
+func TestCheckStateIgnoresGhosts(t *testing.T) {
+	// Ghost-zone garbage must not trip the interior scan.
+	s := checkSolver(t)
+	s.G.U.Comp[state.ID][0] = math.NaN()
+	if err := s.CheckState(); err != nil {
+		t.Fatalf("ghost cell flagged: %v", err)
+	}
+}
+
+// TestFaultStrictChecksAbortStage pins the per-stage validation path: a
+// source term that returns NaN from a chosen step on poisons the first RK
+// stage. The stage's primitive recovery resets the poisoned cells to
+// atmosphere (rewriting the conserved state), so the violation must
+// surface through the stage's c2p reset count, before the step completes.
+func TestFaultStrictChecksAbortStage(t *testing.T) {
+	g := grid1D(32, 2)
+	cfg := DefaultConfig()
+	cfg.StrictChecks = true
+	armed := false
+	cfg.Source = func(x, _, _ float64, w state.Prim) state.Cons {
+		if armed {
+			return state.Cons{Tau: math.NaN()}
+		}
+		return state.Cons{}
+	}
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InitFromPrim(sodInit); err != nil {
+		t.Fatal(err)
+	}
+	s.RecoverPrimitives()
+	if err := s.Step(s.MaxDt()); err != nil {
+		t.Fatalf("clean strict step failed: %v", err)
+	}
+	armed = true
+	err = s.Step(s.MaxDt())
+	var se *StateError
+	if !errors.As(err, &se) {
+		t.Fatalf("expected *StateError, got %v", err)
+	}
+	if se.Stage != 1 {
+		t.Fatalf("violation reported at stage %d, want 1", se.Stage)
+	}
+	if se.C2PResets == 0 {
+		t.Fatalf("expected c2p resets in %v", se)
+	}
+}
+
+func TestStateErrorMatchesErrNonFinite(t *testing.T) {
+	s := checkSolver(t)
+	s.G.U.Comp[state.ITau][s.G.Idx(s.G.IBeg(), s.G.JBeg(), s.G.KBeg())] = math.NaN()
+	err := s.CheckState()
+	if !errors.Is(err, ErrNonFinite) {
+		t.Fatalf("StateError with NaNs must match ErrNonFinite, got %v", err)
+	}
+}
+
+func TestSetMethodSwapsScheme(t *testing.T) {
+	s := checkSolver(t)
+	s.RecoverPrimitives()
+	hiRec, hiRs := s.Method()
+	if err := s.SetMethod(recon.PCM{}, riemann.HLL{}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(s.MaxDt()); err != nil {
+		t.Fatalf("first-order step failed: %v", err)
+	}
+	if err := s.SetMethod(hiRec, hiRs); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Step(s.MaxDt()); err != nil {
+		t.Fatalf("restored high-order step failed: %v", err)
+	}
+	if err := s.SetMethod(recon.WENO5{}, riemann.HLL{}); err == nil {
+		t.Fatal("scheme wider than the ghost region accepted")
+	}
+	if err := s.SetMethod(nil, nil); err == nil {
+		t.Fatal("nil scheme accepted")
+	}
+}
+
+func TestInitFromPrimRejectsUnphysical(t *testing.T) {
+	g := grid1D(16, 2)
+	s, err := New(g, DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	err = s.InitFromPrim(func(x, _, _ float64) state.Prim {
+		if x > 0.5 {
+			return state.Prim{Rho: -1, P: 1}
+		}
+		return state.Prim{Rho: 1, P: 1}
+	})
+	if err == nil {
+		t.Fatal("unphysical initial state accepted")
+	}
+}

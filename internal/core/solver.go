@@ -96,6 +96,19 @@ type Config struct {
 	// grid.External with neighbouring ranks' data. Package cluster uses
 	// this hook.
 	HaloExchange func(w *state.Fields)
+	// StrictChecks validates every RK stage: a full-interior NaN/Inf and
+	// D/tau positivity scan of the conserved field, plus the stage's
+	// count of c2p atmosphere resets (the recovery rewrites failed cells,
+	// so the count is the only trace of a failed inversion). A violation
+	// aborts the step with a *StateError, leaving the state mid-update;
+	// callers that enable it must be prepared to restore a snapshot on
+	// error — package resilience does exactly that. Off by default: the
+	// unguarded path keeps the cheap strided probe.
+	StrictChecks bool
+	// StrictC2PLimit is the number of atmosphere resets a single RK stage
+	// tolerates under StrictChecks before the step is declared violated.
+	// The default 0 treats any failed inversion as a fault.
+	StrictC2PLimit int
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -200,19 +213,30 @@ func (s *Solver) Time() float64 { return s.t }
 func (s *Solver) SetTime(t float64) { s.t = t }
 
 // InitFromPrim fills the grid from a primitive-state function of position
-// and synchronises the conserved variables.
-func (s *Solver) InitFromPrim(fn func(x, y, z float64) state.Prim) {
+// and synchronises the conserved variables. An unphysical initial state
+// (negative density or pressure, superluminal velocity) aborts the fill
+// with an error and leaves the grid partially initialised.
+func (s *Solver) InitFromPrim(fn func(x, y, z float64) state.Prim) error {
 	g := s.G
+	var initErr error
 	g.ForEachInterior(func(idx, i, j, k int) {
+		if initErr != nil {
+			return
+		}
 		w := fn(g.X(i), g.Y(j), g.Z(k))
 		if !w.IsPhysical() {
-			panic(fmt.Sprintf("core: unphysical initial state %+v at (%d,%d,%d)", w, i, j, k))
+			initErr = fmt.Errorf("core: unphysical initial state %+v at (%d,%d,%d)", w, i, j, k)
+			return
 		}
 		g.W.SetPrim(idx, w)
 		g.U.SetCons(idx, w.ToCons(s.Cfg.EOS))
 	})
+	if initErr != nil {
+		return initErr
+	}
 	g.ApplyBCs(g.W)
 	g.ApplyBCs(g.U)
+	return nil
 }
 
 // parallelFor runs fn over [0,n) strips, using the pool when configured.
@@ -506,6 +530,11 @@ var ErrNonFinite = errors.New("core: non-finite state after step")
 // ghosts) is consistent with the conserved field s.G.U. InitFromPrim
 // establishes it; callers that fill U by hand must call
 // RecoverPrimitives once before stepping.
+//
+// When Config.StrictChecks is set and a stage produces an inadmissible
+// state, Step returns a *StateError with the update incomplete: U and W
+// then hold the partial stage result, and the caller must restore a
+// snapshot (see package resilience) before stepping again.
 func (s *Solver) Step(dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("core: non-positive dt %v", dt)
@@ -529,54 +558,82 @@ func (s *Solver) Step(dt float64) error {
 		}
 	}
 
+	// stageCheck validates the whole interior after an RK stage when
+	// strict checks are on; a violation aborts the step mid-update.
+	// resets is the stage's atmosphere-reset count from c2p.
+	stageCheck := func(stage, resets int) error {
+		if !s.Cfg.StrictChecks {
+			return nil
+		}
+		if resets > s.Cfg.StrictC2PLimit {
+			return &StateError{Stage: stage, C2PResets: resets}
+		}
+		return s.checkState(stage)
+	}
+
 	// euler performs u ← u + dt·L(u) and refreshes primitives.
-	euler := func() {
+	euler := func() error {
 		s.ComputeRHS(s.rhs)
 		u.AXPY(dt, s.rhs)
 		trcAXPY()
-		s.RecoverPrimitives()
+		return stageCheck(1, s.RecoverPrimitives())
 	}
 
 	switch s.Cfg.Integrator {
 	case RK1:
 		trcSave()
-		euler()
+		if err := euler(); err != nil {
+			return err
+		}
 
 	case RK2: // SSP RK2: u^{n+1} = ½u⁰ + ½(u⁰ + dtL)(twice)
 		s.u0.CopyFrom(u)
 		trcSave()
-		euler()
+		if err := euler(); err != nil {
+			return err
+		}
 		s.ComputeRHS(s.rhs)
 		u.AXPY(dt, s.rhs)
 		trcAXPY()
 		u.LinComb2(0.5, s.u0, 0.5, u)
 		trcComb(0.5, 0.5)
-		s.RecoverPrimitives()
+		if err := stageCheck(2, s.RecoverPrimitives()); err != nil {
+			return err
+		}
 
 	case RK3: // Shu–Osher SSP RK3
 		s.u0.CopyFrom(u)
 		trcSave()
-		euler()
+		if err := euler(); err != nil {
+			return err
+		}
 		s.ComputeRHS(s.rhs)
 		u.AXPY(dt, s.rhs)
 		trcAXPY()
 		u.LinComb2(0.75, s.u0, 0.25, u)
 		trcComb(0.75, 0.25)
-		s.RecoverPrimitives()
+		if err := stageCheck(2, s.RecoverPrimitives()); err != nil {
+			return err
+		}
 		s.ComputeRHS(s.rhs)
 		u.AXPY(dt, s.rhs)
 		trcAXPY()
 		u.LinComb2(1.0/3.0, s.u0, 2.0/3.0, u)
 		trcComb(1.0/3.0, 2.0/3.0)
-		s.RecoverPrimitives()
+		if err := stageCheck(3, s.RecoverPrimitives()); err != nil {
+			return err
+		}
 	}
 
 	// Cheap finiteness probe on a stride through the data; a full scan
-	// every step would cost a noticeable fraction of the RHS.
-	raw := u.Raw()
-	for i := 0; i < len(raw); i += 97 {
-		if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
-			return ErrNonFinite
+	// every step would cost a noticeable fraction of the RHS. Strict
+	// checks already scanned every cell above.
+	if !s.Cfg.StrictChecks {
+		raw := u.Raw()
+		for i := 0; i < len(raw); i += 97 {
+			if math.IsNaN(raw[i]) || math.IsInf(raw[i], 0) {
+				return ErrNonFinite
+			}
 		}
 	}
 

@@ -61,15 +61,13 @@ func TestInitFromPrimConsistency(t *testing.T) {
 	})
 }
 
-func TestInitUnphysicalPanics(t *testing.T) {
+func TestInitUnphysicalErrors(t *testing.T) {
 	g := grid1D(8, 2)
 	s, _ := New(g, DefaultConfig())
-	defer func() {
-		if recover() == nil {
-			t.Fatal("unphysical init accepted")
-		}
-	}()
-	s.InitFromPrim(func(x, _, _ float64) state.Prim { return state.Prim{Rho: -1, P: 1} })
+	err := s.InitFromPrim(func(x, _, _ float64) state.Prim { return state.Prim{Rho: -1, P: 1} })
+	if err == nil {
+		t.Fatal("unphysical init accepted")
+	}
 }
 
 func TestMaxDtScalesWithResolution(t *testing.T) {

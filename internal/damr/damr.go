@@ -63,6 +63,29 @@ type Options struct {
 	// run integrates to TEnd (or the problem's TEnd when TEnd == 0).
 	Steps int
 	TEnd  float64
+
+	// CheckpointEvery > 0 takes an in-memory buddy checkpoint whenever
+	// the tree's committed step count is a multiple of it: each active
+	// rank gob-encodes its owned leaves (U and W, including ghosts) and
+	// swaps blobs around the ring of active ranks, so one rank failure
+	// loses no generation. Required for Fault.
+	CheckpointEvery int
+	// Fault, when non-nil, injects one deterministic fail-stop rank
+	// failure (see RankFault); the survivors detect it, restore the last
+	// checkpoint generation, re-partition the Morton curve among
+	// themselves, and replay — reproducing the fault-free trajectory to
+	// round-off because the run is invariant to the partition.
+	Fault *RankFault
+}
+
+// RankFault schedules one deterministic fail-stop rank failure: the
+// given world rank kills itself at the top of the step loop once the
+// tree has committed AfterStep steps — after the (coinciding)
+// checkpoint exchange, before the dt collective that detects the loss.
+// AfterStep must lie before the end of the run for the fault to fire.
+type RankFault struct {
+	Rank      int
+	AfterStep int
 }
 
 // Result summarises a distributed AMR run (returned for rank 0).
@@ -94,6 +117,24 @@ type Result struct {
 	// Imbalance is the step-averaged (max−mean)/mean of the per-rank
 	// partition cost.
 	Imbalance float64
+
+	// Checkpoints counts buddy-checkpoint generations taken (per rank —
+	// lockstep makes the count identical across ranks); CheckpointBytes
+	// is the summed encoded payload, CheckpointVirtual the virtual-clock
+	// share of the ring exchanges (max over ranks).
+	Checkpoints       int
+	CheckpointBytes   int64
+	CheckpointVirtual float64
+	// Recoveries counts completed rank-failure recoveries; Survivors is
+	// the final active rank count. RecomputedSteps is the widest
+	// checkpoint-to-detection window replayed; RecoveryVirtual and
+	// RecoveryReal are the virtual (max over ranks) and wall-clock (this
+	// rank) time spent restoring and re-partitioning.
+	Recoveries      int
+	Survivors       int
+	RecomputedSteps int
+	RecoveryVirtual float64
+	RecoveryReal    time.Duration
 
 	// Tree is rank 0's hierarchy with every leaf's final data gathered
 	// in, for validation against a single-rank run.
@@ -208,6 +249,20 @@ func (o *Options) validate() error {
 	}
 	if o.LevelCostFactor <= 0 {
 		o.LevelCostFactor = 1
+	}
+	if o.Fault != nil {
+		if o.CheckpointEvery <= 0 {
+			return fmt.Errorf("damr: fault injection requires CheckpointEvery > 0")
+		}
+		if o.Ranks < 2 {
+			return fmt.Errorf("damr: surviving a rank failure requires >= 2 ranks")
+		}
+		if o.Fault.Rank < 0 || o.Fault.Rank >= o.Ranks {
+			return fmt.Errorf("damr: fault rank %d out of range [0,%d)", o.Fault.Rank, o.Ranks)
+		}
+		if o.Fault.AfterStep < 0 {
+			return fmt.Errorf("damr: fault step %d negative", o.Fault.AfterStep)
+		}
 	}
 	return nil
 }

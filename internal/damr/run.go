@@ -1,6 +1,7 @@
 package damr
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"sort"
@@ -19,9 +20,10 @@ import (
 // under a single halo tag; migration gets its own tag anyway so a
 // regrid burst can never be confused with stage traffic.
 const (
-	tagHalo    = 200
-	tagMigrate = 201
-	tagGather  = 202
+	tagHalo       = 200
+	tagMigrate    = 201
+	tagGather     = 202
+	tagCheckpoint = 203
 )
 
 // epoch is the replicated picture of one partition generation: who owns
@@ -58,9 +60,11 @@ type epoch struct {
 	imbalance float64
 }
 
-// buildEpoch enumerates the leaves, partitions the Morton curve, and
-// derives this rank's freshness sets and exchange plan.
-func buildEpoch(t *amr.Tree, opts *Options, maxLevel, rank int) *epoch {
+// buildEpoch enumerates the leaves, partitions the Morton curve over the
+// active ranks (ascending world ranks; all of them until a failure), and
+// derives this rank's freshness sets and exchange plan. mines stays
+// world-rank-indexed — dead ranks simply own nothing.
+func buildEpoch(t *amr.Tree, opts *Options, maxLevel, rank int, active []int) *epoch {
 	ep := &epoch{
 		refs:     t.LeafRefs(),
 		sendTo:   map[int][]int{},
@@ -80,13 +84,16 @@ func buildEpoch(t *amr.Tree, opts *Options, maxLevel, rank int) *epoch {
 	}
 	var weights []float64
 	if opts.WeightedPartition {
-		weights = opts.RankRates
+		weights = make([]float64, len(active))
+		for k, a := range active {
+			weights[k] = opts.RankRates[a]
+		}
 	}
-	curveOwner := partitionCurve(costs, weights, opts.Ranks)
+	curveOwner := partitionCurve(costs, weights, len(active))
 	ep.owner = make([]int, n)
-	ep.rankCost = make([]float64, opts.Ranks)
+	ep.rankCost = make([]float64, len(active))
 	for pos, i := range order {
-		ep.owner[i] = curveOwner[pos]
+		ep.owner[i] = active[curveOwner[pos]]
 		ep.rankCost[curveOwner[pos]] += costs[pos]
 	}
 	ep.imbalance = metrics.Imbalance(ep.rankCost)
@@ -189,15 +196,138 @@ type rankRun struct {
 	rank int
 	rate float64
 
+	// Problem identity kept for rebuilding the tree after a rank failure.
+	p   *testprob.Problem
+	nbx int
+	cfg amr.Config
+
+	// active is the agreed survivor set (ascending world ranks); it only
+	// shrinks, and every shrink passes through a fault-tolerant
+	// collective so all survivors agree.
+	active []int
+
+	// Latest buddy-checkpoint generation: this rank's own encoded leaves
+	// plus the ring predecessor's blob, with the tree counters needed to
+	// restart from it.
+	ckOwn       []byte
+	ckBuddy     []byte
+	ckBuddyRank int
+	ckSteps     int
+	ckTime      float64
+	ckZU        int64
+
 	clock       float64
 	rebalClock  float64
 	rebalReal   time.Duration
 	imbAccum    float64
+	execSteps   int
 	regrids     int
 	rebalances  int
 	migBlocks   int
 	migBytes    int64
+	checkpoints int
+	ckBytes     int64
+	ckClock     float64
+	recoveries  int
+	recomputed  int
+	recClock    float64
+	recReal     time.Duration
 	maxLevelCfg int
+}
+
+// checkpoint encodes this rank's owned leaves and swaps blobs around the
+// ring of active ranks, so each rank's segment survives on its ring
+// successor. Lockstep guarantees every active rank checkpoints at the
+// same tree step, and a victim that dies at this loop top dies *after*
+// its send, so the generation is always complete (RecvErr drains
+// messages a rank posted before dying).
+func (r *rankRun) checkpoint() error {
+	clock0 := r.clock
+	blob, err := r.t.EncodeLeaves(r.ep.mine)
+	if err != nil {
+		return err
+	}
+	r.ckOwn = blob
+	r.ckSteps = r.t.Steps()
+	r.ckTime = r.t.Time()
+	r.ckZU = r.t.ZoneUpdates()
+	r.ckBuddyRank = -1
+	if len(r.active) > 1 {
+		pos := 0
+		for k, a := range r.active {
+			if a == r.rank {
+				pos = k
+				break
+			}
+		}
+		next := r.active[(pos+1)%len(r.active)]
+		prev := r.active[(pos+len(r.active)-1)%len(r.active)]
+		r.comm.Send(next, tagCheckpoint, packBytes(blob), r.clock)
+		got, stamp, err := r.comm.RecvErr(prev, tagCheckpoint)
+		if err != nil {
+			return err
+		}
+		r.ckBuddy = unpackBytes(got)
+		r.ckBuddyRank = prev
+		if avail := stamp + r.opts.Net.Cost(len(got)*8); avail > r.clock {
+			r.clock = avail
+		}
+	}
+	r.checkpoints++
+	r.ckBytes += int64(len(blob))
+	r.ckClock += r.clock - clock0
+	return nil
+}
+
+// recoverFromFailure rebuilds the hierarchy from the latest checkpoint
+// generation after the dt collective reported a shrunken survivor set:
+// every survivor contributes its own blob — plus the victim's, held by
+// its ring successor — rebuilds the tree bit-exactly at the checkpoint
+// step (amr.TreeFromLeafBlobs installs U and W verbatim, no re-recover),
+// and re-partitions the Morton curve over the survivors. Because the
+// distributed run is invariant to the partition, replaying the lost
+// window over the survivor set reproduces the fault-free trajectory to
+// the last bit.
+func (r *rankRun) recoverFromFailure(survivors []int) error {
+	start := time.Now()
+	clock0 := r.clock
+	r.recomputed += r.t.Steps() - r.ckSteps
+
+	contrib := [][]byte{r.ckOwn}
+	for _, d := range r.active {
+		if !contains(survivors, d) && d == r.ckBuddyRank {
+			contrib = append(contrib, r.ckBuddy)
+		}
+	}
+	parts, alive, err := r.comm.FTAllGather(packBlobs(contrib), survivors)
+	if err != nil {
+		return err
+	}
+	var blobs [][]byte
+	total := 0
+	for _, part := range parts {
+		if part == nil {
+			continue
+		}
+		for _, b := range unpackBlobs(part) {
+			blobs = append(blobs, b)
+			total += len(b)
+		}
+	}
+	// Coarse gather-and-rebroadcast charge, as in regridPhase.
+	r.clock += 2 * r.opts.Net.Cost(total)
+
+	t, err := amr.TreeFromLeafBlobs(r.p, r.nbx, r.cfg, blobs, r.ckTime, r.ckSteps, r.ckZU)
+	if err != nil {
+		return err
+	}
+	r.t = t
+	r.active = alive
+	r.ep = buildEpoch(t, r.opts, r.maxLevelCfg, r.rank, r.active)
+	r.recoveries++
+	r.recClock += r.clock - clock0
+	r.recReal += time.Since(start)
+	return nil
 }
 
 // exchangeHalos runs one halo phase: post packed conserved blocks to
@@ -267,6 +397,7 @@ func (r *rankRun) step(dt float64) {
 	r.exchangeHalos(false)
 	t.AdvanceTime(dt)
 	r.imbAccum += r.ep.imbalance
+	r.execSteps++
 }
 
 // regridPhase mirrors the regrid branch of amr.Tree.Step: regrid with
@@ -274,7 +405,7 @@ func (r *rankRun) step(dt float64) {
 // changed — repartition, migrate, and refresh before the post-regrid
 // sync. When nothing changed the phase reduces to the serial tree's
 // plain post-regrid sync.
-func (r *rankRun) regridPhase() {
+func (r *rankRun) regridPhase() error {
 	start := time.Now()
 	clock0 := r.clock
 	t, ep, opts := r.t, r.ep, r.opts
@@ -282,12 +413,18 @@ func (r *rankRun) regridPhase() {
 
 	// Owners publish the refinement indicators of their leaves; the
 	// replicated epoch tells every rank how to zip the parts back into a
-	// global ref→value map without sending the refs themselves.
+	// global ref→value map without sending the refs themselves. The
+	// fault-tolerant gather runs over the survivor set (failures fire
+	// only at loop tops, so none can surface mid-phase) and its parts
+	// are world-rank-indexed, matching ep.mines.
 	vals := make([]float64, len(ep.mine))
 	for k, i := range ep.mine {
 		vals[k] = t.LeafIndicator(i)
 	}
-	parts := r.comm.AllGather(vals)
+	parts, _, err := r.comm.FTAllGather(vals, r.active)
+	if err != nil {
+		return err
+	}
 	totalBytes := 0
 	for _, p := range parts {
 		totalBytes += 8 * len(p)
@@ -309,11 +446,11 @@ func (r *rankRun) regridPhase() {
 		t.SyncSubset(ep.fresh, ep.mine)
 		r.rebalClock += r.clock - clock0
 		r.rebalReal += time.Since(start)
-		return
+		return nil
 	}
 	r.rebalances++
 
-	newEp := buildEpoch(t, opts, r.maxLevelCfg, r.rank)
+	newEp := buildEpoch(t, opts, r.maxLevelCfg, r.rank, r.active)
 
 	// Migration plan. The *authority* of a new leaf is the rank whose
 	// old fresh set provably contains bit-exact data for it:
@@ -373,7 +510,7 @@ func (r *rankRun) regridPhase() {
 	for dst, idx := range sendPlan {
 		blob, err := t.EncodeLeaves(idx)
 		if err != nil {
-			panic(err)
+			return fmt.Errorf("damr: encode migration to rank %d: %w", dst, err)
 		}
 		payload := packBytes(blob)
 		r.migBytes += int64(len(blob))
@@ -385,7 +522,7 @@ func (r *rankRun) regridPhase() {
 			r.clock = avail
 		}
 		if _, err := t.DecodeLeaves(unpackBytes(payload)); err != nil {
-			panic(err)
+			return fmt.Errorf("damr: decode migration from rank %d: %w", src, err)
 		}
 	}
 
@@ -395,6 +532,7 @@ func (r *rankRun) regridPhase() {
 	r.ep = newEp
 	r.rebalClock += r.clock - clock0
 	r.rebalReal += time.Since(start)
+	return nil
 }
 
 func contains(xs []int, v int) bool {
@@ -447,10 +585,38 @@ func unpackBytes(payload []float64) []byte {
 	return out
 }
 
+// packBlobs concatenates several byte blobs into one transport payload:
+// a count word followed by each blob in packBytes form.
+func packBlobs(blobs [][]byte) []float64 {
+	out := []float64{float64(len(blobs))}
+	for _, b := range blobs {
+		out = append(out, packBytes(b)...)
+	}
+	return out
+}
+
+// unpackBlobs inverts packBlobs.
+func unpackBlobs(payload []float64) [][]byte {
+	n := int(payload[0])
+	out := make([][]byte, 0, n)
+	off := 1
+	for i := 0; i < n; i++ {
+		words := (int(payload[off]) + 7) / 8
+		out = append(out, unpackBytes(payload[off:off+1+words]))
+		off += 1 + words
+	}
+	return out
+}
+
+// errKilled marks the expected exit of a rank killed by fault
+// injection; Run treats it as a successful (if silent) return.
+var errKilled = errors.New("damr: rank killed by fault injection")
+
 // Run advances problem p on a hierarchy of nbx root blocks distributed
-// over opts.Ranks ranks and returns rank 0's result, with every leaf's
-// final data gathered into Result.Tree. The run is bit-identical to the
-// equivalent single-rank amr.Tree run at any rank count.
+// over opts.Ranks ranks and returns the root rank's result, with every
+// leaf's final data gathered into Result.Tree. The run is bit-identical
+// to the equivalent single-rank amr.Tree run at any rank count — and,
+// with checkpointing enabled, across an injected rank failure.
 func Run(p *testprob.Problem, nbx int, cfg amr.Config, opts Options) (*Result, error) {
 	if err := opts.validate(); err != nil {
 		return nil, err
@@ -473,11 +639,18 @@ func Run(p *testprob.Problem, nbx int, cfg amr.Config, opts Options) (*Result, e
 	}
 	wg.Wait()
 	for rank, err := range errs {
-		if err != nil {
+		if err != nil && !errors.Is(err, errKilled) {
 			return nil, fmt.Errorf("damr: rank %d: %w", rank, err)
 		}
 	}
-	return results[0], nil
+	// The gather root is the lowest surviving rank — rank 0 unless it was
+	// the fault victim.
+	for _, res := range results {
+		if res != nil && res.Tree != nil {
+			return res, nil
+		}
+	}
+	return nil, fmt.Errorf("damr: no rank produced a result")
 }
 
 func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, opts *Options) (*Result, error) {
@@ -488,15 +661,22 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		return nil, err
 	}
 	rank := comm.Rank()
+	active := make([]int, opts.Ranks)
+	for i := range active {
+		active[i] = i
+	}
 	r := &rankRun{
 		t: t, comm: comm, opts: opts, rank: rank,
 		rate:        opts.ZoneRate,
 		maxLevelCfg: cfg.MaxLevel,
+		p:           p, nbx: nbx, cfg: cfg,
+		active:      active,
+		ckBuddyRank: -1,
 	}
 	if len(opts.RankRates) > 0 {
 		r.rate = opts.RankRates[rank]
 	}
-	r.ep = buildEpoch(t, opts, cfg.MaxLevel, rank)
+	r.ep = buildEpoch(t, opts, cfg.MaxLevel, rank, r.active)
 
 	tEnd := p.TEnd
 	if opts.TEnd > 0 {
@@ -504,70 +684,131 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 	}
 
 	start := time.Now()
-	steps := 0
+	iters := 0
+	// Termination, checkpointing, regrids, and the fault trigger all key
+	// off the tree's committed step count, so a recovery that rewinds the
+	// tree transparently replays the lost window.
 	for {
 		if opts.Steps > 0 {
-			if steps >= opts.Steps {
+			if r.t.Steps() >= opts.Steps {
 				break
 			}
-		} else if t.Time() >= tEnd-1e-14 {
+		} else if r.t.Time() >= tEnd-1e-14 {
 			break
 		}
-		dt := comm.AllReduceMin(t.MaxDtOf(r.ep.mine))
-		r.clock += opts.Net.AllReduceCost(opts.Ranks)
-		if opts.Steps == 0 && t.Time()+dt > tEnd {
-			dt = tEnd - t.Time()
+		if opts.CheckpointEvery > 0 && r.t.Steps()%opts.CheckpointEvery == 0 {
+			if err := r.checkpoint(); err != nil {
+				return nil, err
+			}
+		}
+		if f := opts.Fault; f != nil && rank == f.Rank && r.t.Steps() == f.AfterStep {
+			comm.Kill()
+			return nil, errKilled
+		}
+		dt, alive, err := comm.FTAllReduceMin(r.t.MaxDtOf(r.ep.mine), r.active)
+		if err != nil {
+			return nil, err
+		}
+		r.clock += opts.Net.AllReduceCost(len(r.active))
+		if len(alive) < len(r.active) {
+			// A peer died: restore the checkpoint generation over the
+			// survivors and replay (the loop top re-checkpoints first,
+			// restoring buddy redundancy on the new ring).
+			if err := r.recoverFromFailure(alive); err != nil {
+				return nil, err
+			}
+			continue
+		}
+		if opts.Steps == 0 && r.t.Time()+dt > tEnd {
+			dt = tEnd - r.t.Time()
 		}
 		r.step(dt)
-		steps++
-		if t.Steps()%t.RegridEvery() == 0 {
-			r.regridPhase()
+		if r.t.Steps()%r.t.RegridEvery() == 0 {
+			if err := r.regridPhase(); err != nil {
+				return nil, err
+			}
 		}
-		if steps > 1_000_000 {
+		iters++
+		if iters > 1_000_000 {
 			return nil, fmt.Errorf("damr: step budget exhausted")
 		}
 	}
 	real := time.Since(start)
+	t = r.t
 
-	// Diagnostics (uncharged, like the uniform-grid driver).
-	vmax := comm.AllReduceMax(r.clock)
-	rebalMax := comm.AllReduceMax(r.rebalClock)
-	zu := comm.AllReduceSum(float64(t.ZoneUpdates()))
-	migBlocks := comm.AllReduceSum(float64(r.migBlocks))
-	migBytes := comm.AllReduceSum(float64(r.migBytes))
+	// Diagnostics (uncharged, like the uniform-grid driver): one
+	// fault-tolerant gather carries every per-rank stat, folded locally.
+	// A killed rank contributes nothing — its pre-failure work simply
+	// drops out of the sums, which the recovery replay re-earns.
+	stats := []float64{
+		r.clock, r.rebalClock, float64(t.ZoneUpdates()),
+		float64(r.migBlocks), float64(r.migBytes),
+		float64(r.ckBytes), r.ckClock, r.recClock, float64(r.recomputed),
+	}
+	parts, alive, err := comm.FTAllGather(stats, r.active)
+	if err != nil {
+		return nil, err
+	}
+	r.active = alive
+	fold := func(k int, sum bool) float64 {
+		out := 0.0
+		for _, p := range parts {
+			if p == nil {
+				continue
+			}
+			if sum {
+				out += p[k]
+			} else if p[k] > out {
+				out = p[k]
+			}
+		}
+		return out
+	}
 
-	// Gather every owned leaf's final (U, W) onto rank 0 so its replica
-	// becomes globally fresh — deliberately without a re-sync, which
-	// would apply one recover more than the reference run.
-	if rank != 0 {
+	// Gather every owned leaf's final (U, W) onto the lowest surviving
+	// rank so its replica becomes globally fresh — deliberately without
+	// a re-sync, which would apply one recover more than the reference.
+	root := r.active[0]
+	if rank != root {
 		blob, err := t.EncodeLeaves(r.ep.mine)
 		if err != nil {
 			return nil, err
 		}
-		comm.Send(0, tagGather, packBytes(blob), 0)
+		comm.Send(root, tagGather, packBytes(blob), 0)
 		return &Result{}, nil
 	}
-	for src := 1; src < opts.Ranks; src++ {
-		payload, _ := comm.Recv(src, tagGather)
+	for _, src := range r.active[1:] {
+		payload, _, err := comm.RecvErr(src, tagGather)
+		if err != nil {
+			return nil, err
+		}
 		if _, err := t.DecodeLeaves(unpackBytes(payload)); err != nil {
 			return nil, err
 		}
 	}
 	imb := 0.0
-	if steps > 0 {
-		imb = r.imbAccum / float64(steps)
+	if r.execSteps > 0 {
+		imb = r.imbAccum / float64(r.execSteps)
 	}
 	return &Result{
-		Ranks: opts.Ranks, Mode: opts.Mode, Steps: steps,
-		RealTime: real, VirtualTime: vmax,
+		Ranks: opts.Ranks, Mode: opts.Mode, Steps: t.Steps(),
+		RealTime: real, VirtualTime: fold(0, false),
 		TotalMass:   t.TotalMass(),
-		ZoneUpdates: int64(zu),
+		ZoneUpdates: int64(fold(2, true)),
 		Leaves:      t.NumLeaves(),
 		MaxLevel:    t.MaxLevelInUse(),
 		Regrids:     r.regrids, Rebalances: r.rebalances,
-		MigratedBlocks: int(migBlocks), MigratedBytes: int64(migBytes),
-		RebalanceTime: r.rebalReal, RebalanceVirtual: rebalMax,
-		Imbalance: imb,
-		Tree:      t,
+		MigratedBlocks: int(fold(3, true)), MigratedBytes: int64(fold(4, true)),
+		RebalanceTime: r.rebalReal, RebalanceVirtual: fold(1, false),
+		Imbalance:   imb,
+		Checkpoints: r.checkpoints,
+		CheckpointBytes:   int64(fold(5, true)),
+		CheckpointVirtual: fold(6, false),
+		Recoveries:        r.recoveries,
+		Survivors:         len(r.active),
+		RecomputedSteps:   int(fold(8, false)),
+		RecoveryVirtual:   fold(7, false),
+		RecoveryReal:      r.recReal,
+		Tree:              t,
 	}, nil
 }

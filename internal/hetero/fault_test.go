@@ -1,0 +1,155 @@
+package hetero
+
+import (
+	"testing"
+
+	"rhsc/internal/core"
+	"rhsc/internal/state"
+	"rhsc/internal/testprob"
+)
+
+// faultRun advances the 2-D blast a few steps on a CPU+GPU pair and
+// returns the executor plus the final density field.
+func faultRun(t *testing.T, fault *DeviceFault) (*Executor, []float64) {
+	t.Helper()
+	p := testprob.Blast2D
+	g := p.NewGrid(48, 2)
+	s, err := core.New(g, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := MustExecutor(Dynamic, MustDevice(SpecHostCPU(4)), MustDevice(SpecK20GPU()))
+	ex.ChunkStrips = 4
+	ex.Fault = fault
+	ex.Attach(s)
+	if err := s.InitFromPrim(p.Init); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 3; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	out := make([]float64, g.NCells())
+	copy(out, g.U.Comp[state.ID])
+	return ex, out
+}
+
+// TestFaultDeviceReexecution: an injected device error must re-execute
+// the lost kernels on the healthy device, flag degraded mode, and leave
+// the solution bitwise identical to the fault-free run — only the
+// virtual clocks and the device assignment may change.
+func TestFaultDeviceReexecution(t *testing.T) {
+	clean, cleanU := faultRun(t, nil)
+	faulty, faultyU := faultRun(t, &DeviceFault{Device: 1, AfterKernels: 4, FlakyRetries: 2})
+
+	for i := range cleanU {
+		if cleanU[i] != faultyU[i] {
+			t.Fatalf("cell %d differs under device fault: %v vs %v", i, cleanU[i], faultyU[i])
+		}
+	}
+	snap := faulty.Stats.Snapshot()
+	if snap.Injected != 1 {
+		t.Fatalf("Injected = %d, want 1", snap.Injected)
+	}
+	if snap.Retries != 3 { // 2 flaky attempts + the one that lands
+		t.Fatalf("Retries = %d, want 3", snap.Retries)
+	}
+	if !snap.Degraded || !faulty.Degraded() {
+		t.Fatal("degraded mode not flagged")
+	}
+	if faulty.BackoffVirtual() <= 0 {
+		t.Fatal("no backoff charged")
+	}
+
+	rep := faulty.Report()
+	if !rep[1].Faulted || rep[0].Faulted {
+		t.Fatalf("fault flags wrong: %+v", rep)
+	}
+	// The GPU stops at its 4 completed kernels plus the failed launch;
+	// the CPU absorbs everything else.
+	if rep[1].Kernels != 5 {
+		t.Fatalf("faulted device ran %d kernels, want 5", rep[1].Kernels)
+	}
+	if rep[0].Zones <= clean.Report()[0].Zones {
+		t.Fatal("healthy device did not absorb the faulted device's work")
+	}
+	if faulty.VirtualTime() <= clean.VirtualTime() {
+		t.Fatalf("fault run not slower: %v vs %v", faulty.VirtualTime(), clean.VirtualTime())
+	}
+}
+
+// TestFaultPlansExcludeDeadDevice: once the fault fired, later static and
+// dynamic plans must never schedule the dead device.
+func TestFaultPlansExcludeDeadDevice(t *testing.T) {
+	for _, pol := range []Policy{Static, Dynamic} {
+		ex := MustExecutor(pol, MustDevice(SpecHostCPU(4)), MustDevice(SpecK20GPU()))
+		ex.Fault = &DeviceFault{Device: 1, AfterKernels: 0}
+		// The triggering sweep: every kernel of device 1 must migrate.
+		first := ex.applyFault(ex.staticPlan(64), 48)
+		// Subsequent sweeps: the planner itself must skip device 1.
+		var next []assignment
+		if pol == Static {
+			next = ex.staticPlan(64)
+		} else {
+			next = ex.dynamicPlan(64, 48)
+		}
+		for _, plan := range [][]assignment{first, next} {
+			planCovers(t, plan, 64)
+			for _, a := range plan {
+				if a.dev == 1 {
+					t.Fatalf("%v plan scheduled the dead device: %+v", pol, a)
+				}
+			}
+		}
+	}
+}
+
+// TestFaultLastDeviceKeepsRunning: with no healthy device left the
+// executor must keep the plan (degraded but correct) rather than stall.
+func TestFaultLastDeviceKeepsRunning(t *testing.T) {
+	p := testprob.Blast2D
+	g := p.NewGrid(32, 2)
+	s, err := core.New(g, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	ex := MustExecutor(Static, MustDevice(SpecHostCPU(2)))
+	ex.Fault = &DeviceFault{Device: 0, AfterKernels: 2}
+	ex.Attach(s)
+	if err := s.InitFromPrim(p.Init); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if !ex.Degraded() {
+		t.Fatal("fault never fired")
+	}
+	if err := s.CheckState(); err != nil {
+		t.Fatalf("state invalid after single-device fault: %v", err)
+	}
+}
+
+// TestFaultResetClocks: ResetClocks must clear fault state so the
+// executor can be reused for a fresh measurement.
+func TestFaultResetClocks(t *testing.T) {
+	ex, _ := faultRun(t, &DeviceFault{Device: 1, AfterKernels: 1})
+	if !ex.Degraded() {
+		t.Fatal("fault never fired")
+	}
+	ex.ResetClocks()
+	if ex.Degraded() || ex.BackoffVirtual() != 0 {
+		t.Fatal("ResetClocks kept fault state")
+	}
+	if snap := ex.Stats.Snapshot(); snap.Injected != 0 || snap.Retries != 0 {
+		t.Fatalf("counters survived reset: %+v", snap)
+	}
+	for _, r := range ex.Report() {
+		if r.Faulted {
+			t.Fatal("device still marked faulted after reset")
+		}
+	}
+}

@@ -15,6 +15,7 @@ package hetero
 
 import (
 	"bufio"
+	"errors"
 	"fmt"
 	"io"
 	"math"
@@ -22,6 +23,7 @@ import (
 	"sync"
 
 	"rhsc/internal/core"
+	"rhsc/internal/metrics"
 	"rhsc/internal/par"
 	"rhsc/internal/state"
 )
@@ -136,15 +138,25 @@ type Device struct {
 	kerns int64   // kernels launched
 }
 
-// NewDevice wraps a spec.
-func NewDevice(s Spec) *Device {
+// NewDevice wraps a spec, rejecting one that cannot make progress.
+func NewDevice(s Spec) (*Device, error) {
 	if s.ZoneRate <= 0 {
-		panic("hetero: device needs positive ZoneRate")
+		return nil, fmt.Errorf("hetero: device %q needs positive ZoneRate", s.Name)
 	}
 	if s.Workers < 1 {
 		s.Workers = 1
 	}
-	return &Device{Spec: s}
+	return &Device{Spec: s}, nil
+}
+
+// MustDevice is NewDevice for statically known-good specs (tests,
+// benchmark tables); it panics on a spec NewDevice rejects.
+func MustDevice(s Spec) *Device {
+	d, err := NewDevice(s)
+	if err != nil {
+		panic(err)
+	}
+	return d
 }
 
 // Staged reports whether the device copies its working set over the link
@@ -285,13 +297,47 @@ type Executor struct {
 	// (Gantt) export via TraceEvents / WriteTraceCSV.
 	Trace bool
 
+	// Fault, when non-nil, deterministically fails one device mid-run;
+	// its kernels re-execute on the healthy set (see DeviceFault).
+	Fault *DeviceFault
+	// Stats counts injected device faults, kernel re-executions, and the
+	// degraded-mode flag; NewExecutor points it at private storage, but
+	// callers may share one across executors.
+	Stats *metrics.FaultCounters
+
 	solver *core.Solver
 	pool   *par.Pool
+
+	faulted []bool  // device permanently excluded after an injected fault
+	planned []int64 // planned kernels per device (fault-trigger accounting)
+	backoff float64 // accumulated virtual retry-backoff seconds
+	pending float64 // backoff charged to the current phase's makespan
+	own     metrics.FaultCounters
 
 	mu      sync.Mutex
 	virtual float64 // accumulated virtual makespan
 	phase   int64
 	events  []TraceEvent
+}
+
+// DeviceFault injects a fail-stop device error: the device completes
+// AfterKernels kernels, then its next launch comes back with an error.
+// The executor marks the device degraded, charges it the wasted launch,
+// re-executes the failed kernel — after FlakyRetries further failed
+// attempts, each preceded by an exponentially growing virtual backoff —
+// on the earliest-finishing healthy device, and excludes the faulty
+// device from every later sweep plan.
+//
+// The fault is evaluated when a sweep is *planned*, not while kernels
+// execute: pool execution order is nondeterministic, plan order is not,
+// so a faulted run is exactly reproducible and its solution bitwise
+// matches the fault-free one (kernels always compute correctly on the
+// host; only the virtual clocks and device assignment change).
+type DeviceFault struct {
+	Device       int     // index into Executor.Devices
+	AfterKernels int64   // kernels the device completes before failing
+	FlakyRetries int     // extra failed re-execution attempts before success
+	RetryBackoff float64 // base virtual backoff per retry (default 100 µs)
 }
 
 // TraceEvent is one kernel on a device's virtual timeline.
@@ -305,19 +351,36 @@ type TraceEvent struct {
 }
 
 // NewExecutor builds an executor over the given devices.
-func NewExecutor(policy Policy, devices ...*Device) *Executor {
+func NewExecutor(policy Policy, devices ...*Device) (*Executor, error) {
 	if len(devices) == 0 {
-		panic("hetero: executor needs at least one device")
+		return nil, errors.New("hetero: executor needs at least one device")
 	}
 	workers := 0
 	for _, d := range devices {
+		if d == nil {
+			return nil, errors.New("hetero: nil device")
+		}
 		workers += d.Spec.Workers
 	}
-	return &Executor{
+	ex := &Executor{
 		Devices: devices,
 		Policy:  policy,
 		pool:    par.NewPool(workers),
+		faulted: make([]bool, len(devices)),
+		planned: make([]int64, len(devices)),
 	}
+	ex.Stats = &ex.own
+	return ex, nil
+}
+
+// MustExecutor is NewExecutor for statically known-good device sets;
+// it panics on input NewExecutor rejects.
+func MustExecutor(policy Policy, devices ...*Device) *Executor {
+	ex, err := NewExecutor(policy, devices...)
+	if err != nil {
+		panic(err)
+	}
+	return ex
 }
 
 // Attach hooks the executor into the solver's sweep execution. It must be
@@ -338,17 +401,31 @@ func (ex *Executor) VirtualTime() float64 {
 	return ex.virtual
 }
 
-// ResetClocks zeroes the executor makespan, trace and every device clock.
+// ResetClocks zeroes the executor makespan, trace, fault state and every
+// device clock.
 func (ex *Executor) ResetClocks() {
 	ex.mu.Lock()
 	ex.virtual = 0
 	ex.phase = 0
 	ex.events = nil
 	ex.mu.Unlock()
-	for _, d := range ex.Devices {
+	for i, d := range ex.Devices {
 		d.Reset()
+		ex.faulted[i] = false
+		ex.planned[i] = 0
 	}
+	ex.backoff = 0
+	ex.pending = 0
+	ex.Stats.Reset()
 }
+
+// BackoffVirtual returns the virtual seconds spent in retry backoff
+// after injected device faults.
+func (ex *Executor) BackoffVirtual() float64 { return ex.backoff }
+
+// Degraded reports whether a device has been lost to an injected fault
+// and the executor is running on the reduced set.
+func (ex *Executor) Degraded() bool { return ex.Stats.Degraded.Load() }
 
 // TraceEvents returns a copy of the recorded kernel timeline (Trace must
 // have been enabled), sorted by phase then device-local start time.
@@ -401,6 +478,7 @@ func (ex *Executor) sweepExec(d state.Direction, nStrips int, sweep func(lo, hi 
 	case Dynamic:
 		plan = ex.dynamicPlan(nStrips, zonesPerStrip)
 	}
+	plan = ex.applyFault(plan, zonesPerStrip)
 
 	// Execute: kernels run for real on the pool; each is charged to its
 	// device's virtual clock.
@@ -442,8 +520,11 @@ func (ex *Executor) sweepExec(d state.Direction, nStrips int, sweep func(lo, hi 
 		}
 	}
 
-	// Makespan of this phase: the slowest device's accumulated charge.
-	span := 0.0
+	// Makespan of this phase: the slowest device's accumulated charge,
+	// plus any retry backoff an injected device fault cost this phase.
+	span := ex.pending
+	ex.backoff += ex.pending
+	ex.pending = 0
 	for i, dev := range ex.Devices {
 		if b := dev.Busy() - phaseStart[i]; b > span {
 			span = b
@@ -454,20 +535,104 @@ func (ex *Executor) sweepExec(d state.Direction, nStrips int, sweep func(lo, hi 
 	ex.mu.Unlock()
 }
 
-// staticPlan splits [0, nStrips) proportionally to raw ZoneRate: one
-// kernel per device.
-func (ex *Executor) staticPlan(nStrips int) []assignment {
-	total := 0.0
-	for _, d := range ex.Devices {
-		total += d.Spec.ZoneRate
+// applyFault rewrites a sweep plan when the configured device fault
+// fires: the triggering kernel and every later kernel of the faulty
+// device migrate to the earliest-finishing healthy device (list
+// scheduling over within-phase ETAs, as dynamicPlan does). Runs in the
+// (serial) sweep-planning path; see DeviceFault for the determinism
+// argument.
+func (ex *Executor) applyFault(plan []assignment, zonesPerStrip int) []assignment {
+	f := ex.Fault
+	if f == nil || f.Device < 0 || f.Device >= len(ex.Devices) || ex.faulted[f.Device] {
+		return plan
 	}
-	plan := make([]assignment, 0, len(ex.Devices))
+	eta := make([]float64, len(ex.Devices))
+	out := make([]assignment, 0, len(plan))
+	place := func(a assignment) {
+		out = append(out, a)
+		eta[a.dev] += ex.Devices[a.dev].MarginalCost((a.hi - a.lo) * zonesPerStrip)
+	}
+	for _, a := range plan {
+		if a.dev != f.Device {
+			place(a)
+			continue
+		}
+		if !ex.faulted[f.Device] {
+			if ex.planned[f.Device] < f.AfterKernels {
+				ex.planned[f.Device]++
+				place(a)
+				continue
+			}
+			// This launch errors: degrade the device, charge it the
+			// wasted launch, and pay exponentially growing backoff for
+			// the failed re-execution attempts plus the one that lands.
+			ex.faulted[f.Device] = true
+			ex.Stats.Injected.Add(1)
+			ex.Stats.Degraded.Store(true)
+			ex.Devices[f.Device].Charge(0)
+			back := f.RetryBackoff
+			if back <= 0 {
+				back = 1e-4
+			}
+			for k := 0; k <= f.FlakyRetries; k++ {
+				ex.Stats.Retries.Add(1)
+				ex.pending += back
+				back *= 2
+			}
+		}
+		best, bestT := -1, math.Inf(1)
+		for i, d := range ex.Devices {
+			if ex.faulted[i] {
+				continue
+			}
+			if t := eta[i] + d.MarginalCost((a.hi-a.lo)*zonesPerStrip); t < bestT {
+				best, bestT = i, t
+			}
+		}
+		if best < 0 {
+			// No healthy device remains: keep the assignment so the sweep
+			// still completes (correctness path runs on the host anyway).
+			out = append(out, a)
+			continue
+		}
+		place(assignment{dev: best, lo: a.lo, hi: a.hi})
+	}
+	return out
+}
+
+// healthy returns the schedulable device indices: every device not
+// excluded by an injected fault, or all of them if none survives (the
+// correctness path must still run the sweep somewhere).
+func (ex *Executor) healthy() []int {
+	out := make([]int, 0, len(ex.Devices))
+	for i := range ex.Devices {
+		if !ex.faulted[i] {
+			out = append(out, i)
+		}
+	}
+	if len(out) == 0 {
+		for i := range ex.Devices {
+			out = append(out, i)
+		}
+	}
+	return out
+}
+
+// staticPlan splits [0, nStrips) proportionally to raw ZoneRate: one
+// kernel per healthy device.
+func (ex *Executor) staticPlan(nStrips int) []assignment {
+	devs := ex.healthy()
+	total := 0.0
+	for _, i := range devs {
+		total += ex.Devices[i].Spec.ZoneRate
+	}
+	plan := make([]assignment, 0, len(devs))
 	lo := 0
 	acc := 0.0
-	for i, d := range ex.Devices {
-		acc += d.Spec.ZoneRate
+	for n, i := range devs {
+		acc += ex.Devices[i].Spec.ZoneRate
 		hi := int(math.Round(float64(nStrips) * acc / total))
-		if i == len(ex.Devices)-1 {
+		if n == len(devs)-1 {
 			hi = nStrips
 		}
 		if hi > lo {
@@ -482,9 +647,10 @@ func (ex *Executor) staticPlan(nStrips int) []assignment {
 // chunks are assigned, in order, to the device that would finish them
 // earliest given everything already assigned in this sweep.
 func (ex *Executor) dynamicPlan(nStrips, zonesPerStrip int) []assignment {
+	devs := ex.healthy()
 	chunk := ex.ChunkStrips
 	if chunk <= 0 {
-		chunk = nStrips / (8 * len(ex.Devices))
+		chunk = nStrips / (8 * len(devs))
 		if chunk < 1 {
 			chunk = 1
 		}
@@ -497,9 +663,9 @@ func (ex *Executor) dynamicPlan(nStrips, zonesPerStrip int) []assignment {
 			hi = nStrips
 		}
 		zones := (hi - lo) * zonesPerStrip
-		best, bestT := 0, math.Inf(1)
-		for i, d := range ex.Devices {
-			t := eta[i] + d.MarginalCost(zones)
+		best, bestT := devs[0], math.Inf(1)
+		for _, i := range devs {
+			t := eta[i] + ex.Devices[i].MarginalCost(zones)
 			if t < bestT {
 				best, bestT = i, t
 			}
@@ -518,6 +684,7 @@ type LoadReport struct {
 	Kernels int64
 	Busy    float64 // virtual seconds
 	Share   float64 // fraction of total zones
+	Faulted bool    // excluded mid-run by an injected fault
 }
 
 // Report returns the per-device load breakdown, ordered as the devices
@@ -537,6 +704,7 @@ func (ex *Executor) Report() []LoadReport {
 			Name: d.Spec.Name, Kind: d.Spec.Kind,
 			Zones: d.Zones(), Kernels: d.Kernels(),
 			Busy: d.Busy(), Share: share,
+			Faulted: ex.faulted[i],
 		}
 	}
 	return out

@@ -12,7 +12,7 @@ import (
 )
 
 func TestKernelCostModel(t *testing.T) {
-	cpu := NewDevice(SpecHostCPU(4))
+	cpu := MustDevice(SpecHostCPU(4))
 	want := cpu.Spec.LaunchLatency + 1000/cpu.Spec.ZoneRate
 	if got := cpu.KernelCost(1000); math.Abs(got-want) > 1e-15 {
 		t.Errorf("cpu cost = %v, want %v", got, want)
@@ -21,10 +21,10 @@ func TestKernelCostModel(t *testing.T) {
 	if cpu.TransferCost(1<<20) != 0 {
 		t.Error("cpu charged a transfer")
 	}
-	if NewDevice(SpecK20GPU()).TransferCost(1<<20) != 0 {
+	if MustDevice(SpecK20GPU()).TransferCost(1<<20) != 0 {
 		t.Error("resident gpu charged a transfer")
 	}
-	staged := NewDevice(SpecK20GPUStaged())
+	staged := MustDevice(SpecK20GPUStaged())
 	wantT := 2*staged.Spec.TransferLatency + float64(1<<20)/staged.Spec.TransferBW
 	if got := staged.TransferCost(1 << 20); math.Abs(got-wantT) > 1e-15 {
 		t.Errorf("staged transfer = %v, want %v", got, wantT)
@@ -37,7 +37,7 @@ func TestKernelCostModel(t *testing.T) {
 }
 
 func TestChargeAccumulates(t *testing.T) {
-	d := NewDevice(SpecHostCPU(1))
+	d := MustDevice(SpecHostCPU(1))
 	c1 := d.Charge(100)
 	c2 := d.Charge(200)
 	if math.Abs(d.Busy()-(c1+c2)) > 1e-18 {
@@ -50,7 +50,7 @@ func TestChargeAccumulates(t *testing.T) {
 	if d.Busy() != 0 || d.Zones() != 0 || d.Kernels() != 0 {
 		t.Error("Reset incomplete")
 	}
-	g := NewDevice(SpecK20GPUStaged())
+	g := MustDevice(SpecK20GPUStaged())
 	if c := g.ChargeTransfer(6_000_000_000); math.Abs(g.Busy()-c) > 1e-15 || c < 1 {
 		t.Errorf("transfer charge = %v busy = %v", c, g.Busy())
 	}
@@ -60,8 +60,8 @@ func TestChargeAccumulates(t *testing.T) {
 // CPU for tiny kernels (launch+transfer dominated) and the GPU for large
 // ones — the central claim of the heterogeneous evaluation.
 func TestDeviceCrossover(t *testing.T) {
-	cpu := NewDevice(SpecHostCPU(4))
-	gpu := NewDevice(SpecK20GPU())
+	cpu := MustDevice(SpecHostCPU(4))
+	gpu := MustDevice(SpecK20GPU())
 	rate := func(d *Device, zones int) float64 {
 		return float64(zones) / d.MarginalCost(zones)
 	}
@@ -94,9 +94,9 @@ func planCovers(t *testing.T, plan []assignment, n int) {
 }
 
 func TestStaticPlanProportional(t *testing.T) {
-	fast := NewDevice(Spec{Name: "fast", ZoneRate: 9e6, Workers: 1})
-	slow := NewDevice(Spec{Name: "slow", ZoneRate: 1e6, Workers: 1})
-	ex := NewExecutor(Static, slow, fast)
+	fast := MustDevice(Spec{Name: "fast", ZoneRate: 9e6, Workers: 1})
+	slow := MustDevice(Spec{Name: "slow", ZoneRate: 1e6, Workers: 1})
+	ex := MustExecutor(Static, slow, fast)
 	plan := ex.staticPlan(100)
 	planCovers(t, plan, 100)
 	// slow gets ~10, fast ~90.
@@ -112,9 +112,9 @@ func TestStaticPlanProportional(t *testing.T) {
 }
 
 func TestDynamicPlanCoverageAndAdaptivity(t *testing.T) {
-	fast := NewDevice(Spec{Name: "fast", ZoneRate: 8e6, Workers: 1})
-	slow := NewDevice(Spec{Name: "slow", ZoneRate: 1e6, Workers: 1})
-	ex := NewExecutor(Dynamic, fast, slow)
+	fast := MustDevice(Spec{Name: "fast", ZoneRate: 8e6, Workers: 1})
+	slow := MustDevice(Spec{Name: "slow", ZoneRate: 1e6, Workers: 1})
+	ex := MustExecutor(Dynamic, fast, slow)
 	ex.ChunkStrips = 4
 	plan := ex.dynamicPlan(128, 100)
 	planCovers(t, plan, 128)
@@ -155,7 +155,7 @@ func TestExecutorMatchesPlainSolver(t *testing.T) {
 	}
 	plain := run(nil)
 	for _, pol := range []Policy{Static, Dynamic} {
-		ex := NewExecutor(pol, NewDevice(SpecHostCPU(2)), NewDevice(SpecK20GPU()))
+		ex := MustExecutor(pol, MustDevice(SpecHostCPU(2)), MustDevice(SpecK20GPU()))
 		het := run(func(s *core.Solver) { ex.Attach(s) })
 		for i := range plain {
 			if plain[i] != het[i] {
@@ -183,7 +183,7 @@ func TestDynamicBeatsStaticOnMismatch(t *testing.T) {
 		// overloads it; the dynamic queue adapts.
 		slowLink := SpecK20GPUStaged()
 		slowLink.TransferBW = 3e9
-		ex := NewExecutor(pol, NewDevice(SpecHostCPU(4)), NewDevice(slowLink))
+		ex := MustExecutor(pol, MustDevice(SpecHostCPU(4)), MustDevice(slowLink))
 		ex.Attach(s)
 		s.InitFromPrim(p.Init)
 		for i := 0; i < 3; i++ {
@@ -210,7 +210,7 @@ func TestHeterogeneousSpeedup(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		ex := NewExecutor(Dynamic, devs...)
+		ex := MustExecutor(Dynamic, devs...)
 		ex.Attach(s)
 		s.InitFromPrim(p.Init)
 		for i := 0; i < 2; i++ {
@@ -220,9 +220,9 @@ func TestHeterogeneousSpeedup(t *testing.T) {
 		}
 		return ex.VirtualTime()
 	}
-	cpuOnly := run(NewDevice(SpecHostCPU(8)))
-	gpuOnly := run(NewDevice(SpecK20GPU()))
-	both := run(NewDevice(SpecHostCPU(8)), NewDevice(SpecK20GPU()))
+	cpuOnly := run(MustDevice(SpecHostCPU(8)))
+	gpuOnly := run(MustDevice(SpecK20GPU()))
+	both := run(MustDevice(SpecHostCPU(8)), MustDevice(SpecK20GPU()))
 	if gpuOnly >= cpuOnly {
 		t.Errorf("GPU (%v) should beat 8-core CPU (%v) at 128^2", gpuOnly, cpuOnly)
 	}
@@ -243,9 +243,9 @@ func TestThreeDeviceMix(t *testing.T) {
 		}
 		devs := make([]*Device, len(specs))
 		for i, sp := range specs {
-			devs[i] = NewDevice(sp)
+			devs[i] = MustDevice(sp)
 		}
-		ex := NewExecutor(Dynamic, devs...)
+		ex := MustExecutor(Dynamic, devs...)
 		ex.Attach(s)
 		s.InitFromPrim(p.Init)
 		for i := 0; i < 2; i++ {
@@ -271,7 +271,7 @@ func TestExecutionTrace(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ex := NewExecutor(Dynamic, NewDevice(SpecHostCPU(2)), NewDevice(SpecK20GPU()))
+	ex := MustExecutor(Dynamic, MustDevice(SpecHostCPU(2)), MustDevice(SpecK20GPU()))
 	ex.Trace = true
 	ex.Attach(s)
 	s.InitFromPrim(p.Init)
@@ -321,9 +321,9 @@ func TestExecutionTrace(t *testing.T) {
 }
 
 func TestReportAndImbalance(t *testing.T) {
-	a := NewDevice(Spec{Name: "a", ZoneRate: 1e6, Workers: 1})
-	b := NewDevice(Spec{Name: "b", ZoneRate: 1e6, Workers: 1})
-	ex := NewExecutor(Static, a, b)
+	a := MustDevice(Spec{Name: "a", ZoneRate: 1e6, Workers: 1})
+	b := MustDevice(Spec{Name: "b", ZoneRate: 1e6, Workers: 1})
+	ex := MustExecutor(Static, a, b)
 	a.Charge(1000)
 	b.Charge(1000)
 	if im := ex.Imbalance(); math.Abs(im) > 1e-6 {
@@ -343,21 +343,30 @@ func TestReportAndImbalance(t *testing.T) {
 }
 
 func TestExecutorValidation(t *testing.T) {
+	if _, err := NewExecutor(Static); err == nil {
+		t.Error("empty device list accepted")
+	}
+	if _, err := NewExecutor(Static, nil); err == nil {
+		t.Error("nil device accepted")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("empty device list accepted")
+			t.Error("MustExecutor did not panic on invalid input")
 		}
 	}()
-	NewExecutor(Static)
+	MustExecutor(Static)
 }
 
 func TestNewDeviceValidation(t *testing.T) {
+	if _, err := NewDevice(Spec{Name: "bad"}); err == nil {
+		t.Error("zero ZoneRate accepted")
+	}
 	defer func() {
 		if recover() == nil {
-			t.Error("zero ZoneRate accepted")
+			t.Error("MustDevice did not panic on invalid spec")
 		}
 	}()
-	NewDevice(Spec{Name: "bad"})
+	MustDevice(Spec{Name: "bad"})
 }
 
 func TestPolicyKindStrings(t *testing.T) {

@@ -1,0 +1,62 @@
+package resilience
+
+import (
+	"math"
+
+	"rhsc/internal/core"
+	"rhsc/internal/state"
+)
+
+// Injector deterministically corrupts one conserved cell after a chosen
+// committed step's update, before the guard's validation — modelling a
+// transient soft fault (memory bit flip, device glitch) that the step
+// guards must catch and repair. Because the guard restores its pre-step
+// snapshot on violation, the corruption is transient: once Count
+// attempts have been poisoned, the retried step runs clean and the
+// simulation proceeds. Deterministic by construction — no randomness, so
+// a faulted run is exactly reproducible.
+type Injector struct {
+	// AtStep is the guard's committed-step index (0-based) whose update
+	// gets corrupted.
+	AtStep int
+	// Count is how many consecutive attempts of that step to poison
+	// (default 1). Values above the guard's FirstOrderAfter force the
+	// first-order fallback to engage; values above MaxRetries+1 exhaust
+	// the budget and surface a *StepFailure.
+	Count int
+	// Cell is the flat grid index to poison; negative selects the domain
+	// centre.
+	Cell int
+	// Unphysical injects a finite but inadmissible state (tau < 0)
+	// instead of NaN, exercising the positivity branch of validation.
+	Unphysical bool
+
+	fired int
+}
+
+// fire poisons the state if this (step, attempt) is scheduled; it
+// reports whether it injected.
+func (in *Injector) fire(s *core.Solver, step int) bool {
+	if in == nil || step != in.AtStep {
+		return false
+	}
+	count := in.Count
+	if count == 0 {
+		count = 1
+	}
+	if in.fired >= count {
+		return false
+	}
+	in.fired++
+	g := s.G
+	idx := in.Cell
+	if idx < 0 {
+		idx = g.Idx((g.IBeg()+g.IEnd())/2, (g.JBeg()+g.JEnd())/2, (g.KBeg()+g.KEnd())/2)
+	}
+	if in.Unphysical {
+		g.U.Comp[state.ITau][idx] = -1
+	} else {
+		g.U.Comp[state.ITau][idx] = math.NaN()
+	}
+	return true
+}

@@ -1,0 +1,200 @@
+// Package resilience layers fault tolerance over the solver stack: a
+// guarded stepper that validates every update and retries violations
+// with a halved step and a dissipative first-order fallback, plus
+// deterministic fault injectors to exercise the machinery.
+//
+// Fault model (see docs/RESILIENCE.md):
+//
+//   - Numerical faults — NaN/Inf states, loss of D/tau positivity, c2p
+//     non-convergence behind strong shocks. Handled here: Guard snapshots
+//     the state before each step, validates after (per RK stage via
+//     core.Config.StrictChecks and whole-state via CheckState), and on
+//     violation restores the snapshot and retries with dt/2; from the
+//     second retry it also drops to piecewise-constant reconstruction +
+//     HLL (the most dissipative, most robust method in the tree) and
+//     restores the high-order scheme once a retry commits. The retry
+//     budget bounds the work; exhaustion surfaces a typed *StepFailure
+//     instead of a panic.
+//
+//   - Rank faults — a distributed-AMR rank dying mid-run. Handled in
+//     internal/damr via cluster.Kill/RecvErr and buddy checkpoints.
+//
+//   - Device faults — a modelled accelerator erroring mid-sweep. Handled
+//     in internal/hetero via plan-time re-execution with backoff.
+//
+// Determinism: a guarded run with no injected or organic violations is
+// bit-identical to an unguarded run (validation only reads the state);
+// with violations, the retry sequence is a pure function of the state,
+// so guarded runs are reproducible run-to-run.
+package resilience
+
+import (
+	"fmt"
+
+	"rhsc/internal/core"
+	"rhsc/internal/metrics"
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+)
+
+// Policy bounds the retry machinery.
+type Policy struct {
+	// MaxRetries is the number of retries per step before the guard gives
+	// up (default 4, i.e. dt can shrink 16-fold).
+	MaxRetries int
+	// FirstOrderAfter is the 1-based retry index from which the fallback
+	// scheme (PCM + HLL) replaces the configured method (default 2: the
+	// first retry only halves dt, preserving accuracy for transients).
+	FirstOrderAfter int
+	// C2PFailureLimit is the number of atmosphere resets a single RK
+	// stage may take before the step counts as violated (default 0).
+	C2PFailureLimit int
+}
+
+// withDefaults fills zero fields.
+func (p Policy) withDefaults() Policy {
+	if p.MaxRetries == 0 {
+		p.MaxRetries = 4
+	}
+	if p.FirstOrderAfter == 0 {
+		p.FirstOrderAfter = 2
+	}
+	return p
+}
+
+// StepFailure reports a step whose retry budget is exhausted. The
+// guard's solver state is restored to the pre-step snapshot, so the
+// caller can checkpoint, report, or abandon cleanly.
+type StepFailure struct {
+	T       float64 // solution time of the failed step
+	Dt      float64 // originally requested step
+	Retries int     // retries consumed
+	Last    error   // violation seen on the final attempt
+}
+
+// Error implements the error interface.
+func (e *StepFailure) Error() string {
+	return fmt.Sprintf("resilience: step at t=%v (dt=%v) failed after %d retries: %v",
+		e.T, e.Dt, e.Retries, e.Last)
+}
+
+// Unwrap exposes the final violation for errors.Is/As.
+func (e *StepFailure) Unwrap() error { return e.Last }
+
+// Guard wraps a core.Solver with snapshot/validate/retry stepping. Use
+// from one goroutine; create with NewGuard. Do not copy.
+type Guard struct {
+	S      *core.Solver
+	Policy Policy
+	// Inject, when non-nil, deterministically corrupts the state after
+	// chosen steps (see Injector) to exercise the recovery path.
+	Inject *Injector
+	// Stats counts injections, retries and fallbacks; share it across
+	// guards (e.g. one per AMR block) for aggregate accounting.
+	Stats *metrics.FaultCounters
+
+	uSnap, wSnap []float64
+	steps        int
+	own          metrics.FaultCounters // backing store when Stats is nil
+}
+
+// NewGuard wraps s. It enables per-stage strict validation on the
+// solver (core.Config.StrictChecks) with the policy's c2p failure limit.
+func NewGuard(s *core.Solver, pol Policy) *Guard {
+	pol = pol.withDefaults()
+	s.Cfg.StrictChecks = true
+	s.Cfg.StrictC2PLimit = pol.C2PFailureLimit
+	g := &Guard{S: s, Policy: pol}
+	g.Stats = &g.own
+	return g
+}
+
+// Steps returns the number of committed (successful) steps.
+func (g *Guard) Steps() int { return g.steps }
+
+// Step advances by dt with validation and bounded retry, returning the
+// dt actually committed (dt, or a halved refinement of it). On
+// *StepFailure the state is the pre-step snapshot; on success the usual
+// solver invariant (W consistent with U) holds.
+func (g *Guard) Step(dt float64) (float64, error) {
+	s := g.S
+	g.uSnap = append(g.uSnap[:0], s.G.U.Raw()...)
+	g.wSnap = append(g.wSnap[:0], s.G.W.Raw()...)
+	t0 := s.Time()
+	hiRec, hiRS := s.Method()
+	fallback := false
+
+	cur := dt
+	var lastErr error
+	for attempt := 0; ; attempt++ {
+		if attempt > 0 {
+			copy(s.G.U.Raw(), g.uSnap)
+			copy(s.G.W.Raw(), g.wSnap)
+			s.SetTime(t0)
+			if attempt > g.Policy.MaxRetries {
+				if fallback {
+					if err := s.SetMethod(hiRec, hiRS); err != nil {
+						return 0, err
+					}
+				}
+				return 0, &StepFailure{T: t0, Dt: dt, Retries: g.Policy.MaxRetries, Last: lastErr}
+			}
+			g.Stats.Retries.Add(1)
+			cur /= 2
+			if attempt >= g.Policy.FirstOrderAfter && !fallback {
+				if err := s.SetMethod(recon.PCM{}, riemann.HLL{}); err != nil {
+					return 0, err
+				}
+				fallback = true
+			}
+			if fallback {
+				g.Stats.Fallbacks.Add(1)
+			}
+		}
+		err := s.Step(cur)
+		if err == nil {
+			if g.Inject != nil && g.Inject.fire(s, g.steps) {
+				g.Stats.Injected.Add(1)
+			}
+			err = s.CheckState()
+		}
+		if err == nil {
+			if fallback {
+				if err := s.SetMethod(hiRec, hiRS); err != nil {
+					return 0, err
+				}
+			}
+			g.steps++
+			return cur, nil
+		}
+		lastErr = err
+	}
+}
+
+// Advance integrates to tEnd through the guard, choosing CFL-limited
+// steps (shrunk further by retries) and clamping the final step onto
+// tEnd. It returns the number of committed steps.
+func (g *Guard) Advance(tEnd float64) (int, error) {
+	s := g.S
+	steps := 0
+	for s.Time() < tEnd-1e-14 {
+		if steps == 0 {
+			s.RecoverPrimitives()
+		}
+		dt := s.MaxDt()
+		if s.Time()+dt > tEnd {
+			dt = tEnd - s.Time()
+		}
+		if dt <= 0 {
+			return steps, fmt.Errorf("resilience: time step underflow at t=%v", s.Time())
+		}
+		if _, err := g.Step(dt); err != nil {
+			return steps, fmt.Errorf("resilience: step %d at t=%v: %w", steps, s.Time(), err)
+		}
+		steps++
+		if steps > 10_000_000 {
+			return steps, fmt.Errorf("resilience: step budget exhausted at t=%v", s.Time())
+		}
+	}
+	return steps, nil
+}

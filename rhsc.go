@@ -176,7 +176,9 @@ func NewSim(o Options) (*Sim, error) {
 	if err != nil {
 		return nil, err
 	}
-	s.InitFromPrim(p.Init)
+	if err := s.InitFromPrim(p.Init); err != nil {
+		return nil, err
+	}
 	return &Sim{Problem: p, Solver: s, Grid: g, opts: o}, nil
 }
 
@@ -403,9 +405,16 @@ func NewHeteroSim(o Options, policy SchedulePolicy, specs ...DeviceSpec) (*Heter
 	}
 	devs := make([]*hetero.Device, len(specs))
 	for i, sp := range specs {
-		devs[i] = hetero.NewDevice(sp)
+		d, err := hetero.NewDevice(sp)
+		if err != nil {
+			return nil, err
+		}
+		devs[i] = d
 	}
-	ex := hetero.NewExecutor(policy, devs...)
+	ex, err := hetero.NewExecutor(policy, devs...)
+	if err != nil {
+		return nil, err
+	}
 	ex.Attach(sim.Solver)
 	return &HeteroSim{Sim: sim, Exec: ex}, nil
 }
