@@ -1,0 +1,80 @@
+package rhsc
+
+// BenchmarkStep family: the steady-state step pipeline (CFL estimate +
+// one full RK2 step) on representative configurations. These are the
+// benchmarks behind BENCH_step.json (see cmd/benchsuite stepbench and
+// docs/PERFORMANCE.md): each iteration performs exactly what the
+// production loop performs per step, so ns/op ÷ zones gives the
+// ns/zone-update figure the perf trajectory is gated on. Run with:
+//
+//	go test -bench=BenchmarkStep -benchmem
+import (
+	"testing"
+
+	"rhsc/internal/core"
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+	"rhsc/internal/testprob"
+)
+
+// stepBench measures dt := MaxDt(); Step(dt) per iteration — the
+// steady-state unit of the production loop (Advance, cluster.Run,
+// damr.Run all follow this shape).
+func stepBench(b *testing.B, p *testprob.Problem, n int, cfg core.Config) {
+	b.Helper()
+	s := newSolver(b, p, n, cfg)
+	s.RecoverPrimitives()
+	// Warm the pipeline (scratch pools, CFL cache) out of the timed region.
+	for i := 0; i < 2; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	zones := s.G.Nx * s.G.Ny * s.G.Nz
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		dt := s.MaxDt()
+		if err := s.Step(dt); err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(zones), "zones/op")
+}
+
+func BenchmarkStep(b *testing.B) {
+	b.Run("sod1d-generic", func(b *testing.B) {
+		stepBench(b, testprob.Sod, 1024, core.DefaultConfig())
+	})
+	b.Run("blast2d-generic", func(b *testing.B) {
+		stepBench(b, testprob.Blast2D, 128, core.DefaultConfig())
+	})
+	b.Run("blast2d-fused", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Fused = true
+		stepBench(b, testprob.Blast2D, 128, cfg)
+	})
+	// The 3-D fused configuration is the headline number recorded in
+	// BENCH_step.json.
+	b.Run("blast3d-generic", func(b *testing.B) {
+		stepBench(b, testprob.Blast3D, 48, core.DefaultConfig())
+	})
+	b.Run("blast3d-fused", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Fused = true
+		stepBench(b, testprob.Blast3D, 48, cfg)
+	})
+	// The resilience fallback scheme (PCM + HLL), generic vs fused.
+	b.Run("blast3d-pcmhll-generic", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Recon = recon.PCM{}
+		cfg.Riemann = riemann.HLL{}
+		stepBench(b, testprob.Blast3D, 48, cfg)
+	})
+	b.Run("blast3d-pcmhll-fused", func(b *testing.B) {
+		cfg := core.DefaultConfig()
+		cfg.Recon = recon.PCM{}
+		cfg.Riemann = riemann.HLL{}
+		cfg.Fused = true
+		stepBench(b, testprob.Blast3D, 48, cfg)
+	})
+}

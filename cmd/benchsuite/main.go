@@ -8,7 +8,7 @@
 //	benchsuite [flags] <experiment>
 //
 // Experiments: table1 fig2 table2 table3 fig4 fig5 table4 fig6 fig7
-// table5 fig8 damr resilience, or "all".
+// table5 fig8 damr resilience stepbench, or "all".
 //
 // Flags:
 //
@@ -45,6 +45,7 @@ var experiments = []experiment{
 	{"fig8", "E11: heterogeneous cluster, even vs weighted decomposition", (*suite).fig8},
 	{"damr", "E12: distributed AMR strong scaling", (*suite).damr},
 	{"resilience", "E13: checkpoint overhead and fault recovery", (*suite).resilience},
+	{"stepbench", "E14: single-pass step pipeline cost (ns/zone, allocs/step)", (*suite).stepbench},
 }
 
 type suite struct {

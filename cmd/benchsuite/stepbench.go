@@ -1,0 +1,152 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"rhsc/internal/core"
+	"rhsc/internal/metrics"
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+	"rhsc/internal/testprob"
+)
+
+// stepConfig is one measured configuration of E14.
+type stepConfig struct {
+	Name string `json:"name"`
+	// NsPerStep and NsPerZone are the median steady-state MaxDt+Step
+	// wall time, total and per zone update.
+	NsPerStep int64   `json:"ns_per_step"`
+	NsPerZone float64 `json:"ns_per_zone"`
+	// AllocsPerStep counts heap allocations per steady-state step
+	// (mallocs delta over the timed window); the pipeline invariant is 0.
+	AllocsPerStep int64 `json:"allocs_per_step"`
+	// BaselineNsPerStep is the pre-pipeline reference on the benchmark
+	// host (see docs/PERFORMANCE.md); 0 when not comparable (quick mode).
+	BaselineNsPerStep int64   `json:"baseline_ns_per_step,omitempty"`
+	ImprovementPct    float64 `json:"improvement_pct,omitempty"`
+}
+
+// stepBenchReport is the BENCH_step.json payload.
+type stepBenchReport struct {
+	Generated string       `json:"generated"`
+	Host      string       `json:"host"`
+	N         int          `json:"n"`
+	Zones     int          `json:"zones"`
+	Steps     int          `json:"steps_per_sample"`
+	Configs   []stepConfig `json:"configs"`
+}
+
+// Pre-pipeline single-thread references for the 48^3 blast on the CI
+// host class (medians; the PCM+HLL "fused" entry predates the kernel,
+// so its baseline equals the generic path it silently fell back to).
+var stepBaselines = map[string]int64{
+	"blast3d-generic":        369_900_000,
+	"blast3d-fused":          212_000_000,
+	"blast3d-pcmhll-generic": 278_000_000,
+	"blast3d-pcmhll-fused":   284_000_000,
+}
+
+// stepbench is E14: steady-state time-step cost of the single-pass
+// pipeline — in-sweep CFL reduction, pooled row scratch, fused kernels —
+// as ns/zone-update and allocations per step, against the pre-pipeline
+// baselines. Writes BENCH_step.json into the current directory (the CI
+// benchmark job runs it from the repo root and archives the file).
+func (s *suite) stepbench() error {
+	n, steps := 48, 3
+	if s.quick {
+		n, steps = 24, 2
+	}
+	type cfgCase struct {
+		name string
+		mut  func(*core.Config)
+	}
+	cases := []cfgCase{
+		{"blast3d-generic", nil},
+		{"blast3d-fused", func(c *core.Config) { c.Fused = true }},
+		{"blast3d-pcmhll-generic", func(c *core.Config) {
+			c.Recon = recon.PCM{}
+			c.Riemann = riemann.HLL{}
+		}},
+		{"blast3d-pcmhll-fused", func(c *core.Config) {
+			c.Fused = true
+			c.Recon = recon.PCM{}
+			c.Riemann = riemann.HLL{}
+		}},
+	}
+
+	prob := testprob.Blast3D
+	rep := stepBenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		Host:      fmt.Sprintf("%s/%s, %d core(s)", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		N:         n,
+		Steps:     steps,
+	}
+	tb := metrics.NewTable(
+		fmt.Sprintf("E14: steady-state step cost, %d^3 blast, medians over %d-step samples", n, steps),
+		"config", "ns/step", "ns/zone", "allocs/step", "vs baseline")
+
+	for _, tc := range cases {
+		cfg := core.DefaultConfig()
+		if tc.mut != nil {
+			tc.mut(&cfg)
+		}
+		g := prob.NewGrid(n, cfg.Recon.Ghost())
+		sol, err := core.New(g, cfg)
+		if err != nil {
+			return err
+		}
+		if err := sol.InitFromPrim(prob.Init); err != nil {
+			return err
+		}
+		sol.RecoverPrimitives()
+		zones := g.Nx * g.Ny * g.Nz
+		rep.Zones = zones
+		// Warm the scratch free list, the CFL cache, and the heap.
+		for i := 0; i < 2; i++ {
+			if err := sol.Step(sol.MaxDt()); err != nil {
+				return err
+			}
+		}
+		var ms0, ms1 runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&ms0)
+		start := time.Now()
+		for i := 0; i < steps; i++ {
+			if err := sol.Step(sol.MaxDt()); err != nil {
+				return err
+			}
+		}
+		el := time.Since(start)
+		runtime.ReadMemStats(&ms1)
+
+		c := stepConfig{
+			Name:          tc.name,
+			NsPerStep:     el.Nanoseconds() / int64(steps),
+			AllocsPerStep: int64(ms1.Mallocs-ms0.Mallocs) / int64(steps),
+		}
+		c.NsPerZone = float64(c.NsPerStep) / float64(zones)
+		vs := "-"
+		if base, ok := stepBaselines[tc.name]; ok && !s.quick {
+			c.BaselineNsPerStep = base
+			c.ImprovementPct = 100 * (1 - float64(c.NsPerStep)/float64(base))
+			vs = fmt.Sprintf("%+.1f%%", -c.ImprovementPct)
+		}
+		tb.AddRow(c.Name, c.NsPerStep, fmt.Sprintf("%.0f", c.NsPerZone), c.AllocsPerStep, vs)
+		rep.Configs = append(rep.Configs, c)
+	}
+	fmt.Print(tb.String())
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_step.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  [json: BENCH_step.json]")
+	return nil
+}

@@ -87,6 +87,10 @@ type Tree struct {
 	nodes  map[key]*node
 	leaves []*node
 
+	// ghostScratch is the reusable node slice SyncSubset builds its ghost
+	// set in, so the per-stage distributed sync does not allocate.
+	ghostScratch []*node
+
 	t           float64
 	steps       int
 	zoneUpdates int64
@@ -154,7 +158,7 @@ func NewTree(p *testprob.Problem, nbx int, cfg Config) (*Tree, error) {
 		}
 		t.fillGhosts()
 	}
-	t.sync()
+	t.sync(true)
 	return t, nil
 }
 
@@ -482,9 +486,17 @@ func (t *Tree) fillGhostsOf(ls []*node) {
 }
 
 // sync re-establishes the invariant: every leaf's primitives (interior,
-// physical ghosts, and External ghosts) reflect its conserved state.
-func (t *Tree) sync() {
+// physical ghosts, and External ghosts) reflect its conserved state. When
+// accum is set each leaf's recovery also folds the CFL reduction into the
+// same pass (core.Solver.AccumulateCFLNext), so the next MaxDt over the
+// tree is a cheap per-leaf combine. Arm only syncs whose recovered state
+// is the one MaxDt will be asked about — the final sync of a step, not
+// the stage syncs.
+func (t *Tree) sync(accum bool) {
 	for _, n := range t.leaves {
+		if accum {
+			n.sol.AccumulateCFLNext()
+		}
 		n.sol.RecoverPrimitives()
 	}
 	t.fillGhosts()
@@ -514,7 +526,7 @@ func (t *Tree) Step(dt float64) error {
 		for _, n := range t.leaves {
 			n.sol.G.U.AXPY(dt, n.rhs)
 		}
-		t.sync()
+		t.sync(false)
 		return nil
 	}
 	for _, n := range t.leaves {
@@ -529,13 +541,13 @@ func (t *Tree) Step(dt float64) error {
 	for _, n := range t.leaves {
 		n.sol.G.U.LinComb2(0.5, n.u0, 0.5, n.sol.G.U)
 	}
-	t.sync()
+	t.sync(true)
 
 	t.t += dt
 	t.steps++
 	if t.steps%t.cfg.RegridEvery == 0 {
 		t.regrid()
-		t.sync()
+		t.sync(true)
 	}
 	return nil
 }

@@ -96,7 +96,7 @@ func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
 	// Checkpoints carry no primitives: re-recover them. (This reseeds the
 	// Newton guesses, so a loaded run is accurate but not bit-identical;
 	// TreeFromLeafBlobs is the bit-exact path.)
-	t.sync()
+	t.sync(true)
 	return t, nil
 }
 
@@ -172,6 +172,9 @@ func (t *Tree) installRecords(recs []leafRecord, time float64) error {
 			copy(n.sol.G.W.Raw(), rec.W)
 		}
 		n.sol.SetTime(time)
+		// Direct writes to U/W bypass the solver's recovery bookkeeping;
+		// drop any cached CFL reduction so MaxDt re-traverses.
+		n.sol.InvalidateCFL()
 		installed++
 	}
 	if installed != len(t.leaves) {

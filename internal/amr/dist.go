@@ -258,16 +258,27 @@ func (t *Tree) SyncSubset(recover, ghosts []int) {
 	for _, i := range recover {
 		t.leaves[i].sol.RecoverPrimitives()
 	}
-	ls := make([]*node, len(ghosts))
-	for j, i := range ghosts {
-		ls[j] = t.leaves[i]
+	ls := t.ghostScratch[:0]
+	for _, i := range ghosts {
+		ls = append(ls, t.leaves[i])
 	}
+	t.ghostScratch = ls
 	t.fillGhostsOf(ls)
+}
+
+// ArmCFL arms the next primitive recovery of the given leaves to fold the
+// CFL reduction into its pass (core.Solver.AccumulateCFLNext). Distributed
+// drivers arm their owned leaves before the final SyncSubset of a step so
+// the following MaxDtOf is a cheap per-leaf combine.
+func (t *Tree) ArmCFL(idx []int) {
+	for _, i := range idx {
+		t.leaves[i].sol.AccumulateCFLNext()
+	}
 }
 
 // SyncAll re-establishes the full primitive/ghost invariant on every leaf
 // (exported for drivers that bulk-install conserved data).
-func (t *Tree) SyncAll() { t.sync() }
+func (t *Tree) SyncAll() { t.sync(true) }
 
 // MaxDtOf returns the CFL step minimised over the given leaves (+Inf for
 // an empty set, ready for an all-reduce).
@@ -311,20 +322,31 @@ func (t *Tree) RegridWithIndicators(vals map[BlockRef]float64) bool {
 // iteration: without them a migrated replica would recover from a
 // different guess and drift off the owner's bit pattern.
 func (t *Tree) EncodeLeaves(idx []int) ([]byte, error) {
+	var buf bytes.Buffer
+	if err := t.EncodeLeavesInto(idx, &buf); err != nil {
+		return nil, err
+	}
+	return buf.Bytes(), nil
+}
+
+// EncodeLeavesInto is EncodeLeaves writing into a caller-owned buffer
+// (appended to, not reset), so steady senders can reuse one buffer across
+// generations. The records alias the live U/W storage — gob serialises
+// them synchronously and retains nothing — so no per-leaf copies are made.
+func (t *Tree) EncodeLeavesInto(idx []int, buf *bytes.Buffer) error {
 	recs := make([]leafRecord, 0, len(idx))
 	for _, i := range idx {
 		n := t.leaves[i]
 		recs = append(recs, leafRecord{
 			Level: n.level, Bi: n.bi, Bj: n.bj,
-			U: append([]float64(nil), n.sol.G.U.Raw()...),
-			W: append([]float64(nil), n.sol.G.W.Raw()...),
+			U: n.sol.G.U.Raw(),
+			W: n.sol.G.W.Raw(),
 		})
 	}
-	var buf bytes.Buffer
-	if err := gob.NewEncoder(&buf).Encode(recs); err != nil {
-		return nil, fmt.Errorf("amr: encode leaves: %w", err)
+	if err := gob.NewEncoder(buf).Encode(recs); err != nil {
+		return fmt.Errorf("amr: encode leaves: %w", err)
 	}
-	return buf.Bytes(), nil
+	return nil
 }
 
 // DecodeLeaves installs a blob produced by EncodeLeaves into the matching
@@ -351,6 +373,9 @@ func (t *Tree) DecodeLeaves(data []byte) (int, error) {
 			}
 			copy(n.sol.G.W.Raw(), rec.W)
 		}
+		// The raw install bypassed the solver's recovery bookkeeping; a
+		// cached CFL reduction would reflect the overwritten state.
+		n.sol.InvalidateCFL()
 	}
 	return len(recs), nil
 }

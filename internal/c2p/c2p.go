@@ -68,17 +68,45 @@ func DefaultOptions() Options {
 // counters is not updated under a common lock, so a Snapshot taken while
 // RecoverRange runs on other goroutines may observe intermediate mixes
 // (e.g. a Calls increment whose NewtonIters increment has not landed
-// yet). Every individual count is exact once the concurrent recoveries
-// have completed — there is a happens-before edge from each RecoverRange
-// return to a subsequent Snapshot, so callers that quiesce first (as the
-// solver does between stages) read exact totals. Snapshot never tears an
-// individual counter.
+// yet). Counters are batched locally and flushed once per Recover or
+// RecoverRange call — per-cell atomic traffic would dominate the hot loop
+// — so a concurrent Snapshot may additionally lag by at most one
+// in-flight range. Every individual count is exact once the concurrent
+// recoveries have completed — there is a happens-before edge from each
+// RecoverRange return to a subsequent Snapshot, so callers that quiesce
+// first (as the solver does between stages) read exact totals. Snapshot
+// never tears an individual counter.
 type Stats struct {
 	Calls       atomic.Int64 // total inversions attempted
 	NewtonIters atomic.Int64 // total Newton iterations
 	Bisections  atomic.Int64 // inversions that needed the bisection fallback
 	FloorHits   atomic.Int64 // states clipped to the atmosphere floors
 	Failures    atomic.Int64 // states reset wholesale to atmosphere
+}
+
+// statDelta accumulates recovery counters in plain integers; Stats.flush
+// lands the batch with one atomic add per touched counter.
+type statDelta struct {
+	calls, iters, bisections, floorHits, failures int64
+}
+
+// flush adds the batched deltas to the shared counters.
+func (s *Stats) flush(d *statDelta) {
+	if d.calls != 0 {
+		s.Calls.Add(d.calls)
+	}
+	if d.iters != 0 {
+		s.NewtonIters.Add(d.iters)
+	}
+	if d.bisections != 0 {
+		s.Bisections.Add(d.bisections)
+	}
+	if d.floorHits != 0 {
+		s.FloorHits.Add(d.floorHits)
+	}
+	if d.failures != 0 {
+		s.Failures.Add(d.failures)
+	}
 }
 
 // Snapshot returns a plain-values copy of the counters.
@@ -131,18 +159,71 @@ func (s *Solver) atmosphere() state.Prim {
 	return state.Prim{Rho: s.Opts.RhoFloor, P: s.Opts.PFloor}
 }
 
+// residual evaluates f(p) = p_EOS(ρ(p), ε(p)) − p and the monotone
+// derivative approximation f'(p) ≈ v²c_s² − 1 for one conserved state.
+// When gamma > 0 the EOS is a Γ-law gas and the Pressure/SoundSpeed2
+// calls are devirtualised, mirroring eos.IdealGas operation for operation
+// so the root — and hence the recovered state — is bitwise independent of
+// the dispatch path.
+type residual struct {
+	c     state.Cons
+	vmax  float64
+	e     eos.EOS
+	gamma float64 // adiabatic index when e is a Γ-law gas; 0 otherwise
+}
+
+func (r *residual) eval(p float64) (fv, df float64, ok bool) {
+	rho, _, _, _, eps, v2, ok := primsAt(r.c, p, r.vmax)
+	if !ok {
+		return 0, 0, false
+	}
+	if gamma := r.gamma; gamma > 0 {
+		pe := (gamma - 1) * rho * eps
+		cs2 := 0.0
+		if pe > 0 {
+			h := 1 + gamma/(gamma-1)*pe/rho
+			cs2 = gamma * pe / (rho * h)
+		}
+		return pe - p, v2*cs2 - 1, true
+	}
+	pe := r.e.Pressure(rho, eps)
+	cs2 := 0.0
+	if pe > 0 {
+		cs2 = r.e.SoundSpeed2(rho, pe)
+	}
+	return pe - p, v2*cs2 - 1, true
+}
+
+// idealGamma returns the adiabatic index when the solver's EOS is a Γ-law
+// gas, else 0 (the sentinel residual.eval branches on).
+func (s *Solver) idealGamma() float64 {
+	if g, ok := s.EOS.(eos.IdealGas); ok {
+		return g.GammaAd
+	}
+	return 0
+}
+
 // Recover inverts the conserved state c. The guess is a pressure estimate
 // (typically last step's pressure); pass 0 to let the solver choose. The
 // returned primitive always satisfies the floors; err is non-nil only when
 // the state was unrecoverable and has been reset to atmosphere.
 func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
-	s.Stat.Calls.Add(1)
+	var st statDelta
+	p, err := s.recover(c, guess, s.idealGamma(), &st)
+	s.Stat.flush(&st)
+	return p, err
+}
+
+// recover is Recover with the stats batched into st and the Γ-law
+// devirtualisation hoisted (gamma as returned by idealGamma).
+func (s *Solver) recover(c state.Cons, guess, gamma float64, st *statDelta) (state.Prim, error) {
+	st.calls++
 	opts := &s.Opts
 
 	// Immediately hopeless states: non-positive D or E.
 	e := c.Tau + c.D
 	if !(c.D > 0) || !(e > 0) || math.IsNaN(c.D) || math.IsNaN(e) {
-		s.Stat.Failures.Add(1)
+		st.failures++
 		return s.atmosphere(), fmt.Errorf("%w: D=%v E=%v", ErrUnphysical, c.D, e)
 	}
 
@@ -163,26 +244,15 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 		}
 	}
 
-	f := func(p float64) (float64, float64, bool) {
-		rho, _, _, _, eps, v2, ok := primsAt(c, p, opts.VMax)
-		if !ok {
-			return 0, 0, false
-		}
-		pe := s.EOS.Pressure(rho, eps)
-		cs2 := 0.0
-		if pe > 0 {
-			cs2 = s.EOS.SoundSpeed2(rho, pe)
-		}
-		return pe - p, v2*cs2 - 1, true
-	}
+	fr := residual{c: c, vmax: opts.VMax, e: s.EOS, gamma: gamma}
 
 	// Newton iteration with the monotone derivative approximation.
 	// Convergence requires both a small step and a small residual: the step
 	// alone can shrink spuriously when the iterate is pinned against pMin.
 	converged := false
 	for it := 0; it < opts.MaxIter; it++ {
-		fv, df, ok := f(p)
-		s.Stat.NewtonIters.Add(1)
+		fv, df, ok := fr.eval(p)
+		st.iters++
 		if !ok {
 			break
 		}
@@ -209,7 +279,7 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 		// fallback therefore (1) locates a point with f > 0, (2) expands
 		// upward until f < 0 again, and (3) bisects that bracket, which
 		// always contains the physical (largest) root.
-		s.Stat.Bisections.Add(1)
+		st.bisections++
 		lo := pMin * (1 + 1e-14)
 
 		// (1) A positive-residual point: try pMin, the last Newton
@@ -219,14 +289,14 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 			if cand < lo {
 				continue
 			}
-			if fv, _, ok := f(cand); ok && fv > 0 {
+			if fv, _, ok := fr.eval(cand); ok && fv > 0 {
 				pPos, havePos = cand, true
 				break
 			}
 		}
 		if !havePos {
 			for scan := lo * 2; scan < lo*1e30; scan *= 1.7 {
-				if fv, _, ok := f(scan); ok && fv > 0 {
+				if fv, _, ok := fr.eval(scan); ok && fv > 0 {
 					pPos, havePos = scan, true
 					break
 				}
@@ -239,11 +309,11 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 		// bound |S|−E the state admits no pressure at all.
 		causalityBound := (sAbs-e)*(1+1e-10) > opts.PFloor
 		if !havePos {
-			fLo, _, okLo := f(lo)
+			fLo, _, okLo := fr.eval(lo)
 			if okLo && fLo <= 0 && !causalityBound {
 				p = lo
 			} else {
-				s.Stat.Failures.Add(1)
+				st.failures++
 				return s.atmosphere(), fmt.Errorf("%w: no pressure bracket (D=%.3e S=%.3e tau=%.3e)",
 					ErrUnphysical, c.D, sAbs, c.Tau)
 			}
@@ -253,7 +323,7 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 			hi := math.Max(2*pPos, 1.0)
 			okBracket := false
 			for k := 0; k < 200; k++ {
-				if fv, _, ok := f(hi); !ok || fv < 0 {
+				if fv, _, ok := fr.eval(hi); !ok || fv < 0 {
 					okBracket = true
 					break
 				}
@@ -264,14 +334,14 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 				}
 			}
 			if !okBracket {
-				s.Stat.Failures.Add(1)
+				st.failures++
 				return s.atmosphere(), fmt.Errorf("%w: unbounded pressure residual (D=%.3e)",
 					ErrUnphysical, c.D)
 			}
 			// (3) Bisect [lo, hi].
 			for k := 0; k < 200; k++ {
 				mid := 0.5 * (lo + hi)
-				fv, _, ok := f(mid)
+				fv, _, ok := fr.eval(mid)
 				if !ok || fv < 0 {
 					hi = mid
 				} else {
@@ -287,7 +357,7 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 
 	rho, vx, vy, vz, _, v2, ok := primsAt(c, p, opts.VMax)
 	if !ok {
-		s.Stat.Failures.Add(1)
+		st.failures++
 		return s.atmosphere(), fmt.Errorf("%w: inadmissible root p=%v", ErrUnphysical, p)
 	}
 
@@ -299,16 +369,16 @@ func (s *Solver) Recover(c state.Cons, guess float64) (state.Prim, error) {
 		prim.Vx *= scale
 		prim.Vy *= scale
 		prim.Vz *= scale
-		s.Stat.FloorHits.Add(1)
+		st.floorHits++
 	}
 	// Floors.
 	if prim.Rho < opts.RhoFloor {
 		prim.Rho = opts.RhoFloor
-		s.Stat.FloorHits.Add(1)
+		st.floorHits++
 	}
 	if prim.P < opts.PFloor {
 		prim.P = opts.PFloor
-		s.Stat.FloorHits.Add(1)
+		st.floorHits++
 	}
 	return prim, nil
 }
@@ -324,11 +394,13 @@ func (s *Solver) RecoverRange(cons, prim *state.Fields, lo, hi int) int {
 	if lo < 0 || hi > cons.N || lo > hi {
 		panic(fmt.Sprintf("c2p: RecoverRange bad range [%d,%d) of %d", lo, hi, cons.N))
 	}
+	gamma := s.idealGamma()
+	var st statDelta
 	failures := 0
 	for i := lo; i < hi; i++ {
 		c := cons.GetCons(i)
 		guess := prim.Comp[state.IP][i]
-		p, err := s.Recover(c, guess)
+		p, err := s.recover(c, guess, gamma, &st)
 		if err != nil {
 			failures++
 			// Resync the conserved state with the atmosphere so the next
@@ -337,5 +409,6 @@ func (s *Solver) RecoverRange(cons, prim *state.Fields, lo, hi int) int {
 		}
 		prim.SetPrim(i, p)
 	}
+	s.Stat.flush(&st)
 	return failures
 }

@@ -97,12 +97,28 @@ type rankState struct {
 	clock     float64
 	firstSync bool    // the initial exchange (post-init recovery) is not charged
 	rate      float64 // this rank's compute throughput (heterogeneous clusters)
+
+	// Pooled halo send buffers, two per face alternated by exchange
+	// parity. Send hands the slice to the peer without copying, so a
+	// buffer may only be repacked once the peer has provably finished
+	// reading it: the peer posts its phase-s+1 sends only after its
+	// phase-s receives (which read our phase-s buffer), and we repack
+	// the same-parity buffer only after receiving that s+1 message —
+	// single-buffer reuse at s+1 would race. Faces: 0=left 1=right
+	// 2=down 3=up; buffers are grown on first use, then stable.
+	sendBuf [4][2][]float64
+	phase   int
 }
 
-// packXHalo packs ng columns starting at column i0 (full j,k extent).
-func packXHalo(g *grid.Grid, w *state.Fields, i0 int) []float64 {
+// packXHalo packs ng columns starting at column i0 (full j,k extent)
+// into buf, grown only when too small; every element is overwritten.
+func packXHalo(g *grid.Grid, w *state.Fields, i0 int, buf []float64) []float64 {
 	ng := g.Ng
-	out := make([]float64, ng*g.TotalY*g.TotalZ*state.NComp)
+	need := ng * g.TotalY * g.TotalZ * state.NComp
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	out := buf[:need]
 	p := 0
 	for c := 0; c < state.NComp; c++ {
 		for k := 0; k < g.TotalZ; k++ {
@@ -135,10 +151,15 @@ func unpackXHalo(g *grid.Grid, w *state.Fields, i0 int, data []float64) {
 	}
 }
 
-// packYHalo packs ng rows starting at row j0 (full i,k extent).
-func packYHalo(g *grid.Grid, w *state.Fields, j0 int) []float64 {
+// packYHalo packs ng rows starting at row j0 (full i,k extent) into
+// buf, grown only when too small; every element is overwritten.
+func packYHalo(g *grid.Grid, w *state.Fields, j0 int, buf []float64) []float64 {
 	ng := g.Ng
-	out := make([]float64, ng*g.TotalX*g.TotalZ*state.NComp)
+	need := ng * g.TotalX * g.TotalZ * state.NComp
+	if cap(buf) < need {
+		buf = make([]float64, need)
+	}
+	out := buf[:need]
 	p := 0
 	for c := 0; c < state.NComp; c++ {
 		for k := 0; k < g.TotalZ; k++ {
@@ -179,18 +200,25 @@ func (r *rankState) exchange(w *state.Fields) {
 	g := r.g
 	ng := g.Ng
 
-	// Post all sends with the current virtual timestamp.
+	// Post all sends with the current virtual timestamp, packing into
+	// this parity's pooled buffers (see rankState.sendBuf).
+	par := r.phase & 1
+	r.phase++
 	if r.left >= 0 {
-		r.comm.Send(r.left, tagHaloToLeft, packXHalo(g, w, g.IBeg()), r.clock)
+		r.sendBuf[0][par] = packXHalo(g, w, g.IBeg(), r.sendBuf[0][par])
+		r.comm.Send(r.left, tagHaloToLeft, r.sendBuf[0][par], r.clock)
 	}
 	if r.right >= 0 {
-		r.comm.Send(r.right, tagHaloToRight, packXHalo(g, w, g.IEnd()-ng), r.clock)
+		r.sendBuf[1][par] = packXHalo(g, w, g.IEnd()-ng, r.sendBuf[1][par])
+		r.comm.Send(r.right, tagHaloToRight, r.sendBuf[1][par], r.clock)
 	}
 	if r.down >= 0 {
-		r.comm.Send(r.down, tagHaloToDown, packYHalo(g, w, g.JBeg()), r.clock)
+		r.sendBuf[2][par] = packYHalo(g, w, g.JBeg(), r.sendBuf[2][par])
+		r.comm.Send(r.down, tagHaloToDown, r.sendBuf[2][par], r.clock)
 	}
 	if r.up >= 0 {
-		r.comm.Send(r.up, tagHaloToUp, packYHalo(g, w, g.JEnd()-ng), r.clock)
+		r.sendBuf[3][par] = packYHalo(g, w, g.JEnd()-ng, r.sendBuf[3][par])
+		r.comm.Send(r.up, tagHaloToUp, r.sendBuf[3][par], r.clock)
 	}
 
 	// Virtual compute costs of this stage: boundary work is the ghost-

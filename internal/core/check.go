@@ -139,7 +139,7 @@ func (s *Solver) SetMethod(rc recon.Scheme, rs riemann.Solver) error {
 	}
 	s.Cfg.Recon = rc
 	s.Cfg.Riemann = rs
-	s.fused = s.fusable()
+	s.refreshFused()
 	return nil
 }
 

@@ -1,13 +1,19 @@
 package core
 
-// Fused sweep kernel: the PLM(MC) + HLLC + ideal-gas configuration with
-// every interface call devirtualised and the per-face state conversions
-// inlined. This is the hand-written analogue of the specialised kernels
-// the paper's heterogeneous code paths generate per device: identical
-// arithmetic (bitwise-equal results, enforced by tests), lower dispatch
-// and conversion overhead. Enabled via Config.Fused when the
-// configuration matches; other configurations silently use the generic
-// path.
+// Fused sweep kernels: configurations with every interface call
+// devirtualised and the per-face state conversions inlined. These are the
+// hand-written analogues of the specialised kernels the paper's
+// heterogeneous code paths generate per device: identical arithmetic
+// (bitwise-equal results, enforced by tests), lower dispatch and
+// conversion overhead. Enabled via Config.Fused when the configuration
+// matches; other configurations silently use the generic path.
+//
+// Two configurations are specialised:
+//
+//   - PLM(MC) + HLLC + ideal gas — the paper's production method.
+//   - PCM + HLL + ideal gas — the dissipative fallback scheme the
+//     resilience layer drops to when retrying a failed step, so retries
+//     keep the fast path too.
 
 import (
 	"math"
@@ -18,53 +24,58 @@ import (
 	"rhsc/internal/state"
 )
 
-// fusable reports whether the configuration matches the specialised
-// kernel: PLM with the MC limiter, HLLC fluxes and a Γ-law gas.
-func (s *Solver) fusable() bool {
+// fusedKind identifies which specialised sweep kernel, if any, matches the
+// current configuration.
+type fusedKind int
+
+const (
+	fusedNone    fusedKind = iota
+	fusedPLMHLLC           // PLM(MC) + HLLC + ideal gas
+	fusedPCMHLL            // PCM + HLL + ideal gas (resilience fallback)
+)
+
+// fusable maps the configuration to its specialised kernel, or fusedNone
+// when no kernel matches (or Config.Fused is off).
+func (s *Solver) fusable() fusedKind {
 	if !s.Cfg.Fused {
-		return false
+		return fusedNone
 	}
-	if r, ok := s.Cfg.Recon.(recon.PLM); !ok || r.Lim != recon.MonotonizedCentral {
-		return false
+	if _, ok := s.Cfg.EOS.(eos.IdealGas); !ok {
+		return fusedNone
 	}
-	if _, ok := s.Cfg.Riemann.(riemann.HLLC); !ok {
-		return false
+	if r, ok := s.Cfg.Recon.(recon.PLM); ok && r.Lim == recon.MonotonizedCentral {
+		if _, ok := s.Cfg.Riemann.(riemann.HLLC); ok {
+			return fusedPLMHLLC
+		}
+		return fusedNone
 	}
-	_, ok := s.Cfg.EOS.(eos.IdealGas)
-	return ok
+	if _, ok := s.Cfg.Recon.(recon.PCM); ok {
+		if _, ok := s.Cfg.Riemann.(riemann.HLL); ok {
+			return fusedPCMHLL
+		}
+	}
+	return fusedNone
 }
 
-// fusedPrim is the face state of the specialised kernel.
+// fusedPrim is the face state of the specialised kernels.
 type fusedPrim struct {
 	rho, vx, vy, vz, p float64
 }
 
-// fusedSweepRow mirrors sweepRow for the specialised configuration. The
+// fusedSweepRow mirrors sweepRow for the PLM(MC)+HLLC configuration. The
 // reconstruction reuses the generic scheme (already concrete); the flux
 // path inlines HLLC with the Γ-law EOS.
 func (s *Solver) fusedSweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
-	sc *rowScratch, rhs *state.Fields) {
+	sc *rowScratch, rhs *state.Fields, overwrite bool) {
 
-	w := s.G.W
-	for c := 0; c < state.NComp; c++ {
-		dst := sc.u[c][:n]
-		src := w.Comp[c]
-		if stride == 1 {
-			copy(dst, src[base:base+n])
-		} else {
-			idx := base
-			for i := 0; i < n; i++ {
-				dst[i] = src[idx]
-				idx += stride
-			}
-		}
-	}
+	u := gatherRow(s.G.W, base, stride, n, sc)
 	plm := recon.PLM{Lim: recon.MonotonizedCentral}
 	for c := 0; c < state.NComp; c++ {
-		plm.Reconstruct(sc.u[c][:n], sc.fl[c][:n+1], sc.fr[c][:n+1])
+		plm.Reconstruct(u[c], sc.fl[c][:n+1], sc.fr[c][:n+1])
 	}
 
-	gamma := s.Cfg.EOS.(eos.IdealGas).GammaAd
+	gamma := s.gamma
+	var L, R fusedState
 	for f := cBeg; f <= cEnd; f++ {
 		pl := fusedPrim{
 			rho: sc.fl[state.IRho][f], vx: sc.fl[state.IVx][f],
@@ -76,17 +87,19 @@ func (s *Solver) fusedSweepRow(d state.Direction, base, stride, n, cBeg, cEnd in
 		}
 		if !fusedPhysical(pl) {
 			pl = fusedPrim{
-				rho: sc.u[state.IRho][f-1], vx: sc.u[state.IVx][f-1],
-				vy: sc.u[state.IVy][f-1], vz: sc.u[state.IVz][f-1], p: sc.u[state.IP][f-1],
+				rho: u[state.IRho][f-1], vx: u[state.IVx][f-1],
+				vy: u[state.IVy][f-1], vz: u[state.IVz][f-1], p: u[state.IP][f-1],
 			}
 		}
 		if !fusedPhysical(pr) {
 			pr = fusedPrim{
-				rho: sc.u[state.IRho][f], vx: sc.u[state.IVx][f],
-				vy: sc.u[state.IVy][f], vz: sc.u[state.IVz][f], p: sc.u[state.IP][f],
+				rho: u[state.IRho][f], vx: u[state.IVx][f],
+				vy: u[state.IVy][f], vz: u[state.IVz][f], p: u[state.IP][f],
 			}
 		}
-		fd, fsx, fsy, fsz, ftau := fusedHLLC(gamma, pl, pr, d)
+		fusedEval(gamma, pl, d, &L)
+		fusedEval(gamma, pr, d, &R)
+		fd, fsx, fsy, fsz, ftau := fusedHLLC(&L, &R, pl.p, pr.p, d)
 		sc.fx[state.ID][f] = fd
 		sc.fx[state.ISx][f] = fsx
 		sc.fx[state.ISy][f] = fsy
@@ -94,16 +107,46 @@ func (s *Solver) fusedSweepRow(d state.Direction, base, stride, n, cBeg, cEnd in
 		sc.fx[state.ITau][f] = ftau
 	}
 
-	invDx := 1 / dx
-	for c := 0; c < state.NComp; c++ {
-		fxc := sc.fx[c]
-		out := rhs.Comp[c]
-		idx := base + cBeg*stride
-		for i := cBeg; i < cEnd; i++ {
-			out[idx] -= (fxc[i+1] - fxc[i]) * invDx
-			idx += stride
-		}
+	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
+
+	if s.trc != nil {
+		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
 	}
+}
+
+// fusedPCMHLLRow mirrors sweepRow for the PCM+HLL configuration — the
+// dissipative fallback the resilience layer retries failed steps with.
+// PCM face states are the adjacent cell values themselves (uL[f] = u[f−1],
+// uR[f] = u[f], recon.PCM.Reconstruct), so the physical-fallback check of
+// the generic path is skipped: it would replace an inadmissible face state
+// with the very same cell value, bitwise.
+func (s *Solver) fusedPCMHLLRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
+	sc *rowScratch, rhs *state.Fields, overwrite bool) {
+
+	u := gatherRow(s.G.W, base, stride, n, sc)
+
+	gamma := s.gamma
+	var L, R fusedState
+	for f := cBeg; f <= cEnd; f++ {
+		pl := fusedPrim{
+			rho: u[state.IRho][f-1], vx: u[state.IVx][f-1],
+			vy: u[state.IVy][f-1], vz: u[state.IVz][f-1], p: u[state.IP][f-1],
+		}
+		pr := fusedPrim{
+			rho: u[state.IRho][f], vx: u[state.IVx][f],
+			vy: u[state.IVy][f], vz: u[state.IVz][f], p: u[state.IP][f],
+		}
+		fusedEval(gamma, pl, d, &L)
+		fusedEval(gamma, pr, d, &R)
+		fd, fsx, fsy, fsz, ftau := fusedHLL(&L, &R)
+		sc.fx[state.ID][f] = fd
+		sc.fx[state.ISx][f] = fsx
+		sc.fx[state.ISy][f] = fsy
+		sc.fx[state.ISz][f] = fsz
+		sc.fx[state.ITau][f] = ftau
+	}
+
+	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
 
 	if s.trc != nil {
 		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
@@ -116,7 +159,7 @@ func fusedPhysical(p fusedPrim) bool {
 }
 
 // fusedState is the per-side bundle of conserved variables and fluxes the
-// specialised HLLC needs; the arithmetic mirrors state.Prim.ToCons,
+// specialised solvers need; the arithmetic mirrors state.Prim.ToCons,
 // state.Flux and state.WaveSpeeds operation for operation so results stay
 // bitwise identical to the generic path.
 type fusedState struct {
@@ -126,12 +169,13 @@ type fusedState struct {
 	lm, lp                  float64 // characteristic speeds
 }
 
-func fusedEval(gamma float64, q fusedPrim, d state.Direction) fusedState {
+// fusedEval fills st in place (returning the 104-byte struct by value put
+// a duffcopy on the per-face hot path).
+func fusedEval(gamma float64, q fusedPrim, d state.Direction, st *fusedState) {
 	v2 := q.vx*q.vx + q.vy*q.vy + q.vz*q.vz
 	w := 1 / math.Sqrt(1-v2)
 	h := 1 + gamma/(gamma-1)*q.p/q.rho
 	rhw2 := q.rho * h * w * w
-	var st fusedState
 	st.d = q.rho * w
 	st.sx = rhw2 * q.vx
 	st.sy = rhw2 * q.vy
@@ -171,13 +215,32 @@ func fusedEval(gamma float64, q fusedPrim, d state.Direction) fusedState {
 	root := math.Sqrt(disc) * math.Sqrt(cs2)
 	st.lm = (vd*(1-cs2) - root) / den
 	st.lp = (vd*(1-cs2) + root) / den
-	return st
 }
 
-// fusedHLLC is riemann.HLLC specialised to the Γ-law gas.
-func fusedHLLC(gamma float64, pl, pr fusedPrim, d state.Direction) (fd, fsx, fsy, fsz, ftau float64) {
-	L := fusedEval(gamma, pl, d)
-	R := fusedEval(gamma, pr, d)
+// fusedHLL is riemann.HLL.Flux specialised to the Γ-law gas.
+func fusedHLL(L, R *fusedState) (fd, fsx, fsy, fsz, ftau float64) {
+	sl := math.Min(L.lm, R.lm)
+	sr := math.Max(L.lp, R.lp)
+	switch {
+	case sl >= 0:
+		return L.fd, L.fsx, L.fsy, L.fsz, L.ftau
+	case sr <= 0:
+		return R.fd, R.fsx, R.fsy, R.fsz, R.ftau
+	}
+	inv := 1 / (sr - sl)
+	hll := func(flc, frc, ulc, urc float64) float64 {
+		return (sr*flc - sl*frc + sl*sr*(urc-ulc)) * inv
+	}
+	return hll(L.fd, R.fd, L.d, R.d),
+		hll(L.fsx, R.fsx, L.sx, R.sx),
+		hll(L.fsy, R.fsy, L.sy, R.sy),
+		hll(L.fsz, R.fsz, L.sz, R.sz),
+		hll(L.ftau, R.ftau, L.tau, R.tau)
+}
+
+// fusedHLLC is riemann.HLLC specialised to the Γ-law gas. L and R must be
+// filled by fusedEval; plp/prp are the face pressures.
+func fusedHLLC(L, R *fusedState, plp, prp float64, d state.Direction) (fd, fsx, fsy, fsz, ftau float64) {
 	sl := math.Min(L.lm, R.lm)
 	sr := math.Max(L.lp, R.lp)
 	switch {
@@ -237,9 +300,9 @@ func fusedHLLC(gamma float64, pl, pr fusedPrim, d state.Direction) (fd, fsx, fsy
 	var K *fusedState
 	var pK, sk float64
 	if lstar >= 0 {
-		K, pK, sk = &L, pl.p, sl
+		K, pK, sk = L, plp, sl
 	} else {
-		K, pK, sk = &R, pr.p, sr
+		K, pK, sk = R, prp, sr
 	}
 	vk := K.vd
 	ek := K.tau + K.d

@@ -1,0 +1,177 @@
+package core
+
+import (
+	"testing"
+
+	"rhsc/internal/recon"
+	"rhsc/internal/riemann"
+	"rhsc/internal/testprob"
+)
+
+// newSteppedSolver builds a serial solver on problem p at resolution n,
+// initialises it, and advances `warm` CFL steps so every pooled buffer
+// (row scratch, CFL rows, snapshot-free steady state) is established.
+func newSteppedSolver(t testing.TB, p *testprob.Problem, n, warm int, mut func(*Config)) *Solver {
+	t.Helper()
+	cfg := DefaultConfig()
+	if mut != nil {
+		mut(&cfg)
+	}
+	g := p.NewGrid(n, cfg.Recon.Ghost())
+	s, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.InitFromPrim(p.Init); err != nil {
+		t.Fatal(err)
+	}
+	s.RecoverPrimitives()
+	for i := 0; i < warm; i++ {
+		if err := s.Step(s.MaxDt()); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return s
+}
+
+// TestStepZeroAllocs pins the central pooling invariant of the step
+// pipeline: after warmup, a serial MaxDt+Step cycle performs zero heap
+// allocations — the CFL reduction rides the final recovery sweep, row
+// scratch comes from the solver's free list, and the RK combinations
+// run through pre-bound stage closures. (Pool-backed runs additionally
+// pay par.ParallelFor's single hoisted closure per traversal; the
+// serial configuration is the one with a zero bound to enforce.)
+func TestStepZeroAllocs(t *testing.T) {
+	cases := []struct {
+		name string
+		p    *testprob.Problem
+		n    int
+		mut  func(*Config)
+	}{
+		{"generic-2d", testprob.Blast2D, 48, nil},
+		{"fused-plm-hllc-2d", testprob.Blast2D, 48, func(c *Config) { c.Fused = true }},
+		{"fused-pcm-hll-2d", testprob.Blast2D, 48, func(c *Config) {
+			c.Fused = true
+			c.Recon = recon.PCM{}
+			c.Riemann = riemann.HLL{}
+		}},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			s := newSteppedSolver(t, tc.p, tc.n, 3, tc.mut)
+			var stepErr error
+			allocs := testing.AllocsPerRun(5, func() {
+				if err := s.Step(s.MaxDt()); err != nil {
+					stepErr = err
+				}
+			})
+			if stepErr != nil {
+				t.Fatal(stepErr)
+			}
+			if allocs != 0 {
+				t.Errorf("steady-state MaxDt+Step allocates %.1f times, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestFusedPCMHLLBitwise: the specialised first-order kernel (the
+// resilience fallback scheme) must be bitwise identical to the generic
+// PCM reconstruction + HLL flux path.
+func TestFusedPCMHLLBitwise(t *testing.T) {
+	run := func(fused bool) []float64 {
+		p := testprob.Blast2D
+		cfg := DefaultConfig()
+		cfg.Recon = recon.PCM{}
+		cfg.Riemann = riemann.HLL{}
+		cfg.Fused = fused
+		g := p.NewGrid(48, cfg.Recon.Ghost())
+		s, err := New(g, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if s.Fused() != fused {
+			t.Fatalf("fused flag = %v, want %v", s.Fused(), fused)
+		}
+		if err := s.InitFromPrim(p.Init); err != nil {
+			t.Fatal(err)
+		}
+		for i := 0; i < 8; i++ {
+			if err := s.Step(s.MaxDt()); err != nil {
+				t.Fatal(err)
+			}
+		}
+		out := make([]float64, len(g.U.Raw()))
+		copy(out, g.U.Raw())
+		return out
+	}
+	generic := run(false)
+	fused := run(true)
+	for i := range generic {
+		if generic[i] != fused[i] {
+			t.Fatalf("value %d differs: %v vs %v", i, generic[i], fused[i])
+		}
+	}
+}
+
+// TestMaxDtCachedMatchesTraversal: the in-sweep CFL reduction consumed
+// by the cached MaxDt combine must be bitwise identical to the explicit
+// full-grid traversal taken after an invalidation — on the generic and
+// on both fused paths, at every step of an evolving run.
+func TestMaxDtCachedMatchesTraversal(t *testing.T) {
+	muts := map[string]func(*Config){
+		"generic": nil,
+		"fused":   func(c *Config) { c.Fused = true },
+		"fused-pcm-hll": func(c *Config) {
+			c.Fused = true
+			c.Recon = recon.PCM{}
+			c.Riemann = riemann.HLL{}
+		},
+	}
+	for name, mut := range muts {
+		t.Run(name, func(t *testing.T) {
+			s := newSteppedSolver(t, testprob.Blast2D, 48, 0, mut)
+			for i := 0; i < 6; i++ {
+				cached := s.MaxDt()
+				s.InvalidateCFL()
+				if fresh := s.MaxDt(); fresh != cached {
+					t.Fatalf("step %d: cached MaxDt %v != traversal %v", i, cached, fresh)
+				}
+				if err := s.Step(s.MaxDt()); err != nil {
+					t.Fatal(err)
+				}
+			}
+		})
+	}
+}
+
+// TestScratchFreeListBounded: row scratch cycles through the solver's
+// free list — returned after every sweep (not leaked) and dropped when
+// the list is full, so the footprint is bounded by the list capacity.
+func TestScratchFreeListBounded(t *testing.T) {
+	s := newSteppedSolver(t, testprob.Blast2D, 48, 4, nil)
+	if n := len(s.scratch); n == 0 {
+		t.Error("no scratch returned to the free list after stepping")
+	}
+	// Drain: every pooled scratch must be usable (fully allocated).
+	drained := 0
+	for {
+		select {
+		case sc := <-s.scratch:
+			if sc == nil || len(sc.fx[0]) == 0 {
+				t.Fatal("free list holds an unusable scratch")
+			}
+			drained++
+			continue
+		default:
+		}
+		break
+	}
+	if drained > cap(s.scratch) {
+		t.Errorf("free list held %d scratches, capacity %d", drained, cap(s.scratch))
+	}
+	// And the solver keeps working after a full drain.
+	if err := s.Step(s.MaxDt()); err != nil {
+		t.Fatal(err)
+	}
+}

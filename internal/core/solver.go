@@ -24,7 +24,7 @@ import (
 	"errors"
 	"fmt"
 	"math"
-	"sync"
+	"runtime"
 	"sync/atomic"
 
 	"rhsc/internal/c2p"
@@ -141,11 +141,39 @@ type Solver struct {
 
 	t       float64
 	rhs     *state.Fields
-	u0      *state.Fields // RK stage-zero storage
-	scratch sync.Pool
+	u0      *state.Fields   // RK stage-zero storage
+	scratch chan *rowScratch // free list of row scratch buffers
+	newScratch func() *rowScratch
 	mon     *Monitor
-	fused   bool         // specialised kernel active (see Config.Fused)
+	fused   fusedKind    // specialised kernel active (see Config.Fused)
+	gamma   float64      // Γ of the ideal gas when fused != fusedNone
 	trc     *tracerState // passive scalar; nil when disabled
+
+	// Pre-bound chunk bodies for parallelFor. A closure literal passed to
+	// the pool escapes and would be heap-allocated at every call site;
+	// binding them once here keeps the steady-state step allocation-free.
+	// The cur* fields are the per-call parameters the sweep body reads;
+	// they are written before the parallel region starts and are read-only
+	// inside it.
+	sweepChunk   func(lo, hi int)
+	recoverChunk func(lo, hi int)
+	cflChunk     func(lo, hi int)
+	curDir       state.Direction
+	curRHS       *state.Fields
+	curOverwrite bool
+	recAccum     bool
+	recResets    atomic.Int64
+
+	// In-pass CFL reduction state: RecoverPrimitives, when armed via
+	// cflAccum (Step arms its final stage), folds the per-row max signal
+	// speed into cflRows while the freshly recovered primitives are still
+	// in cache, and MaxDt becomes a cheap combine. cflValid is cleared by
+	// anything that rewrites W (an unarmed recovery, InvalidateCFL) and
+	// MaxDt falls back to a full traversal.
+	cflRows  []float64
+	cflMax   float64
+	cflValid bool
+	cflAccum bool
 }
 
 type rowScratch struct {
@@ -189,7 +217,22 @@ func New(g *grid.Grid, cfg Config) (*Solver, error) {
 		rhs: state.NewFields(g.NCells()),
 		u0:  state.NewFields(g.NCells()),
 	}
-	s.scratch.New = func() any {
+	// Row scratch free list. Unlike sync.Pool the channel is immune to GC
+	// eviction, so once the list is warm the steady-state step allocates
+	// nothing. The capacity covers the maximum number of concurrently
+	// running strip chunks (pool slots plus the caller, plus headroom for
+	// hetero device executors); a get on an empty list allocates and a put
+	// on a full list drops, so capacity is a performance bound, never a
+	// correctness one.
+	capHint := 4
+	if cfg.Pool != nil {
+		capHint = cfg.Pool.Size() + 2
+	}
+	if n := runtime.NumCPU() + 4; n > capHint {
+		capHint = n
+	}
+	s.scratch = make(chan *rowScratch, capHint)
+	s.newScratch = func() *rowScratch {
 		rs := &rowScratch{}
 		for c := 0; c < state.NComp; c++ {
 			rs.u[c] = make([]float64, maxRow)
@@ -199,12 +242,67 @@ func New(g *grid.Grid, cfg Config) (*Solver, error) {
 		}
 		return rs
 	}
-	s.fused = s.fusable()
+	s.cflRows = make([]float64, (g.JEnd()-g.JBeg())*(g.KEnd()-g.KBeg()))
+	s.sweepChunk = func(lo, hi int) {
+		s.sweepStrips(s.curDir, lo, hi, s.curRHS, s.curOverwrite)
+	}
+	s.recoverChunk = func(lo, hi int) {
+		gr := s.G
+		ny := gr.JEnd() - gr.JBeg()
+		n := 0
+		for r := lo; r < hi; r++ {
+			j := gr.JBeg() + r%ny
+			k := gr.KBeg() + r/ny
+			row := (k*gr.TotalY + j) * gr.TotalX
+			n += s.C2P.RecoverRange(gr.U, gr.W, row+gr.IBeg(), row+gr.IEnd())
+			if s.recAccum {
+				s.cflRows[r] = s.rowCFL(row)
+			}
+		}
+		if n > 0 {
+			s.recResets.Add(int64(n))
+		}
+	}
+	s.cflChunk = func(lo, hi int) {
+		gr := s.G
+		ny := gr.JEnd() - gr.JBeg()
+		for r := lo; r < hi; r++ {
+			j := gr.JBeg() + r%ny
+			k := gr.KBeg() + r/ny
+			s.cflRows[r] = s.rowCFL((k*gr.TotalY + j) * gr.TotalX)
+		}
+	}
+	s.refreshFused()
 	return s, nil
 }
 
-// Fused reports whether the specialised sweep kernel is active.
-func (s *Solver) Fused() bool { return s.fused }
+// refreshFused re-evaluates fused-kernel eligibility and caches the
+// adiabatic index the specialised kernels inline.
+func (s *Solver) refreshFused() {
+	s.fused = s.fusable()
+	if s.fused != fusedNone {
+		s.gamma = s.Cfg.EOS.(eos.IdealGas).GammaAd
+	}
+}
+
+func (s *Solver) getScratch() *rowScratch {
+	select {
+	case sc := <-s.scratch:
+		return sc
+	default:
+		return s.newScratch()
+	}
+}
+
+func (s *Solver) putScratch(sc *rowScratch) {
+	select {
+	case s.scratch <- sc:
+	default:
+	}
+}
+
+// Fused reports whether a specialised sweep kernel is active.
+func (s *Solver) Fused() bool { return s.fused != fusedNone }
 
 // Time returns the current solution time.
 func (s *Solver) Time() float64 { return s.t }
@@ -236,6 +334,7 @@ func (s *Solver) InitFromPrim(fn func(x, y, z float64) state.Prim) error {
 	}
 	g.ApplyBCs(g.W)
 	g.ApplyBCs(g.U)
+	s.cflValid = false
 	return nil
 }
 
@@ -251,23 +350,27 @@ func (s *Solver) parallelFor(n int, fn func(lo, hi int)) {
 // RecoverPrimitives inverts the conserved state into s.G.W over the whole
 // interior and applies boundary conditions to the primitives. It returns
 // the number of atmosphere resets.
+//
+// When the in-pass CFL reduction is armed (AccumulateCFLNext, or the
+// final stage of Step), the per-row max signal speed is folded into the
+// same traversal — the freshly recovered primitives are still in cache —
+// and the following MaxDt becomes a cheap combine. An unarmed call
+// invalidates the cache instead: it rewrote W, so a cached reduction
+// would be stale.
 func (s *Solver) RecoverPrimitives() int {
 	g := s.G
 	ny := g.JEnd() - g.JBeg()
 	nz := g.KEnd() - g.KBeg()
-	var resets atomic.Int64
-	s.parallelFor(ny*nz, func(lo, hi int) {
-		n := 0
-		for r := lo; r < hi; r++ {
-			j := g.JBeg() + r%ny
-			k := g.KBeg() + r/ny
-			row := (k*g.TotalY + j) * g.TotalX
-			n += s.C2P.RecoverRange(g.U, g.W, row+g.IBeg(), row+g.IEnd())
-		}
-		if n > 0 {
-			resets.Add(int64(n))
-		}
-	})
+	accum := s.cflAccum
+	s.cflAccum = false
+	s.cflValid = false
+	s.recAccum = accum
+	s.recResets.Store(0)
+	s.parallelFor(ny*nz, s.recoverChunk)
+	if accum {
+		s.cflMax = s.combineCFL()
+		s.cflValid = true
+	}
 	g.ApplyBCs(g.W)
 	if s.Cfg.HaloExchange != nil {
 		s.Cfg.HaloExchange(g.W)
@@ -275,9 +378,106 @@ func (s *Solver) RecoverPrimitives() int {
 	if s.trc != nil {
 		s.tracerRecover()
 	}
-	r := int(resets.Load())
+	r := int(s.recResets.Load())
 	s.St.C2PResets.Add(int64(r))
 	return r
+}
+
+// AccumulateCFLNext arms the next RecoverPrimitives call to fuse the CFL
+// reduction into its recovery pass. Drivers that manage recovery
+// themselves (the AMR trees) arm the final recovery of each step so their
+// MaxDt queries hit the cache.
+func (s *Solver) AccumulateCFLNext() { s.cflAccum = true }
+
+// InvalidateCFL discards the cached CFL reduction. Callers that rewrite
+// the primitive field directly — restoring a snapshot, installing
+// migrated or checkpointed blocks — must invalidate, or the next MaxDt
+// would reflect the overwritten state. Recovery passes handle their own
+// bookkeeping; this is only for raw writes that bypass them.
+func (s *Solver) InvalidateCFL() { s.cflValid = false }
+
+// combineCFL reduces the per-row maxima exactly as the standalone
+// traversal in MaxDt always has: a serial max in row order, so the result
+// is bitwise identical however the rows were produced.
+func (s *Solver) combineCFL() float64 {
+	maxSum := 0.0
+	for _, v := range s.cflRows {
+		if v > maxSum {
+			maxSum = v
+		}
+	}
+	return maxSum
+}
+
+// rowCFL returns the row's max over cells of Σ_d λ_max/dx_d — the CFL
+// reduction unit shared by the in-pass accumulation and the fallback
+// traversal, so the two are bitwise identical by construction. The fused
+// configurations inline the Γ-law sound speed (mirroring
+// eos.IdealGas.SoundSpeed2 and state.WaveSpeeds operation for operation);
+// every other configuration goes through the EOS interface unchanged.
+func (s *Solver) rowCFL(row int) float64 {
+	g := s.G
+	rowMax := 0.0
+	if s.fused != fusedNone {
+		gamma := s.gamma
+		w := g.W
+		rhoC, vxC, vyC, vzC, pC := w.Comp[state.IRho], w.Comp[state.IVx],
+			w.Comp[state.IVy], w.Comp[state.IVz], w.Comp[state.IP]
+		hasY, hasZ := g.Ny > 1, g.Nz > 1
+		for i := g.IBeg(); i < g.IEnd(); i++ {
+			idx := row + i
+			rho, vx, vy, vz, p := rhoC[idx], vxC[idx], vyC[idx], vzC[idx], pC[idx]
+			v2 := vx*vx + vy*vy + vz*vz
+			h := 1 + gamma/(gamma-1)*p/rho
+			cs2 := gamma * p / (rho * h)
+			sqrtCs2 := math.Sqrt(cs2)
+			sum := fusedMaxSpeed(vx, v2, cs2, sqrtCs2) / g.Dx
+			if hasY {
+				sum += fusedMaxSpeed(vy, v2, cs2, sqrtCs2) / g.Dy
+			}
+			if hasZ {
+				sum += fusedMaxSpeed(vz, v2, cs2, sqrtCs2) / g.Dz
+			}
+			if sum > rowMax {
+				rowMax = sum
+			}
+		}
+		return rowMax
+	}
+	e := s.Cfg.EOS
+	dims := g.ActiveDims()
+	for i := g.IBeg(); i < g.IEnd(); i++ {
+		w := g.W.GetPrim(row + i)
+		sum := 0.0
+		for _, d := range dims {
+			dx := g.Dx
+			if d == state.Y {
+				dx = g.Dy
+			} else if d == state.Z {
+				dx = g.Dz
+			}
+			sum += state.MaxAbsSpeed(e, w, d) / dx
+		}
+		if sum > rowMax {
+			rowMax = sum
+		}
+	}
+	return rowMax
+}
+
+// fusedMaxSpeed mirrors state.WaveSpeeds + state.MaxAbsSpeed with the
+// Γ-law sound speed precomputed (cs² is direction-independent; computing
+// it once per cell is bitwise identical to recomputing it per direction).
+func fusedMaxSpeed(vd, v2, cs2, sqrtCs2 float64) float64 {
+	den := 1 - v2*cs2
+	disc := (1 - v2) * (1 - v2*cs2 - vd*vd*(1-cs2))
+	if disc < 0 {
+		disc = 0
+	}
+	root := math.Sqrt(disc) * sqrtCs2
+	lm := (vd*(1-cs2) - root) / den
+	lp := (vd*(1-cs2) + root) / den
+	return math.Max(math.Abs(lm), math.Abs(lp))
 }
 
 // NumStrips returns the number of independent one-dimensional strips of
@@ -312,12 +512,23 @@ func (s *Solver) StripZones(d state.Direction) int {
 // cells, so disjoint ranges may run concurrently. The primitive field
 // (including ghosts) must be current.
 func (s *Solver) SweepStrips(d state.Direction, lo, hi int, rhs *state.Fields) {
-	sc := s.scratch.Get().(*rowScratch)
-	defer s.scratch.Put(sc)
+	s.sweepStrips(d, lo, hi, rhs, false)
+}
+
+// sweepStrips is SweepStrips with an overwrite mode: ComputeRHS runs the
+// first active direction in overwrite mode (out = 0 − ΔF/dx, exactly the
+// arithmetic a zeroed rhs accumulation performs) so the full-field
+// rhs.Zero() traversal disappears from the hot loop.
+func (s *Solver) sweepStrips(d state.Direction, lo, hi int, rhs *state.Fields, overwrite bool) {
+	sc := s.getScratch()
+	defer s.putScratch(sc)
 	g := s.G
 	row := s.sweepRow
-	if s.fused {
+	switch s.fused {
+	case fusedPLMHLLC:
 		row = s.fusedSweepRow
+	case fusedPCMHLL:
+		row = s.fusedPCMHLLRow
 	}
 	for r := lo; r < hi; r++ {
 		switch d {
@@ -325,15 +536,62 @@ func (s *Solver) SweepStrips(d state.Direction, lo, hi int, rhs *state.Fields) {
 			ny := g.JEnd() - g.JBeg()
 			j := g.JBeg() + r%ny
 			k := g.KBeg() + r/ny
-			row(d, g.Idx(0, j, k), 1, g.TotalX, g.IBeg(), g.IEnd(), g.Dx, sc, rhs)
+			row(d, g.Idx(0, j, k), 1, g.TotalX, g.IBeg(), g.IEnd(), g.Dx, sc, rhs, overwrite)
 		case state.Y:
 			i := g.IBeg() + r%g.Nx
 			k := g.KBeg() + r/g.Nx
-			row(d, g.Idx(i, 0, k), g.TotalX, g.TotalY, g.JBeg(), g.JEnd(), g.Dy, sc, rhs)
+			row(d, g.Idx(i, 0, k), g.TotalX, g.TotalY, g.JBeg(), g.JEnd(), g.Dy, sc, rhs, overwrite)
 		default:
 			i := g.IBeg() + r%g.Nx
 			j := g.JBeg() + r/g.Nx
-			row(d, g.Idx(i, j, 0), g.TotalX*g.TotalY, g.TotalZ, g.KBeg(), g.KEnd(), g.Dz, sc, rhs)
+			row(d, g.Idx(i, j, 0), g.TotalX*g.TotalY, g.TotalZ, g.KBeg(), g.KEnd(), g.Dz, sc, rhs, overwrite)
+		}
+	}
+}
+
+// gatherRow views one strip of the primitive field as per-component
+// contiguous rows: x strips alias W directly (stride 1, read-only), y/z
+// strips gather into the scratch buffers.
+func gatherRow(w *state.Fields, base, stride, n int, sc *rowScratch) (u [state.NComp][]float64) {
+	for c := 0; c < state.NComp; c++ {
+		src := w.Comp[c]
+		if stride == 1 {
+			u[c] = src[base : base+n]
+			continue
+		}
+		dst := sc.u[c][:n]
+		idx := base
+		for i := 0; i < n; i++ {
+			dst[i] = src[idx]
+			idx += stride
+		}
+		u[c] = dst
+	}
+	return u
+}
+
+// accumulateRow folds the face flux differences −(F_{i+1} − F_i)/dx into
+// the interior cells of the strip. Overwrite mode writes 0 − ΔF/dx —
+// bitwise what accumulation into a zeroed rhs produces (including the
+// sign of zero) — so ComputeRHS can skip the rhs.Zero() pass.
+func accumulateRow(sc *rowScratch, rhs *state.Fields, base, stride, cBeg, cEnd int,
+	dx float64, overwrite bool) {
+
+	invDx := 1 / dx
+	for c := 0; c < state.NComp; c++ {
+		fxc := sc.fx[c]
+		out := rhs.Comp[c]
+		idx := base + cBeg*stride
+		if overwrite {
+			for i := cBeg; i < cEnd; i++ {
+				out[idx] = 0 - (fxc[i+1]-fxc[i])*invDx
+				idx += stride
+			}
+		} else {
+			for i := cBeg; i < cEnd; i++ {
+				out[idx] -= (fxc[i+1] - fxc[i]) * invDx
+				idx += stride
+			}
 		}
 	}
 }
@@ -343,27 +601,14 @@ func (s *Solver) SweepStrips(d state.Direction, lo, hi int, rhs *state.Fields) {
 // the face Riemann problems, and accumulate flux differences for interior
 // cells [cBeg, cEnd).
 func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
-	sc *rowScratch, rhs *state.Fields) {
+	sc *rowScratch, rhs *state.Fields, overwrite bool) {
 
-	w := s.G.W
-	// Gather the strip (contiguous for x, strided for y/z).
-	for c := 0; c < state.NComp; c++ {
-		dst := sc.u[c][:n]
-		src := w.Comp[c]
-		if stride == 1 {
-			copy(dst, src[base:base+n])
-		} else {
-			idx := base
-			for i := 0; i < n; i++ {
-				dst[i] = src[idx]
-				idx += stride
-			}
-		}
-	}
+	// Gather the strip (aliased for x, strided copy for y/z).
+	u := gatherRow(s.G.W, base, stride, n, sc)
 
 	// Reconstruct every component.
 	for c := 0; c < state.NComp; c++ {
-		s.Cfg.Recon.Reconstruct(sc.u[c][:n], sc.fl[c][:n+1], sc.fr[c][:n+1])
+		s.Cfg.Recon.Reconstruct(u[c], sc.fl[c][:n+1], sc.fr[c][:n+1])
 	}
 
 	// Face fluxes for faces cBeg..cEnd (cell i owns faces i and i+1).
@@ -382,14 +627,14 @@ func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx
 		// and vacuum).
 		if !pl.IsPhysical() {
 			pl = state.Prim{
-				Rho: sc.u[state.IRho][f-1], Vx: sc.u[state.IVx][f-1],
-				Vy: sc.u[state.IVy][f-1], Vz: sc.u[state.IVz][f-1], P: sc.u[state.IP][f-1],
+				Rho: u[state.IRho][f-1], Vx: u[state.IVx][f-1],
+				Vy: u[state.IVy][f-1], Vz: u[state.IVz][f-1], P: u[state.IP][f-1],
 			}
 		}
 		if !pr.IsPhysical() {
 			pr = state.Prim{
-				Rho: sc.u[state.IRho][f], Vx: sc.u[state.IVx][f],
-				Vy: sc.u[state.IVy][f], Vz: sc.u[state.IVz][f], P: sc.u[state.IP][f],
+				Rho: u[state.IRho][f], Vx: u[state.IVx][f],
+				Vy: u[state.IVy][f], Vz: u[state.IVz][f], P: u[state.IP][f],
 			}
 		}
 		fx := s.Cfg.Riemann.Flux(e, pl, pr, d)
@@ -400,17 +645,7 @@ func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx
 		sc.fx[state.ITau][f] = fx.Tau
 	}
 
-	// Accumulate −(F_{i+1} − F_i)/dx into the interior cells of the strip.
-	invDx := 1 / dx
-	for c := 0; c < state.NComp; c++ {
-		fxc := sc.fx[c]
-		out := rhs.Comp[c]
-		idx := base + cBeg*stride
-		for i := cBeg; i < cEnd; i++ {
-			out[idx] -= (fxc[i+1] - fxc[i]) * invDx
-			idx += stride
-		}
-	}
+	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
 
 	if s.trc != nil {
 		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
@@ -419,17 +654,22 @@ func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx
 
 // ComputeRHS evaluates the full right-hand side into rhs. Primitives and
 // their ghosts must be current (call RecoverPrimitives first).
+//
+// The sweeps write every interior cell (the first direction overwrites,
+// the rest accumulate) and never touch ghost cells, so rhs ghost entries
+// keep whatever value they had — zero for any Fields that has only ever
+// been used as an RHS, exactly as the former full-field Zero() left them.
 func (s *Solver) ComputeRHS(rhs *state.Fields) {
-	rhs.Zero()
 	if s.trc != nil {
 		zeroScalar(s.trc.rhs)
 	}
-	for _, d := range s.G.ActiveDims() {
+	for di, d := range s.G.ActiveDims() {
 		n := s.NumStrips(d)
+		s.curDir, s.curRHS, s.curOverwrite = d, rhs, di == 0
 		if s.Cfg.SweepExec != nil {
-			s.Cfg.SweepExec(d, n, func(lo, hi int) { s.SweepStrips(d, lo, hi, rhs) })
+			s.Cfg.SweepExec(d, n, s.sweepChunk)
 		} else {
-			s.parallelFor(n, func(lo, hi int) { s.SweepStrips(d, lo, hi, rhs) })
+			s.parallelFor(n, s.sweepChunk)
 		}
 	}
 	if src := s.Cfg.Source; src != nil {
@@ -447,50 +687,21 @@ func (s *Solver) ComputeRHS(rhs *state.Fields) {
 	s.St.ZoneUpdates.Add(int64(s.G.Nx * s.G.Ny * s.G.Nz))
 }
 
-// MaxDt returns the CFL-limited time step for the current state.
+// MaxDt returns the CFL-limited time step for the current state. In the
+// steady-state loop the reduction was already folded into the final
+// recovery of the previous Step and this is a cached combine; the first
+// call (and any call after a state rewrite, see InvalidateCFL) performs
+// the full traversal into the solver-owned cflRows scratch.
 func (s *Solver) MaxDt() float64 {
-	g := s.G
-	e := s.Cfg.EOS
-	dims := g.ActiveDims()
-	ny := g.JEnd() - g.JBeg()
-	nz := g.KEnd() - g.KBeg()
-	nRows := ny * nz
-
-	results := make([]float64, nRows)
-	s.parallelFor(nRows, func(lo, hi int) {
-		for r := lo; r < hi; r++ {
-			j := g.JBeg() + r%ny
-			k := g.KBeg() + r/ny
-			rowMax := 0.0
-			row := (k*g.TotalY + j) * g.TotalX
-			for i := g.IBeg(); i < g.IEnd(); i++ {
-				w := g.W.GetPrim(row + i)
-				sum := 0.0
-				for _, d := range dims {
-					dx := g.Dx
-					if d == state.Y {
-						dx = g.Dy
-					} else if d == state.Z {
-						dx = g.Dz
-					}
-					sum += state.MaxAbsSpeed(e, w, d) / dx
-				}
-				if sum > rowMax {
-					rowMax = sum
-				}
-			}
-			results[r] = rowMax
-		}
-	})
-	maxSum := 0.0
-	for _, v := range results {
-		if v > maxSum {
-			maxSum = v
-		}
+	if !s.cflValid {
+		s.parallelFor(len(s.cflRows), s.cflChunk)
+		s.cflMax = s.combineCFL()
+		s.cflValid = true
 	}
+	maxSum := s.cflMax
 	if maxSum <= 0 {
 		// Degenerate (cold static) state: fall back to light-crossing time.
-		maxSum = 1 / g.Dx
+		maxSum = 1 / s.G.Dx
 	}
 	return s.Cfg.CFL / maxSum
 }
@@ -541,86 +752,46 @@ func (s *Solver) Step(dt float64) error {
 	}
 	u := s.G.U
 
-	// Tracer mirrors of the stage operations (no-ops when disabled).
-	trcSave := func() {
+	// The final stage's recovery reads exactly the primitives the next
+	// MaxDt needs, so it carries the CFL reduction (see RecoverPrimitives).
+	// Each combineStage fuses AXPY + LinComb2 into one traversal; the
+	// per-element arithmetic of the split operations is preserved bitwise.
+	switch s.Cfg.Integrator {
+	case RK1:
 		if s.trc != nil {
 			copy(s.trc.u0, s.trc.cons)
 		}
-	}
-	trcAXPY := func() {
-		if s.trc != nil {
-			axpyScalar(s.trc.cons, dt, s.trc.rhs)
-		}
-	}
-	trcComb := func(a, b float64) {
-		if s.trc != nil {
-			lincomb2Scalar(s.trc.cons, a, s.trc.u0, b, s.trc.cons)
-		}
-	}
-
-	// stageCheck validates the whole interior after an RK stage when
-	// strict checks are on; a violation aborts the step mid-update.
-	// resets is the stage's atmosphere-reset count from c2p.
-	stageCheck := func(stage, resets int) error {
-		if !s.Cfg.StrictChecks {
-			return nil
-		}
-		if resets > s.Cfg.StrictC2PLimit {
-			return &StateError{Stage: stage, C2PResets: resets}
-		}
-		return s.checkState(stage)
-	}
-
-	// euler performs u ← u + dt·L(u) and refreshes primitives.
-	euler := func() error {
-		s.ComputeRHS(s.rhs)
-		u.AXPY(dt, s.rhs)
-		trcAXPY()
-		return stageCheck(1, s.RecoverPrimitives())
-	}
-
-	switch s.Cfg.Integrator {
-	case RK1:
-		trcSave()
-		if err := euler(); err != nil {
+		s.cflAccum = true
+		if err := s.eulerStage(dt); err != nil {
 			return err
 		}
 
 	case RK2: // SSP RK2: u^{n+1} = ½u⁰ + ½(u⁰ + dtL)(twice)
 		s.u0.CopyFrom(u)
-		trcSave()
-		if err := euler(); err != nil {
+		if s.trc != nil {
+			copy(s.trc.u0, s.trc.cons)
+		}
+		if err := s.eulerStage(dt); err != nil {
 			return err
 		}
-		s.ComputeRHS(s.rhs)
-		u.AXPY(dt, s.rhs)
-		trcAXPY()
-		u.LinComb2(0.5, s.u0, 0.5, u)
-		trcComb(0.5, 0.5)
-		if err := stageCheck(2, s.RecoverPrimitives()); err != nil {
+		s.cflAccum = true
+		if err := s.combineStage(2, dt, 0.5, 0.5); err != nil {
 			return err
 		}
 
 	case RK3: // Shu–Osher SSP RK3
 		s.u0.CopyFrom(u)
-		trcSave()
-		if err := euler(); err != nil {
+		if s.trc != nil {
+			copy(s.trc.u0, s.trc.cons)
+		}
+		if err := s.eulerStage(dt); err != nil {
 			return err
 		}
-		s.ComputeRHS(s.rhs)
-		u.AXPY(dt, s.rhs)
-		trcAXPY()
-		u.LinComb2(0.75, s.u0, 0.25, u)
-		trcComb(0.75, 0.25)
-		if err := stageCheck(2, s.RecoverPrimitives()); err != nil {
+		if err := s.combineStage(2, dt, 0.75, 0.25); err != nil {
 			return err
 		}
-		s.ComputeRHS(s.rhs)
-		u.AXPY(dt, s.rhs)
-		trcAXPY()
-		u.LinComb2(1.0/3.0, s.u0, 2.0/3.0, u)
-		trcComb(1.0/3.0, 2.0/3.0)
-		if err := stageCheck(3, s.RecoverPrimitives()); err != nil {
+		s.cflAccum = true
+		if err := s.combineStage(3, dt, 1.0/3.0, 2.0/3.0); err != nil {
 			return err
 		}
 	}
@@ -643,6 +814,42 @@ func (s *Solver) Step(dt float64) error {
 		s.mon.record(s, dt)
 	}
 	return nil
+}
+
+// eulerStage performs u ← u + dt·L(u) and refreshes primitives — the
+// first stage of every SSP integrator.
+func (s *Solver) eulerStage(dt float64) error {
+	s.ComputeRHS(s.rhs)
+	s.G.U.AXPY(dt, s.rhs)
+	if s.trc != nil {
+		axpyScalar(s.trc.cons, dt, s.trc.rhs)
+	}
+	return s.stageCheck(1, s.RecoverPrimitives())
+}
+
+// combineStage performs u ← a·u⁰ + b·(u + dt·L(u)) — an SSP convex
+// combination with the Euler substep fused into the same traversal — and
+// refreshes primitives.
+func (s *Solver) combineStage(stage int, dt, a, b float64) error {
+	s.ComputeRHS(s.rhs)
+	s.G.U.LinComb2AXPY(a, s.u0, b, dt, s.rhs)
+	if s.trc != nil {
+		lincomb2AXPYScalar(s.trc.cons, a, s.trc.u0, b, dt, s.trc.rhs)
+	}
+	return s.stageCheck(stage, s.RecoverPrimitives())
+}
+
+// stageCheck validates the whole interior after an RK stage when strict
+// checks are on; a violation aborts the step mid-update. resets is the
+// stage's atmosphere-reset count from c2p.
+func (s *Solver) stageCheck(stage, resets int) error {
+	if !s.Cfg.StrictChecks {
+		return nil
+	}
+	if resets > s.Cfg.StrictC2PLimit {
+		return &StateError{Stage: stage, C2PResets: resets}
+	}
+	return s.checkState(stage)
 }
 
 // Advance integrates until time tEnd, choosing CFL-limited steps and

@@ -134,9 +134,12 @@ func axpyScalar(dst []float64, a float64, src []float64) {
 	}
 }
 
-func lincomb2Scalar(dst []float64, a float64, u []float64, b float64, v []float64) {
+// lincomb2AXPYScalar computes dst ← a·u + b·(dst + s·g) in one pass,
+// bitwise identical to axpyScalar(dst, s, g) followed by
+// dst = a·u + b·dst (the scalar mirror of state.Fields.LinComb2AXPY).
+func lincomb2AXPYScalar(dst []float64, a float64, u []float64, b, s float64, g []float64) {
 	for i := range dst {
-		dst[i] = a*u[i] + b*v[i]
+		dst[i] = a*u[i] + b*(dst[i]+s*g[i])
 	}
 }
 

@@ -1,0 +1,84 @@
+package damr
+
+import (
+	"math"
+	"testing"
+
+	"rhsc/internal/cluster"
+	"rhsc/internal/testprob"
+)
+
+// TestStepZeroAllocs pins the distributed pooling invariant: once the
+// epoch's halo send buffers are derived and the solvers' scratch pools
+// are warm, a lockstep step — stage advances, packed halo exchanges on
+// the pooled double buffers, combine, end-of-step sync with the armed
+// CFL reduction — performs zero heap allocations across both ranks.
+//
+// The dt collective (FTAllReduceMin) and the regrid/checkpoint phases
+// are outside this scope: they run at most once per step or per epoch
+// and inherently build survivor-set payloads.
+//
+// testing.AllocsPerRun reads the global allocation counter, so the rank
+// goroutines are persistent workers driven over channels — a goroutine
+// spawn per measured run would be counted.
+func TestStepZeroAllocs(t *testing.T) {
+	p := testprob.Blast2D
+	cfg := blastConfig()
+	const nbx, ranks = 4, 2
+	opts := Options{Ranks: ranks, Net: cluster.Infiniband(), Steps: 1}
+	if err := opts.validate(); err != nil {
+		t.Fatal(err)
+	}
+	world := cluster.NewWorld(ranks)
+	rs := make([]*rankRun, ranks)
+	for rank := 0; rank < ranks; rank++ {
+		r, err := newRankRun(world.Comm(rank), p, nbx, cfg, &opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rs[rank] = r
+	}
+
+	starts := make([]chan float64, ranks)
+	done := make(chan struct{}, ranks)
+	for i, r := range rs {
+		starts[i] = make(chan float64)
+		go func(r *rankRun, start chan float64) {
+			for dt := range start {
+				r.step(dt)
+				done <- struct{}{}
+			}
+		}(r, starts[i])
+	}
+	stepAll := func(dt float64) {
+		for _, ch := range starts {
+			ch <- dt
+		}
+		for range rs {
+			<-done
+		}
+	}
+	defer func() {
+		for _, ch := range starts {
+			close(ch)
+		}
+	}()
+
+	// A fixed conservative dt keeps the measured loop clear of the
+	// allocating dt collective while staying CFL-stable throughout.
+	dt := math.Inf(1)
+	for _, r := range rs {
+		if d := r.t.MaxDtOf(r.ep.mine); d < dt {
+			dt = d
+		}
+	}
+	dt /= 2
+
+	for i := 0; i < 3; i++ { // warm the scratch pools and halo buffers
+		stepAll(dt)
+	}
+	allocs := testing.AllocsPerRun(5, func() { stepAll(dt) })
+	if allocs != 0 {
+		t.Errorf("steady-state distributed step allocates %.1f times, want 0", allocs)
+	}
+}

@@ -1,6 +1,7 @@
 package damr
 
 import (
+	"bytes"
 	"errors"
 	"fmt"
 	"math"
@@ -186,6 +187,25 @@ func (ep *epoch) needers(i int) []int {
 	return out
 }
 
+// setEpoch installs a new partition generation and re-derives the
+// pooled per-peer halo send buffers from its exchange plan (sized once
+// here so the steady-state step loop packs without allocating).
+func (r *rankRun) setEpoch(ep *epoch) {
+	r.ep = ep
+	r.haloPhase = 0
+	r.haloSend = make(map[int][2][]float64, len(ep.peersOut))
+	for _, dst := range ep.peersOut {
+		size := 0
+		for _, i := range ep.sendTo[dst] {
+			size += len(r.t.LeafRawU(i))
+		}
+		r.haloSend[dst] = [2][]float64{
+			make([]float64, 0, size),
+			make([]float64, 0, size),
+		}
+	}
+}
+
 // rankRun is one rank's goroutine: a full tree replica advanced in
 // lockstep with its peers.
 type rankRun struct {
@@ -216,6 +236,23 @@ type rankRun struct {
 	ckTime      float64
 	ckZU        int64
 
+	// Pooled exchange buffers. The channel transport does not copy
+	// payloads, so a buffer may only be repacked once its previous
+	// receiver has provably finished reading it:
+	//   - haloSend alternates two buffers per peer by phase parity; a
+	//     peer posts its phase-s+1 message only after finishing its
+	//     phase-s receives, and we repack the parity-s buffer only after
+	//     receiving that s+1 message, so reuse at s+2 is race-free.
+	//   - ckPack / migPack are reused across generations separated by
+	//     the loop-top FTAllReduceMin collective, which the receiver can
+	//     only reach after consuming (copying out of) the payload.
+	// setEpoch re-derives the halo buffers whenever the plan changes.
+	haloSend  map[int][2][]float64
+	haloPhase int
+	migPack   map[int][]float64
+	ckPack    []float64
+	encBuf    bytes.Buffer
+
 	clock       float64
 	rebalClock  float64
 	rebalReal   time.Duration
@@ -243,11 +280,12 @@ type rankRun struct {
 // messages a rank posted before dying).
 func (r *rankRun) checkpoint() error {
 	clock0 := r.clock
-	blob, err := r.t.EncodeLeaves(r.ep.mine)
-	if err != nil {
+	r.encBuf.Reset()
+	if err := r.t.EncodeLeavesInto(r.ep.mine, &r.encBuf); err != nil {
 		return err
 	}
-	r.ckOwn = blob
+	blob := r.encBuf.Bytes()
+	r.ckOwn = append(r.ckOwn[:0], blob...)
 	r.ckSteps = r.t.Steps()
 	r.ckTime = r.t.Time()
 	r.ckZU = r.t.ZoneUpdates()
@@ -262,12 +300,13 @@ func (r *rankRun) checkpoint() error {
 		}
 		next := r.active[(pos+1)%len(r.active)]
 		prev := r.active[(pos+len(r.active)-1)%len(r.active)]
-		r.comm.Send(next, tagCheckpoint, packBytes(blob), r.clock)
+		r.ckPack = packBytesInto(r.ckOwn, r.ckPack)
+		r.comm.Send(next, tagCheckpoint, r.ckPack, r.clock)
 		got, stamp, err := r.comm.RecvErr(prev, tagCheckpoint)
 		if err != nil {
 			return err
 		}
-		r.ckBuddy = unpackBytes(got)
+		r.ckBuddy = unpackBytesInto(got, r.ckBuddy)
 		r.ckBuddyRank = prev
 		if avail := stamp + r.opts.Net.Cost(len(got)*8); avail > r.clock {
 			r.clock = avail
@@ -323,7 +362,7 @@ func (r *rankRun) recoverFromFailure(survivors []int) error {
 	}
 	r.t = t
 	r.active = alive
-	r.ep = buildEpoch(t, r.opts, r.maxLevelCfg, r.rank, r.active)
+	r.setEpoch(buildEpoch(t, r.opts, r.maxLevelCfg, r.rank, r.active))
 	r.recoveries++
 	r.recClock += r.clock - clock0
 	r.recReal += time.Since(start)
@@ -348,16 +387,16 @@ func (r *rankRun) exchangeHalos(stageZones bool) {
 	}
 	interior := full - boundary
 
+	par := r.haloPhase & 1
+	r.haloPhase++
 	for _, dst := range ep.peersOut {
-		idx := ep.sendTo[dst]
-		size := 0
-		for _, i := range idx {
-			size += len(t.LeafRawU(i))
-		}
-		buf := make([]float64, 0, size)
-		for _, i := range idx {
+		pair := r.haloSend[dst]
+		buf := pair[par][:0]
+		for _, i := range ep.sendTo[dst] {
 			buf = append(buf, t.LeafRawU(i)...)
 		}
+		pair[par] = buf
+		r.haloSend[dst] = pair
 		r.comm.Send(dst, tagHalo, buf, r.clock)
 	}
 	if r.opts.Mode == cluster.Async {
@@ -381,6 +420,11 @@ func (r *rankRun) exchangeHalos(stageZones bool) {
 		r.clock += full
 	}
 
+	if !stageZones {
+		// End-of-step recovery: fold the CFL reduction into it so the
+		// next loop-top MaxDtOf is a cheap per-leaf combine.
+		t.ArmCFL(ep.mine)
+	}
 	t.SyncSubset(ep.fresh, ep.mine)
 }
 
@@ -443,6 +487,7 @@ func (r *rankRun) regridPhase() error {
 	if !changed {
 		// The serial stepper still re-syncs after a no-op regrid; match
 		// its recover count on every fresh copy.
+		t.ArmCFL(ep.mine)
 		t.SyncSubset(ep.fresh, ep.mine)
 		r.rebalClock += r.clock - clock0
 		r.rebalReal += time.Since(start)
@@ -508,13 +553,16 @@ func (r *rankRun) regridPhase() error {
 		}
 	}
 	for dst, idx := range sendPlan {
-		blob, err := t.EncodeLeaves(idx)
-		if err != nil {
+		r.encBuf.Reset()
+		if err := t.EncodeLeavesInto(idx, &r.encBuf); err != nil {
 			return fmt.Errorf("damr: encode migration to rank %d: %w", dst, err)
 		}
-		payload := packBytes(blob)
+		blob := r.encBuf.Bytes()
+		// One pooled pack buffer per destination: several sends can be
+		// in flight within this phase, so they must not share storage.
+		r.migPack[dst] = packBytesInto(blob, r.migPack[dst])
 		r.migBytes += int64(len(blob))
-		r.comm.Send(dst, tagMigrate, payload, r.clock)
+		r.comm.Send(dst, tagMigrate, r.migPack[dst], r.clock)
 	}
 	for _, src := range sortedKeys(recvPlan) {
 		payload, stamp := r.comm.Recv(src, tagMigrate)
@@ -528,8 +576,9 @@ func (r *rankRun) regridPhase() error {
 
 	// Post-regrid sync on the new fresh set (the serial tree recovers
 	// every leaf here; each fresh copy applies the same single recover).
+	t.ArmCFL(newEp.mine)
 	t.SyncSubset(newEp.fresh, newEp.mine)
-	r.ep = newEp
+	r.setEpoch(newEp)
 	r.rebalClock += r.clock - clock0
 	r.rebalReal += time.Since(start)
 	return nil
@@ -556,33 +605,46 @@ func sortedKeys(m map[int][]int) []int {
 // packBytes reinterprets a byte blob as the []float64 payload the
 // channel transport carries (8 bytes per element, zero-padded tail,
 // length prefix so the exact byte count survives).
-func packBytes(b []byte) []float64 {
+func packBytes(b []byte) []float64 { return packBytesInto(b, nil) }
+
+// packBytesInto is packBytes filling a caller-owned buffer, grown only
+// when too small; it returns the filled slice for reassignment.
+func packBytesInto(b []byte, dst []float64) []float64 {
 	n := len(b)
-	out := make([]float64, 1, 1+(n+7)/8)
-	out[0] = float64(n)
+	if need := 1 + (n+7)/8; cap(dst) < need {
+		dst = make([]float64, 0, need)
+	}
+	dst = append(dst[:0], float64(n))
 	for off := 0; off < n; off += 8 {
 		var word uint64
 		for k := 0; k < 8 && off+k < n; k++ {
 			word |= uint64(b[off+k]) << (8 * k)
 		}
-		out = append(out, math.Float64frombits(word))
+		dst = append(dst, math.Float64frombits(word))
 	}
-	return out
+	return dst
 }
 
 // unpackBytes inverts packBytes.
-func unpackBytes(payload []float64) []byte {
+func unpackBytes(payload []float64) []byte { return unpackBytesInto(payload, nil) }
+
+// unpackBytesInto is unpackBytes filling a caller-owned buffer, grown
+// only when too small; every byte of the result is overwritten.
+func unpackBytesInto(payload []float64, dst []byte) []byte {
 	n := int(payload[0])
-	out := make([]byte, n)
+	if cap(dst) < n {
+		dst = make([]byte, 0, n)
+	}
+	dst = dst[:n]
 	for w, word := range payload[1:] {
 		bits := math.Float64bits(word)
 		for k := 0; k < 8; k++ {
 			if i := w*8 + k; i < n {
-				out[i] = byte(bits >> (8 * k))
+				dst[i] = byte(bits >> (8 * k))
 			}
 		}
 	}
-	return out
+	return dst
 }
 
 // packBlobs concatenates several byte blobs into one transport payload:
@@ -653,7 +715,9 @@ func Run(p *testprob.Problem, nbx int, cfg amr.Config, opts Options) (*Result, e
 	return nil, fmt.Errorf("damr: no rank produced a result")
 }
 
-func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, opts *Options) (*Result, error) {
+// newRankRun builds one rank's replica and its initial epoch — the
+// state runRank steps from (split out so tests can drive single steps).
+func newRankRun(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, opts *Options) (*rankRun, error) {
 	// Every rank builds the same replica: NewTree is deterministic, so no
 	// initial exchange is needed — all copies start fresh everywhere.
 	t, err := amr.NewTree(p, nbx, cfg)
@@ -672,11 +736,21 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		p:           p, nbx: nbx, cfg: cfg,
 		active:      active,
 		ckBuddyRank: -1,
+		migPack:     map[int][]float64{},
 	}
 	if len(opts.RankRates) > 0 {
 		r.rate = opts.RankRates[rank]
 	}
-	r.ep = buildEpoch(t, opts, cfg.MaxLevel, rank, r.active)
+	r.setEpoch(buildEpoch(t, opts, cfg.MaxLevel, rank, r.active))
+	return r, nil
+}
+
+func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, opts *Options) (*Result, error) {
+	r, err := newRankRun(comm, p, nbx, cfg, opts)
+	if err != nil {
+		return nil, err
+	}
+	rank := r.rank
 
 	tEnd := p.TEnd
 	if opts.TEnd > 0 {
@@ -734,7 +808,7 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		}
 	}
 	real := time.Since(start)
-	t = r.t
+	t := r.t
 
 	// Diagnostics (uncharged, like the uniform-grid driver): one
 	// fault-tolerant gather carries every per-rank stat, folded locally.

@@ -99,6 +99,10 @@ type Grid struct {
 	// primitive or conserved values. Called after the standard passes, so
 	// it may overwrite edge ghosts its face owns.
 	CustomFill [3][2]func(g *Grid, f *state.Fields)
+
+	// dims caches ActiveDims: the active dimensions are fixed at
+	// construction, and the per-step hot path asks for them repeatedly.
+	dims []state.Direction
 }
 
 // New allocates a grid for the geometry. Dimensions with N == 1 are
@@ -148,6 +152,13 @@ func New(geom Geometry) *Grid {
 	n := g.TotalX * g.TotalY * g.TotalZ
 	g.U = state.NewFields(n)
 	g.W = state.NewFields(n)
+	g.dims = []state.Direction{state.X}
+	if g.Ny > 1 {
+		g.dims = append(g.dims, state.Y)
+	}
+	if g.Nz > 1 {
+		g.dims = append(g.dims, state.Z)
+	}
 	return g
 }
 
@@ -163,16 +174,11 @@ func (g *Grid) Dim() int {
 	return d
 }
 
-// ActiveDims returns the directions the solver must sweep.
+// ActiveDims returns the directions the solver must sweep. The slice is
+// owned by the grid (allocated once at construction — the step hot path
+// calls this per RHS evaluation); callers must not mutate it.
 func (g *Grid) ActiveDims() []state.Direction {
-	dims := []state.Direction{state.X}
-	if g.Ny > 1 {
-		dims = append(dims, state.Y)
-	}
-	if g.Nz > 1 {
-		dims = append(dims, state.Z)
-	}
-	return dims
+	return g.dims
 }
 
 // Idx returns the flat index of total-coordinates (i, j, k).

@@ -130,6 +130,16 @@ func (p *Pool) ParallelFor(lo, hi, grain int, fn func(lo, hi int)) {
 		return
 	}
 	var wg sync.WaitGroup
+	// One shared chunk body, spawned with per-chunk bounds as plain
+	// arguments: the loop allocates a single closure per ParallelFor call
+	// instead of one per spawned chunk.
+	run := func(a, b int) {
+		defer func() {
+			<-p.slots
+			wg.Done()
+		}()
+		fn(a, b)
+	}
 	for start := lo; start < hi; start += grain {
 		end := start + grain
 		if end > hi {
@@ -142,13 +152,7 @@ func (p *Pool) ParallelFor(lo, hi, grain int, fn func(lo, hi int)) {
 		select {
 		case p.slots <- struct{}{}:
 			wg.Add(1)
-			go func(a, b int) {
-				defer func() {
-					<-p.slots
-					wg.Done()
-				}()
-				fn(a, b)
-			}(start, end)
+			go run(start, end)
 		default:
 			fn(start, end)
 		}

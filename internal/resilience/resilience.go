@@ -131,6 +131,9 @@ func (g *Guard) Step(dt float64) (float64, error) {
 			copy(s.G.U.Raw(), g.uSnap)
 			copy(s.G.W.Raw(), g.wSnap)
 			s.SetTime(t0)
+			// The raw W restore bypasses recovery, so any CFL reduction
+			// cached by the failed attempt's final recovery is stale.
+			s.InvalidateCFL()
 			if attempt > g.Policy.MaxRetries {
 				if fallback {
 					if err := s.SetMethod(hiRec, hiRS); err != nil {

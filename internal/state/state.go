@@ -309,6 +309,20 @@ func (f *Fields) LinComb2(a float64, u *Fields, b float64, v *Fields) {
 	}
 }
 
+// LinComb2AXPY computes f ← a·u + b·(f + s·g) componentwise in a single
+// pass. The per-element arithmetic is exactly f.AXPY(s, g) followed by
+// f.LinComb2(a, u, b, f) — the SSP-RK stage combination — without the
+// intermediate store/load traversal, so results are bitwise identical.
+func (f *Fields) LinComb2AXPY(a float64, u *Fields, b, s float64, g *Fields) {
+	if f.N != u.N || f.N != g.N {
+		panic("state: LinComb2AXPY size mismatch")
+	}
+	fb, ub, gb := f.back, u.back, g.back
+	for i := range fb {
+		fb[i] = a*ub[i] + b*(fb[i]+s*gb[i])
+	}
+}
+
 // Raw returns the contiguous backing slice (all components). Intended for
 // checkpointing and message packing; mutating it mutates the fields.
 func (f *Fields) Raw() []float64 { return f.back }
