@@ -8,7 +8,7 @@
 //	benchsuite [flags] <experiment>
 //
 // Experiments: table1 fig2 table2 table3 fig4 fig5 table4 fig6 fig7
-// table5 fig8 damr resilience stepbench, or "all".
+// table5 fig8 damr resilience stepbench failsafe, or "all".
 //
 // Flags:
 //
@@ -46,6 +46,7 @@ var experiments = []experiment{
 	{"damr", "E12: distributed AMR strong scaling", (*suite).damr},
 	{"resilience", "E13: checkpoint overhead and fault recovery", (*suite).resilience},
 	{"stepbench", "E14: single-pass step pipeline cost (ns/zone, allocs/step)", (*suite).stepbench},
+	{"failsafe", "E15: fail-safe local repair vs global retry", (*suite).failsafe},
 }
 
 type suite struct {

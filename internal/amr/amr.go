@@ -94,6 +94,13 @@ type Tree struct {
 	t           float64
 	steps       int
 	zoneUpdates int64
+
+	// Cumulative fail-safe accounting (see failsafe.go). fsPending holds
+	// the current stage's flagged-cell count between StageAdvanceFS and
+	// FSRepairLeaves in the distributed split-phase flow.
+	troubledCells int64
+	repairedCells int64
+	fsPending     int
 }
 
 // NewTree builds the hierarchy for problem p with nbx root blocks along x
@@ -118,6 +125,9 @@ func NewTree(p *testprob.Problem, nbx int, cfg Config) (*Tree, error) {
 	}
 	if cfg.Core.SweepExec != nil || cfg.Core.HaloExchange != nil {
 		return nil, errors.New("amr: core SweepExec/HaloExchange must be nil")
+	}
+	if cfg.Core.MaskExchange != nil {
+		return nil, errors.New("amr: core MaskExchange must be nil (the tree fills mask ghosts)")
 	}
 	if nbx < 1 {
 		return nil, errors.New("amr: need at least one root block")
@@ -314,6 +324,15 @@ func (t *Tree) TotalMass() float64 {
 		m += n.sol.G.TotalMass()
 	}
 	return m
+}
+
+// TotalEnergy sums the conserved energy over all leaves.
+func (t *Tree) TotalEnergy() float64 {
+	e := 0.0
+	for _, n := range t.leaves {
+		e += n.sol.G.TotalEnergy()
+	}
+	return e
 }
 
 // wrap maps a coordinate into the periodic domain.
@@ -518,7 +537,10 @@ func (t *Tree) Step(dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("amr: non-positive dt %v", dt)
 	}
-	stage := func() error {
+	stage := func(num int) error {
+		if t.cfg.Core.FailSafe {
+			return t.stageFS(num, dt)
+		}
 		for _, n := range t.leaves {
 			n.sol.ComputeRHS(n.rhs)
 			t.zoneUpdates += int64(n.sol.G.Nx * n.sol.G.Ny)
@@ -532,12 +554,15 @@ func (t *Tree) Step(dt float64) error {
 	for _, n := range t.leaves {
 		n.u0.CopyFrom(n.sol.G.U)
 	}
-	if err := stage(); err != nil {
+	if err := stage(1); err != nil {
 		return err
 	}
-	if err := stage(); err != nil {
+	if err := stage(2); err != nil {
 		return err
 	}
+	// The combine is a convex combination of two detector-clean states
+	// and the admissible set is convex, so it needs no detection (see
+	// failsafe.go).
 	for _, n := range t.leaves {
 		n.sol.G.U.LinComb2(0.5, n.u0, 0.5, n.sol.G.U)
 	}

@@ -1,0 +1,250 @@
+package amr
+
+import (
+	"errors"
+
+	"rhsc/internal/core"
+	"rhsc/internal/grid"
+)
+
+// A posteriori fail-safe over the block tree (core.Config.FailSafe on
+// the leaf method). Each Euler stage runs the per-leaf detector after
+// the candidate update; flagged cells are repaired in place with the
+// first-order flux replacement (core.Solver.FSRepair) before the stage
+// sync, so by the time ghosts are refilled every leaf holds an
+// admissible state. Two tree-specific pieces live here:
+//
+//   - Mask ghosts. A troubled cell next to a block face dirties faces
+//     of the neighbouring leaf too, and the repair on both leaves must
+//     see the same flags so each recomputes the shared face flux. The
+//     tree fills External-face mask ghosts by OR-sampling neighbour
+//     interiors at exactly the sub-points the primitive ghost fill
+//     averages (sampleAvg), before any leaf repairs. At same-level
+//     faces the stencils on either side then hold bitwise-identical
+//     values, so the corrected flux matches and conservation stays
+//     exact; coarse-fine faces inherit the tree's existing
+//     no-refluxing policy (package comment).
+//
+//   - Stage selection. The SSP-RK2 combine is a convex combination of
+//     two detector-clean states, and the admissible set (D > 0,
+//     tau > 0, |S| - (tau + D + p) < 0) is convex — D and tau are
+//     linear in U and the causality functional is a norm minus a
+//     linear form. The combine therefore cannot leave the set and only
+//     the Euler stages are detected.
+//
+// A run in which the detector never fires is bitwise identical to the
+// plain tree step: detection only reads the candidate state, and the
+// stage sync's primitive recovery re-enters c2p at the already
+// converged pressures, which the Newton loop returns unchanged.
+
+// stageFS is the fail-safe variant of the Step stage closure: Euler
+// update, detect, repair, sync.
+func (t *Tree) stageFS(stage int, dt float64) error {
+	for _, n := range t.leaves {
+		n.sol.ComputeRHS(n.rhs)
+		t.zoneUpdates += int64(n.sol.G.Nx * n.sol.G.Ny)
+	}
+	for _, n := range t.leaves {
+		n.sol.FSBegin()
+	}
+	for _, n := range t.leaves {
+		n.sol.G.U.AXPY(dt, n.rhs)
+	}
+	// Same injection point core.Step offers: after the candidate update,
+	// before detection, once per leaf in deterministic leaf order.
+	if hook := t.cfg.Core.FaultHook; hook != nil {
+		for _, n := range t.leaves {
+			hook(stage, n.sol.G.U)
+		}
+	}
+	troubled := 0
+	for _, n := range t.leaves {
+		troubled += n.sol.FSDetect()
+	}
+	if troubled > 0 {
+		t.troubledCells += int64(troubled)
+		if f := t.cfg.Core.FailSafeMaxFrac; f > 0 && float64(troubled) > f*float64(t.TotalZones()) {
+			return &core.StateError{Stage: stage, Troubled: troubled}
+		}
+		t.fillMaskGhostsOf(t.leaves)
+		for _, n := range t.leaves {
+			if !maskAny(n.sol.FSMask()) {
+				continue
+			}
+			if err := n.sol.FSRepair(stage, dt, 0, 1); err != nil {
+				var se *core.StateError
+				if errors.As(err, &se) {
+					se.Troubled = troubled
+				}
+				return err
+			}
+		}
+		t.repairedCells += int64(troubled)
+	}
+	// Detection (and repair) already recovered every leaf's primitives
+	// from the candidate state, so the stage sync reduces to the ghost
+	// refill. Re-running recovery here would not be bitwise neutral: a
+	// cell whose stored primitives were clamped (pressure floor,
+	// velocity cap) re-enters Newton from the clamped guess and lands on
+	// a marginally different root than the plain path's single recovery.
+	t.fillGhosts()
+	return nil
+}
+
+// TroubledCells returns the cumulative cells flagged by the fail-safe
+// detector over this tree's stages.
+func (t *Tree) TroubledCells() int64 { return t.troubledCells }
+
+// RepairedCells returns the cumulative cells re-updated by the local
+// flux-replacement repair.
+func (t *Tree) RepairedCells() int64 { return t.repairedCells }
+
+// fillMaskGhostsOf fills External-face mask ghosts of the given leaves
+// from neighbour interiors, mirroring fillGhostsOf band for band so a
+// flag next to a block face is visible from both sides before repair.
+func (t *Tree) fillMaskGhostsOf(ls []*node) {
+	for _, n := range ls {
+		g := n.sol.G
+		mask := n.sol.FSMask()
+		ng := g.Ng
+		fill := func(i, j int) {
+			mask[g.Idx(i, j, g.KBeg())] = t.sampleMask(g.X(i), g.Y(j), g.Dx, g.Dy)
+		}
+		if g.BCs[0][0] == grid.External {
+			for j := g.JBeg(); j < g.JEnd(); j++ {
+				for i := 0; i < ng; i++ {
+					fill(i, j)
+				}
+			}
+		}
+		if g.BCs[0][1] == grid.External {
+			for j := g.JBeg(); j < g.JEnd(); j++ {
+				for i := g.IEnd(); i < g.IEnd()+ng; i++ {
+					fill(i, j)
+				}
+			}
+		}
+		if t.dim >= 2 {
+			if g.BCs[1][0] == grid.External {
+				for j := 0; j < ng; j++ {
+					for i := g.IBeg(); i < g.IEnd(); i++ {
+						fill(i, j)
+					}
+				}
+			}
+			if g.BCs[1][1] == grid.External {
+				for j := g.JEnd(); j < g.JEnd()+ng; j++ {
+					for i := g.IBeg(); i < g.IEnd(); i++ {
+						fill(i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+// sampleMask ORs the troubled flags at the sub-points sampleAvg
+// averages: a ghost cell is dirty if any covering fine cell (or the
+// one covering coarse cell) is flagged.
+func (t *Tree) sampleMask(x, y, dx, dy float64) uint8 {
+	if t.dim == 1 {
+		a, ia := t.locate(x-0.25*dx, y)
+		b, ib := t.locate(x+0.25*dx, y)
+		return a.sol.FSMask()[ia] | b.sol.FSMask()[ib]
+	}
+	var m uint8
+	for _, fy := range [2]float64{-0.25, 0.25} {
+		for _, fx := range [2]float64{-0.25, 0.25} {
+			n, i := t.locate(x+fx*dx, y+fy*dy)
+			m |= n.sol.FSMask()[i]
+		}
+	}
+	return m
+}
+
+// maskAny reports whether any cell (interior or ghost) is flagged — a
+// ghost flag alone still dirties local faces, so the leaf must repair.
+func maskAny(m []uint8) bool {
+	for _, v := range m {
+		if v != 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Distribution interface (see dist.go): the split-phase version of
+// stageFS a per-rank driver runs on its owned leaf subset, with the
+// cross-rank mask exchange between detection and repair.
+
+// StageAdvanceFS is StageAdvance with the fail-safe pipeline: stage
+// snapshot, Euler update, fault hook, detection. It returns the number
+// of interior cells flagged on the given leaves; the caller exchanges
+// troubled-cell masks with the ranks owning neighbour leaves (so both
+// sides of a rank-boundary face recompute the same corrected flux),
+// then calls FSGhostMasks and FSRepairLeaves.
+func (t *Tree) StageAdvanceFS(idx []int, stage int, dt float64) int {
+	for _, i := range idx {
+		n := t.leaves[i]
+		n.sol.ComputeRHS(n.rhs)
+		t.zoneUpdates += int64(n.sol.G.Nx * n.sol.G.Ny)
+	}
+	for _, i := range idx {
+		t.leaves[i].sol.FSBegin()
+	}
+	for _, i := range idx {
+		n := t.leaves[i]
+		n.sol.G.U.AXPY(dt, n.rhs)
+	}
+	if hook := t.cfg.Core.FaultHook; hook != nil {
+		for _, i := range idx {
+			hook(stage, t.leaves[i].sol.G.U)
+		}
+	}
+	troubled := 0
+	for _, i := range idx {
+		troubled += t.leaves[i].sol.FSDetect()
+	}
+	t.troubledCells += int64(troubled)
+	t.fsPending += troubled
+	return troubled
+}
+
+// FSGhostMasks fills the External-face mask ghosts of the given leaves.
+// Mask sampling reads the interiors of face-adjacent leaves, so the
+// masks of halo replicas must be current (installed via LeafFSMask)
+// before the call.
+func (t *Tree) FSGhostMasks(idx []int) {
+	ls := t.ghostScratch[:0]
+	for _, i := range idx {
+		ls = append(ls, t.leaves[i])
+	}
+	t.ghostScratch = ls
+	t.fillMaskGhostsOf(ls)
+}
+
+// FSRepairLeaves runs the local flux-replacement repair on every dirty
+// leaf among idx for the given Euler stage. On success the stage's
+// flagged-cell tally (from StageAdvanceFS) moves into RepairedCells;
+// cells that only receive a corrected neighbour flux are not counted —
+// the same accounting core.Solver uses.
+func (t *Tree) FSRepairLeaves(idx []int, stage int, dt float64) error {
+	for _, i := range idx {
+		n := t.leaves[i]
+		if !maskAny(n.sol.FSMask()) {
+			continue
+		}
+		if err := n.sol.FSRepair(stage, dt, 0, 1); err != nil {
+			t.fsPending = 0
+			return err
+		}
+	}
+	t.repairedCells += int64(t.fsPending)
+	t.fsPending = 0
+	return nil
+}
+
+// LeafFSMask returns the troubled-cell mask of leaf i (full grid
+// layout, allocated on first use) — the distributed driver packs owned
+// masks from it and installs received neighbour masks into it.
+func (t *Tree) LeafFSMask(i int) []uint8 { return t.leaves[i].sol.FSMask() }

@@ -1,0 +1,219 @@
+package c2p
+
+import (
+	"errors"
+	"math"
+	"math/rand"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"rhsc/internal/state"
+)
+
+// TestCausalityBoundBracket is the regression test for the pMin clamp
+// simplification: pMin = max(PFloor, (|S|−E)(1+1e-10)) already floors the
+// causality bound, so the old second clamp (`if pMin < PFloor`) was dead.
+// The test pins the two behaviours the bracket must keep:
+//
+//  1. for every admissible Γ-law state the causality term |S|−E is
+//     strictly negative (ρh/(1+v) > p for γ ≤ 2), so the bound can only
+//     activate for inadmissible inputs — which must be classified as
+//     "no pressure bracket" and reset to an atmosphere whose pressure
+//     still respects the floor;
+//  2. near-bound admissible states (ultra-relativistic, |S|/E → 1) must
+//     still recover through the PFloor-anchored bracket.
+func TestCausalityBoundBracket(t *testing.T) {
+	s := NewSolver(gamma53)
+
+	// (1a) The invariant that makes the inner clamp dead: |S| < E for
+	// every state reachable from admissible primitives.
+	rng := rand.New(rand.NewSource(73))
+	for i := 0; i < 5000; i++ {
+		c := randomPrim(rng, 0.9999).ToCons(gamma53)
+		e := c.Tau + c.D
+		if sAbs := math.Sqrt(c.SSq()); sAbs >= e {
+			t.Fatalf("admissible state with |S|=%v >= E=%v", sAbs, e)
+		}
+	}
+
+	// (1b) A state beyond the bound: |S| > E admits no pressure at all.
+	bad := state.Cons{D: 1e-3, Sx: 2, Tau: 1 - 1e-3}
+	p, err := s.Recover(bad, 0)
+	if !errors.Is(err, ErrUnphysical) {
+		t.Fatalf("causality-violating state: err = %v, want ErrUnphysical", err)
+	}
+	if p != s.atmosphere() {
+		t.Fatalf("causality-violating state not reset to atmosphere: %+v", p)
+	}
+	if p.P < s.Opts.PFloor {
+		t.Fatalf("atmosphere pressure %v below floor %v", p.P, s.Opts.PFloor)
+	}
+
+	// (2) Near the bound from the admissible side: W = 1e4,
+	// pressure-dominated, |S|/E within ~1e-8 of unity. The bracket is
+	// anchored at PFloor and the recovery must converge.
+	v := math.Sqrt(1 - 1e-8)
+	p0 := state.Prim{Rho: 1e-6, Vx: v, P: 1}
+	c := p0.ToCons(gamma53)
+	if sAbs, e := math.Sqrt(c.SSq()), c.Tau+c.D; 1-sAbs/e > 1e-7 {
+		t.Fatalf("state not near the causality bound: 1-|S|/E = %v", 1-sAbs/e)
+	}
+	p1, err := s.Recover(c, 0)
+	if err != nil {
+		t.Fatalf("near-bound state failed: %v", err)
+	}
+	if math.Abs(p1.P-p0.P)/p0.P > 1e-6 || math.Abs(p1.Vx-v) > 1e-9 {
+		t.Fatalf("near-bound drift: got %+v want %+v", p1, p0)
+	}
+	if p1.P < s.Opts.PFloor {
+		t.Fatalf("recovered pressure %v below floor", p1.P)
+	}
+}
+
+// newtonDefeatingCons returns a conserved state whose physical pressure
+// sits below the given elevated floor: Newton is pinned against
+// pMin = PFloor with a residual that never meets the tolerance, so the
+// recovery must take the bisection fallback (which cold-clamps to the
+// floor). Deterministic — no randomness.
+func newtonDefeatingCons() state.Cons {
+	return state.Prim{Rho: 1, Vx: 0.3, P: 1e-6}.ToCons(gamma53)
+}
+
+// TestFaultBisectionFallbackDefeatsNewton covers the Bisections stat: a
+// crafted cold state under an elevated pressure floor defeats Newton at
+// the default iteration budget and must converge via the fallback.
+func TestFaultBisectionFallbackDefeatsNewton(t *testing.T) {
+	s := NewSolver(gamma53)
+	s.Opts.PFloor = 1e-3 // physical pressure 1e-6 sits below the floor
+	c := newtonDefeatingCons()
+	p, err := s.Recover(c, 0)
+	if err != nil {
+		t.Fatalf("crafted state failed: %v", err)
+	}
+	if got := s.Stat.Bisections.Load(); got != 1 {
+		t.Fatalf("Bisections = %d, want 1 (Newton not defeated)", got)
+	}
+	// The fallback cold-clamps onto the floor bracket.
+	if p.P < s.Opts.PFloor || p.P > 2*s.Opts.PFloor {
+		t.Fatalf("cold clamp missed the floor bracket: P = %v", p.P)
+	}
+	// The kinematics must still converge: v from S/(E+p) with the
+	// clamped pressure stays close to the true 0.3.
+	if math.Abs(p.Vx-0.3) > 1e-2 || math.Abs(p.Rho-1) > 1e-2 {
+		t.Fatalf("fallback did not converge: %+v", p)
+	}
+}
+
+// TestFaultBisectionStatsConcurrent drives the bisection fallback from
+// parallel RecoverRange workers over one shared solver while Snapshot
+// runs concurrently (exercised under -race), pinning the batched-stats
+// contract for the Bisections counter: exact totals once the workers
+// have returned.
+func TestFaultBisectionStatsConcurrent(t *testing.T) {
+	s := NewSolver(gamma53)
+	s.Opts.PFloor = 1e-3
+	const workers = 8
+	const perWorker = 128
+	n := workers * perWorker
+	cons := state.NewFields(n)
+	prim := state.NewFields(n)
+	rng := rand.New(rand.NewSource(41))
+	crafted := 0
+	for i := 0; i < n; i++ {
+		if i%7 == 0 {
+			cons.SetCons(i, newtonDefeatingCons())
+			crafted++
+			continue
+		}
+		// Comfortably hot states that Newton handles directly.
+		p := randomPrim(rng, 0.9)
+		p.P += 1 // keep well above the elevated floor
+		cons.SetCons(i, p.ToCons(gamma53))
+	}
+
+	var wg sync.WaitGroup
+	var failures atomic.Int64
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(lo int) {
+			defer wg.Done()
+			failures.Add(int64(s.RecoverRange(cons, prim, lo, lo+perWorker)))
+		}(w * perWorker)
+	}
+	// Concurrent snapshots must be race-free and monotone.
+	var last int64
+	for i := 0; i < 50; i++ {
+		if b := s.Stat.Bisections.Load(); b < last {
+			t.Fatalf("Bisections went backwards: %d -> %d", last, b)
+		} else {
+			last = b
+		}
+	}
+	wg.Wait()
+
+	if f := failures.Load(); f != 0 {
+		t.Fatalf("unexpected failures: %d", f)
+	}
+	if b := s.Stat.Bisections.Load(); b != int64(crafted) {
+		t.Fatalf("Bisections = %d, want %d", b, crafted)
+	}
+	for i := 0; i < n; i += 7 {
+		if p := prim.GetPrim(i); p.P < s.Opts.PFloor || math.Abs(p.Vx-0.3) > 1e-2 {
+			t.Fatalf("crafted cell %d did not converge: %+v", i, p)
+		}
+	}
+}
+
+// TestRecoverRangeExFlagging covers the fail-safe entry point: in
+// flagging mode failures mark the mask and leave the conserved state
+// untouched, and the result carries the pre-reset cons of the first
+// offender.
+func TestRecoverRangeExFlagging(t *testing.T) {
+	s := NewSolver(gamma53)
+	n := 8
+	cons := state.NewFields(n)
+	prim := state.NewFields(n)
+	good := state.Prim{Rho: 1, P: 1}
+	for i := 0; i < n; i++ {
+		cons.SetCons(i, good.ToCons(gamma53))
+	}
+	hopeless := state.Cons{D: 1, Sx: 100, Tau: 0.1}
+	cons.SetCons(3, hopeless)
+	cons.SetCons(5, state.Cons{D: -1, Tau: 1})
+
+	mask := make([]uint8, n)
+	res := s.RecoverRangeEx(cons, prim, 0, n, mask, false)
+	if res.Failures != 2 {
+		t.Fatalf("Failures = %d, want 2", res.Failures)
+	}
+	if res.FirstIdx != 3 || res.FirstCons != hopeless {
+		t.Fatalf("first failure not preserved: idx=%d cons=%+v", res.FirstIdx, res.FirstCons)
+	}
+	for i := 0; i < n; i++ {
+		want := uint8(0)
+		if i == 3 || i == 5 {
+			want = 1
+		}
+		if mask[i] != want {
+			t.Fatalf("mask[%d] = %d, want %d", i, mask[i], want)
+		}
+	}
+	// Flagging mode must not rewrite the conserved state.
+	if got := cons.GetCons(3); got != hopeless {
+		t.Fatalf("flagging mode rewrote cons: %+v", got)
+	}
+	// The prim placeholder is the atmosphere.
+	if p := prim.GetPrim(3); p != s.atmosphere() {
+		t.Fatalf("failed cell prim = %+v, want atmosphere", p)
+	}
+
+	// Reset mode matches RecoverRange and still reports the first cons.
+	res2 := s.RecoverRangeEx(cons, prim, 0, n, nil, true)
+	if res2.Failures != 2 || res2.FirstIdx != 3 || res2.FirstCons != hopeless {
+		t.Fatalf("reset mode result: %+v", res2)
+	}
+	if got := cons.GetCons(3); got == hopeless {
+		t.Fatal("reset mode left cons untouched")
+	}
+}

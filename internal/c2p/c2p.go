@@ -227,12 +227,13 @@ func (s *Solver) recover(c state.Cons, guess, gamma float64, st *statDelta) (sta
 		return s.atmosphere(), fmt.Errorf("%w: D=%v E=%v", ErrUnphysical, c.D, e)
 	}
 
-	// Admissible pressure bracket. Causality demands E + p > |S|.
+	// Admissible pressure bracket. Causality demands E + p > |S|; the
+	// outer Max already clamps the bound onto the pressure floor, so no
+	// further floor check is needed (for admissible Γ-law states the
+	// causality term is in fact always negative — see the regression test
+	// TestCausalityBoundBracket).
 	sAbs := math.Sqrt(c.SSq())
 	pMin := math.Max(opts.PFloor, (sAbs-e)*(1+1e-10))
-	if pMin < opts.PFloor {
-		pMin = opts.PFloor
-	}
 
 	p := guess
 	if !(p > pMin) || math.IsNaN(p) {
@@ -388,6 +389,34 @@ func (s *Solver) recover(c state.Cons, guess, gamma float64, st *statDelta) (sta
 // cells that had to be reset to atmosphere. Both Fields must have the same
 // size; the call is safe to run concurrently on disjoint ranges.
 func (s *Solver) RecoverRange(cons, prim *state.Fields, lo, hi int) int {
+	return s.RecoverRangeEx(cons, prim, lo, hi, nil, true).Failures
+}
+
+// RangeResult reports the outcome of one RecoverRangeEx call.
+type RangeResult struct {
+	// Failures is the number of cells whose inversion failed.
+	Failures int
+	// FirstIdx is the flat index of the lowest failing cell, or -1.
+	FirstIdx int
+	// FirstCons is the conserved state of that cell as it was *before*
+	// any atmosphere reset — the real failure, preserved for diagnostics.
+	FirstCons state.Cons
+}
+
+// RecoverRangeEx is RecoverRange with two extra controls for the
+// a posteriori fail-safe machinery:
+//
+//   - mask, when non-nil, gets mask[i] = 1 for every failing cell (cells
+//     that recover are left untouched — callers own the clearing);
+//   - reset = false leaves failing conserved cells untouched ("flagging
+//     mode": the caller will repair them from pre-stage data), writing
+//     only the atmosphere placeholder into prim; reset = true resyncs
+//     them to the atmosphere, matching RecoverRange.
+//
+// The result carries the pre-reset conserved state of the first failing
+// cell so validation errors can report what actually failed, not the
+// atmosphere it was overwritten with.
+func (s *Solver) RecoverRangeEx(cons, prim *state.Fields, lo, hi int, mask []uint8, reset bool) RangeResult {
 	if cons.N != prim.N {
 		panic("c2p: RecoverRange size mismatch")
 	}
@@ -396,19 +425,27 @@ func (s *Solver) RecoverRange(cons, prim *state.Fields, lo, hi int) int {
 	}
 	gamma := s.idealGamma()
 	var st statDelta
-	failures := 0
+	res := RangeResult{FirstIdx: -1}
 	for i := lo; i < hi; i++ {
 		c := cons.GetCons(i)
 		guess := prim.Comp[state.IP][i]
 		p, err := s.recover(c, guess, gamma, &st)
 		if err != nil {
-			failures++
-			// Resync the conserved state with the atmosphere so the next
-			// step starts from a consistent pair.
-			cons.SetCons(i, p.ToCons(s.EOS))
+			if res.Failures == 0 {
+				res.FirstIdx, res.FirstCons = i, c
+			}
+			res.Failures++
+			if mask != nil {
+				mask[i] = 1
+			}
+			if reset {
+				// Resync the conserved state with the atmosphere so the next
+				// step starts from a consistent pair.
+				cons.SetCons(i, p.ToCons(s.EOS))
+			}
 		}
 		prim.SetPrim(i, p)
 	}
 	s.Stat.flush(&st)
-	return failures
+	return res
 }

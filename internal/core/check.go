@@ -28,12 +28,24 @@ type StateError struct {
 	NegDens   int
 	NegEnergy int
 	// C2PResets counts cells the stage's primitive recovery had to reset
-	// to atmosphere (the c2p root-find failed there). Note the reset
-	// rewrites the offending conserved state, so these cells pass the
-	// scans above — the count is the only trace of the failure.
+	// to atmosphere (the c2p root-find failed there). The reset rewrites
+	// the offending conserved state, so these cells pass the scans above;
+	// First and FirstCons preserve what actually failed.
 	C2PResets int
 	// First is the (i,j,k) grid index of the lowest offending cell.
 	First [3]int
+	// FirstCons is the conserved state of that cell before any rewrite:
+	// for C2PResets violations it is the pre-atmosphere-reset state the
+	// inversion rejected, so retries and diagnostics see the real failure
+	// rather than the floor state it was replaced with.
+	FirstCons state.Cons
+	// Troubled is the number of cells the a posteriori fail-safe detector
+	// flagged when the step was aborted instead of locally repaired
+	// (fraction over Config.FailSafeMaxFrac, or the repair itself failed).
+	Troubled int
+	// RepairFailed marks a fail-safe local repair that could not restore
+	// an admissible state; the caller must fall back to a global retry.
+	RepairFailed bool
 }
 
 // Error implements the error interface.
@@ -41,6 +53,14 @@ func (e *StateError) Error() string {
 	where := "state scan"
 	if e.Stage > 0 {
 		where = fmt.Sprintf("RK stage %d", e.Stage)
+	}
+	if e.RepairFailed {
+		return fmt.Sprintf("core: fail-safe local repair failed after %s: %d troubled, %d unrecoverable cells (first at %v)",
+			where, e.Troubled, e.C2PResets, e.First)
+	}
+	if e.Troubled > 0 {
+		return fmt.Sprintf("core: fail-safe demoted after %s: %d troubled cells exceed the policy fraction",
+			where, e.Troubled)
 	}
 	return fmt.Sprintf("core: invalid state after %s: %d non-finite, %d D<=0, %d tau<=0, %d c2p-reset cells (first at %v)",
 		where, e.NonFinite, e.NegDens, e.NegEnergy, e.C2PResets, e.First)
@@ -115,6 +135,7 @@ func (s *Solver) checkState(stage int) error {
 		NonFinite: int(nonFinite.Load()),
 		NegDens:   int(negD.Load()),
 		NegEnergy: int(negTau.Load()),
+		FirstCons: g.U.GetCons(idx),
 		First: [3]int{
 			idx % g.TotalX,
 			(idx / g.TotalX) % g.TotalY,

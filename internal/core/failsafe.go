@@ -1,0 +1,576 @@
+package core
+
+// A posteriori subcell fail-safe limiting (MOOD-style troubled-cell
+// fallback). After each candidate RK stage the detector flags troubled
+// cells — non-finite or positivity-violating conserved states, failed
+// c2p inversions, and relaxed discrete-maximum-principle (DMP) rho/P
+// jumps — and instead of rejecting the whole step the solver repairs
+// locally:
+//
+//   - every face adjacent to a flagged cell has its high-order flux
+//     replaced by the first-order PCM+HLL flux, computed from the same
+//     pre-stage primitives the original sweep used;
+//   - unflagged neighbours of a flagged cell receive the flux
+//     *difference* (low − high) through the shared face, so both sides
+//     of every face see the same corrected flux and conservation stays
+//     exact (flux replacement, not cell replacement);
+//   - flagged cells themselves are re-updated from the clean pre-stage
+//     snapshot with the first-order divergence (their candidate value
+//     may be NaN, so a differential patch would poison them).
+//
+// A stage with zero troubled cells performs the identical arithmetic of
+// the plain pipeline (the detector only reads) and allocates nothing:
+// all buffers are preallocated and the detector chunks are pre-bound,
+// following the pooled-scratch discipline of the step pipeline.
+//
+// See docs/RESILIENCE.md ("Local repair") for the fault model and the
+// conservation argument, and docs/PERFORMANCE.md for the mask-buffer
+// allocation rules.
+
+import (
+	"math"
+
+	"rhsc/internal/eos"
+	"rhsc/internal/grid"
+	"rhsc/internal/riemann"
+	"rhsc/internal/state"
+)
+
+// fsOn reports whether the fail-safe pipeline is active.
+func (s *Solver) fsOn() bool { return s.Cfg.FailSafe }
+
+// initFS allocates the fail-safe buffers and binds the detector chunks.
+// Called lazily so Config.FailSafe may be toggled after New.
+func (s *Solver) initFS() {
+	g := s.G
+	n := g.NCells()
+	s.fsMask = make([]uint8, n)
+	s.fsTouched = make([]uint8, n)
+	s.fsU = state.NewFields(n)
+	s.fsW = state.NewFields(n)
+	s.fsGamma = 0
+	if ig, ok := s.Cfg.EOS.(eos.IdealGas); ok {
+		s.fsGamma = ig.GammaAd
+	}
+	s.fsStrides = s.fsStrides[:0]
+	for _, d := range g.ActiveDims() {
+		switch d {
+		case state.X:
+			s.fsStrides = append(s.fsStrides, 1)
+		case state.Y:
+			s.fsStrides = append(s.fsStrides, g.TotalX)
+		default:
+			s.fsStrides = append(s.fsStrides, g.TotalX*g.TotalY)
+		}
+	}
+	s.fsScanChunk = func(lo, hi int) {
+		gr := s.G
+		ny := gr.JEnd() - gr.JBeg()
+		mask := s.fsMask
+		u := gr.U
+		for r := lo; r < hi; r++ {
+			j := gr.JBeg() + r%ny
+			k := gr.KBeg() + r/ny
+			row := (k*gr.TotalY + j) * gr.TotalX
+			for i := gr.IBeg(); i < gr.IEnd(); i++ {
+				idx := row + i
+				bad := false
+				for c := 0; c < state.NComp; c++ {
+					v := u.Comp[c][idx]
+					if math.IsNaN(v) || math.IsInf(v, 0) {
+						bad = true
+						break
+					}
+				}
+				if !bad && (u.Comp[state.ID][idx] <= 0 || u.Comp[state.ITau][idx] <= 0) {
+					bad = true
+				}
+				if bad {
+					mask[idx] = 1
+				}
+			}
+		}
+	}
+	s.fsDMPChunk = func(lo, hi int) {
+		gr := s.G
+		ny := gr.JEnd() - gr.JBeg()
+		mask := s.fsMask
+		relax := s.Cfg.FailSafeRelax
+		if relax == 0 {
+			relax = 1.0
+		}
+		rhoC, pC := gr.W.Comp[state.IRho], gr.W.Comp[state.IP]
+		rho0, p0 := s.fsW.Comp[state.IRho], s.fsW.Comp[state.IP]
+		count := 0
+		for r := lo; r < hi; r++ {
+			j := gr.JBeg() + r%ny
+			k := gr.KBeg() + r/ny
+			row := (k*gr.TotalY + j) * gr.TotalX
+			for i := gr.IBeg(); i < gr.IEnd(); i++ {
+				idx := row + i
+				if mask[idx] != 0 {
+					count++
+					continue
+				}
+				if fsDMPViolates(rho0, rhoC[idx], idx, s.fsStrides, relax) ||
+					fsDMPViolates(p0, pC[idx], idx, s.fsStrides, relax) {
+					mask[idx] = 1
+					count++
+				}
+			}
+		}
+		if count > 0 {
+			s.fsCount.Add(int64(count))
+		}
+	}
+}
+
+// fsDMPViolates applies the relaxed discrete maximum principle: the
+// candidate value v is admissible when it lies inside the pre-stage face
+// neighbourhood's [min, max] widened by relax·(max−min) plus a relative
+// cushion. The cushion must absorb normal smooth evolution in locally
+// flat fields — there mx−mn vanishes and the range term gives no slack,
+// so a uniform-pressure region would flag on any per-step change; 1e-3
+// of the local magnitude tolerates that while staying orders of
+// magnitude below the corruption the detector exists to catch.
+func fsDMPViolates(ref []float64, v float64, idx int, strides []int, relax float64) bool {
+	mn, mx := ref[idx], ref[idx]
+	for _, st := range strides {
+		if a := ref[idx-st]; a < mn {
+			mn = a
+		} else if a > mx {
+			mx = a
+		}
+		if a := ref[idx+st]; a < mn {
+			mn = a
+		} else if a > mx {
+			mx = a
+		}
+	}
+	delta := relax*(mx-mn) + 1e-3*math.Max(math.Abs(mn), math.Abs(mx))
+	return v < mn-delta || v > mx+delta
+}
+
+// FSBegin snapshots the pre-stage state (U and W, ghosts included) the
+// detector and repair reference. Call after ComputeRHS and before the
+// stage's conserved update; the AMR drivers call it per leaf.
+func (s *Solver) FSBegin() {
+	if s.fsMask == nil {
+		s.initFS()
+	}
+	s.fsU.CopyFrom(s.G.U)
+	s.fsW.CopyFrom(s.G.W)
+}
+
+// FSDetect runs the troubled-cell detector on the candidate stage: a
+// conserved-state scan (NaN/Inf, D<=0, tau<=0), the stage's primitive
+// recovery in flagging mode (failed inversions mark the mask and leave U
+// untouched), and the relaxed-DMP rho/P admissibility check against the
+// pre-stage neighbourhood. It returns the number of flagged interior
+// cells; with zero the solver state is exactly what the plain stage
+// recovery produces — bitwise — and nothing was allocated.
+func (s *Solver) FSDetect() int {
+	g := s.G
+	clear(s.fsMask)
+	s.fsCount.Store(0)
+	ny := g.JEnd() - g.JBeg()
+	nz := g.KEnd() - g.KBeg()
+	s.parallelFor(ny*nz, s.fsScanChunk)
+	s.recoverPrims(true)
+	s.parallelFor(ny*nz, s.fsDMPChunk)
+	return int(s.fsCount.Load())
+}
+
+// FSMask exposes the troubled-cell mask (full grid layout, ghosts
+// included), allocating the fail-safe buffers on first use — halo
+// replicas in a distributed run install neighbour masks without ever
+// running the detector themselves. The AMR drivers read interior flags
+// and write ghost-band entries of faces marked grid.External before
+// FSRepair, mirroring the primitive halo exchange.
+func (s *Solver) FSMask() []uint8 {
+	if s.fsMask == nil {
+		s.initFS()
+	}
+	return s.fsMask
+}
+
+// fsStagePost validates a candidate stage through the fail-safe
+// pipeline: detect, optionally demote on the troubled fraction, repair.
+// (a, b) are the stage's SSP combination coefficients — the candidate
+// was U = a·u0 + b·(U_pre + dt·L).
+func (s *Solver) fsStagePost(stage int, dt, a, b float64) error {
+	troubled := s.FSDetect()
+	if troubled == 0 {
+		if s.Cfg.StrictChecks {
+			return s.checkState(stage)
+		}
+		return nil
+	}
+	s.St.Troubled.Add(int64(troubled))
+	if maxFrac := s.Cfg.FailSafeMaxFrac; maxFrac > 0 {
+		if frac := float64(troubled) / float64(s.G.Nx*s.G.Ny*s.G.Nz); frac > maxFrac {
+			return &StateError{Stage: stage, Troubled: troubled}
+		}
+	}
+	if err := s.FSRepair(stage, dt, a, b); err != nil {
+		if se, ok := err.(*StateError); ok {
+			se.Troubled = troubled
+		}
+		return err
+	}
+	s.St.Repaired.Add(int64(troubled))
+	if s.Cfg.StrictChecks {
+		return s.checkState(stage)
+	}
+	return nil
+}
+
+// FSRepair re-updates the flagged cells of the candidate stage with
+// first-order PCM+HLL fluxes and applies the matching flux differences
+// to their unflagged neighbours, then re-recovers every touched cell.
+// The mask must be current (FSDetect, plus any external ghost-band fill
+// by an AMR/distributed driver); (a, b) are the stage's SSP combination
+// coefficients and dt its step. The repair runs serially — it is the
+// rare path, and strict determinism makes repaired runs reproducible and
+// partition invariant.
+func (s *Solver) FSRepair(stage int, dt, a, b float64) error {
+	g := s.G
+	s.fsFillMaskBCs()
+	if s.Cfg.MaskExchange != nil {
+		s.Cfg.MaskExchange(s.fsMask)
+	}
+	clear(s.fsTouched)
+
+	scO := s.getScratch()
+	scL := s.getScratch()
+	defer s.putScratch(scO)
+	defer s.putScratch(scL)
+
+	for di, d := range g.ActiveDims() {
+		overwrite := di == 0
+		n := s.NumStrips(d)
+		for r := 0; r < n; r++ {
+			switch d {
+			case state.X:
+				ny := g.JEnd() - g.JBeg()
+				j := g.JBeg() + r%ny
+				k := g.KBeg() + r/ny
+				s.fsRepairRow(d, g.Idx(0, j, k), 1, g.TotalX, g.IBeg(), g.IEnd(), g.Dx,
+					overwrite, dt, b, scO, scL)
+			case state.Y:
+				i := g.IBeg() + r%g.Nx
+				k := g.KBeg() + r/g.Nx
+				s.fsRepairRow(d, g.Idx(i, 0, k), g.TotalX, g.TotalY, g.JBeg(), g.JEnd(), g.Dy,
+					overwrite, dt, b, scO, scL)
+			default:
+				i := g.IBeg() + r%g.Nx
+				j := g.JBeg() + r/g.Nx
+				s.fsRepairRow(d, g.Idx(i, j, 0), g.TotalX*g.TotalY, g.TotalZ, g.KBeg(), g.KEnd(), g.Dz,
+					overwrite, dt, b, scO, scL)
+			}
+		}
+	}
+
+	// Flagged cells: re-update from the clean pre-stage snapshot with the
+	// accumulated first-order divergence (plus the source term, evaluated
+	// from the same pre-stage primitives the original RHS used).
+	mask, touched := s.fsMask, s.fsTouched
+	src := s.Cfg.Source
+	u, u0, fu, rhs := g.U, s.u0, s.fsU, s.rhs
+	g.ForEachInterior(func(idx, i, j, k int) {
+		if mask[idx] == 0 {
+			return
+		}
+		if src != nil {
+			c := src(g.X(i), g.Y(j), g.Z(k), s.fsW.GetPrim(idx))
+			rhs.Comp[state.ID][idx] += c.D
+			rhs.Comp[state.ISx][idx] += c.Sx
+			rhs.Comp[state.ISy][idx] += c.Sy
+			rhs.Comp[state.ISz][idx] += c.Sz
+			rhs.Comp[state.ITau][idx] += c.Tau
+		}
+		for c := 0; c < state.NComp; c++ {
+			u.Comp[c][idx] = a*u0.Comp[c][idx] + b*(fu.Comp[c][idx]+dt*rhs.Comp[c][idx])
+		}
+		touched[idx] = 1
+	})
+
+	// Re-recover every touched cell, seeding the Newton guess with the
+	// pre-stage pressure: a halo replica of a repaired cell recovers the
+	// exchanged U with *its* current (pre-stage) pressure, so the owner
+	// must use the same guess for the roots — and hence the runs — to be
+	// bitwise rank-count invariant.
+	pW, pW0 := g.W.Comp[state.IP], s.fsW.Comp[state.IP]
+	failures := 0
+	firstIdx := -1
+	var firstCons state.Cons
+	g.ForEachInterior(func(idx, _, _, _ int) {
+		if touched[idx] == 0 {
+			return
+		}
+		pW[idx] = pW0[idx]
+		res := s.C2P.RecoverRangeEx(g.U, g.W, idx, idx+1, nil, false)
+		if res.Failures > 0 {
+			failures += res.Failures
+			if firstIdx < 0 {
+				firstIdx, firstCons = idx, res.FirstCons
+			}
+		}
+	})
+	if failures > 0 {
+		e := &StateError{Stage: stage, RepairFailed: true, C2PResets: failures, FirstCons: firstCons}
+		e.First = [3]int{firstIdx % g.TotalX, (firstIdx / g.TotalX) % g.TotalY,
+			firstIdx / (g.TotalX * g.TotalY)}
+		return e
+	}
+
+	g.ApplyBCs(g.W)
+	if s.Cfg.HaloExchange != nil {
+		s.Cfg.HaloExchange(g.W)
+	}
+	// The repair rewrote W at touched cells, so any in-pass CFL reduction
+	// folded by the detection recovery is stale.
+	s.cflValid = false
+	return nil
+}
+
+// fsRepairRow patches one strip: when any cell of the strip (including
+// the two face-adjacent ghosts) is flagged, it recomputes the strip's
+// original fluxes from the pre-stage primitives with the configured
+// kernel — bitwise the fluxes the sweep used — and the first-order
+// PCM+HLL fluxes, replaces the flux of every dirty face (a face with a
+// flagged cell on either side), applies the difference to unflagged
+// interior neighbours, and accumulates the first-order divergence of
+// flagged cells into s.rhs (overwriting on the first active direction,
+// exactly like the sweep).
+func (s *Solver) fsRepairRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
+	overwrite bool, dt, b float64, scO, scL *rowScratch) {
+
+	mask := s.fsMask
+	dirty := false
+	for i := cBeg - 1; i <= cEnd; i++ {
+		if mask[base+i*stride] != 0 {
+			dirty = true
+			break
+		}
+	}
+	if !dirty {
+		return
+	}
+
+	// Original high-order fluxes, recomputed from the pre-stage snapshot
+	// with the kernel the sweep used (identical inputs, identical code
+	// path — bitwise the same values).
+	uO := gatherRow(s.fsW, base, stride, n, scO)
+	switch s.fused {
+	case fusedPLMHLLC:
+		s.fillFluxPLMHLLC(d, uO, n, cBeg, cEnd, scO)
+	case fusedPCMHLL:
+		fillFluxPCMHLL(s.gamma, d, uO, cBeg, cEnd, scO)
+	default:
+		s.fillFluxGeneric(d, uO, n, cBeg, cEnd, scO)
+	}
+
+	// First-order fallback fluxes from the same pre-stage primitives.
+	uL := gatherRow(s.fsW, base, stride, n, scL)
+	if s.fsGamma > 0 {
+		fillFluxPCMHLL(s.fsGamma, d, uL, cBeg, cEnd, scL)
+	} else {
+		s.fillFluxLowGeneric(d, uL, cBeg, cEnd, scL)
+	}
+
+	g := s.G
+	touched := s.fsTouched
+	coef := b * dt / dx
+	for f := cBeg; f <= cEnd; f++ {
+		li := base + (f-1)*stride
+		ri := base + f*stride
+		lm, rm := mask[li] != 0, mask[ri] != 0
+		if !lm && !rm {
+			continue
+		}
+		// The left cell loses the face's flux, the right cell gains it;
+		// applying the same difference with opposite signs keeps the pair
+		// conservative to round-off. Flagged cells are skipped — they are
+		// rebuilt wholesale from the first-order divergence below.
+		for c := 0; c < state.NComp; c++ {
+			delta := scL.fx[c][f] - scO.fx[c][f]
+			if !lm && f-1 >= cBeg {
+				g.U.Comp[c][li] -= coef * delta
+			}
+			if !rm && f < cEnd {
+				g.U.Comp[c][ri] += coef * delta
+			}
+		}
+		if !lm && f-1 >= cBeg {
+			touched[li] = 1
+		}
+		if !rm && f < cEnd {
+			touched[ri] = 1
+		}
+	}
+
+	// First-order divergence of flagged cells into s.rhs, mirroring
+	// accumulateRow's overwrite/accumulate split so multi-dimensional
+	// contributions compose exactly like a sweep.
+	invDx := 1 / dx
+	rhs := s.rhs
+	for i := cBeg; i < cEnd; i++ {
+		idx := base + i*stride
+		if mask[idx] == 0 {
+			continue
+		}
+		for c := 0; c < state.NComp; c++ {
+			div := 0 - (scL.fx[c][i+1]-scL.fx[c][i])*invDx
+			if overwrite {
+				rhs.Comp[c][idx] = div
+			} else {
+				rhs.Comp[c][idx] += div
+			}
+		}
+	}
+}
+
+// fillFluxLowGeneric computes the first-order PCM+HLL fluxes for
+// non-Γ-law equations of state: face states are the adjacent cell
+// primitives (exactly recon.PCM) fed to the generic HLL solver.
+func (s *Solver) fillFluxLowGeneric(d state.Direction, u [state.NComp][]float64, cBeg, cEnd int,
+	sc *rowScratch) {
+
+	e := s.Cfg.EOS
+	var hll riemann.HLL
+	for f := cBeg; f <= cEnd; f++ {
+		pl := state.Prim{
+			Rho: u[state.IRho][f-1], Vx: u[state.IVx][f-1],
+			Vy: u[state.IVy][f-1], Vz: u[state.IVz][f-1], P: u[state.IP][f-1],
+		}
+		pr := state.Prim{
+			Rho: u[state.IRho][f], Vx: u[state.IVx][f],
+			Vy: u[state.IVy][f], Vz: u[state.IVz][f], P: u[state.IP][f],
+		}
+		fx := hll.Flux(e, pl, pr, d)
+		sc.fx[state.ID][f] = fx.D
+		sc.fx[state.ISx][f] = fx.Sx
+		sc.fx[state.ISy][f] = fx.Sy
+		sc.fx[state.ISz][f] = fx.Sz
+		sc.fx[state.ITau][f] = fx.Tau
+	}
+}
+
+// fsFillMaskBCs fills the ghost-band entries of the troubled-cell mask
+// for the grid's own boundary conditions, mirroring grid.ApplyBCs
+// (Outflow copies, Periodic wraps, Reflect mirrors — flags carry no
+// sign). Faces marked External (and Custom) are left untouched for the
+// driver's mask exchange, exactly like the primitive halo.
+func (s *Solver) fsFillMaskBCs() {
+	g := s.G
+	m := s.fsMask
+	ng := g.Ng
+	nx := g.Nx
+	for k := 0; k < g.TotalZ; k++ {
+		for j := 0; j < g.TotalY; j++ {
+			row := (k*g.TotalY + j) * g.TotalX
+			data := m[row : row+g.TotalX]
+			switch g.BCs[0][0] {
+			case grid.Outflow:
+				for i := 0; i < ng; i++ {
+					data[i] = data[ng]
+				}
+			case grid.Periodic:
+				for i := 0; i < ng; i++ {
+					data[i] = data[nx+i]
+				}
+			case grid.Reflect:
+				for i := 0; i < ng; i++ {
+					data[i] = data[2*ng-1-i]
+				}
+			}
+			switch g.BCs[0][1] {
+			case grid.Outflow:
+				for i := 0; i < ng; i++ {
+					data[ng+nx+i] = data[ng+nx-1]
+				}
+			case grid.Periodic:
+				for i := 0; i < ng; i++ {
+					data[ng+nx+i] = data[ng+i]
+				}
+			case grid.Reflect:
+				for i := 0; i < ng; i++ {
+					data[ng+nx+i] = data[ng+nx-1-i]
+				}
+			}
+		}
+	}
+	if g.Ny > 1 {
+		nyI := g.Ny
+		for k := 0; k < g.TotalZ; k++ {
+			for i := 0; i < g.TotalX; i++ {
+				at := func(j int) int { return (k*g.TotalY+j)*g.TotalX + i }
+				switch g.BCs[1][0] {
+				case grid.Outflow:
+					for j := 0; j < ng; j++ {
+						m[at(j)] = m[at(ng)]
+					}
+				case grid.Periodic:
+					for j := 0; j < ng; j++ {
+						m[at(j)] = m[at(nyI+j)]
+					}
+				case grid.Reflect:
+					for j := 0; j < ng; j++ {
+						m[at(j)] = m[at(2*ng-1-j)]
+					}
+				}
+				switch g.BCs[1][1] {
+				case grid.Outflow:
+					for j := 0; j < ng; j++ {
+						m[at(ng+nyI+j)] = m[at(ng+nyI-1)]
+					}
+				case grid.Periodic:
+					for j := 0; j < ng; j++ {
+						m[at(ng+nyI+j)] = m[at(ng+j)]
+					}
+				case grid.Reflect:
+					for j := 0; j < ng; j++ {
+						m[at(ng+nyI+j)] = m[at(ng+nyI-1-j)]
+					}
+				}
+			}
+		}
+	}
+	if g.Nz > 1 {
+		nzI := g.Nz
+		for j := 0; j < g.TotalY; j++ {
+			for i := 0; i < g.TotalX; i++ {
+				at := func(k int) int { return (k*g.TotalY+j)*g.TotalX + i }
+				switch g.BCs[2][0] {
+				case grid.Outflow:
+					for k := 0; k < ng; k++ {
+						m[at(k)] = m[at(ng)]
+					}
+				case grid.Periodic:
+					for k := 0; k < ng; k++ {
+						m[at(k)] = m[at(nzI+k)]
+					}
+				case grid.Reflect:
+					for k := 0; k < ng; k++ {
+						m[at(k)] = m[at(2*ng-1-k)]
+					}
+				}
+				switch g.BCs[2][1] {
+				case grid.Outflow:
+					for k := 0; k < ng; k++ {
+						m[at(ng+nzI+k)] = m[at(ng+nzI-1)]
+					}
+				case grid.Periodic:
+					for k := 0; k < ng; k++ {
+						m[at(ng+nzI+k)] = m[at(ng+k)]
+					}
+				case grid.Reflect:
+					for k := 0; k < ng; k++ {
+						m[at(ng+nzI+k)] = m[at(ng+nzI-1-k)]
+					}
+				}
+			}
+		}
+	}
+}

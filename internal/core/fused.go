@@ -69,6 +69,21 @@ func (s *Solver) fusedSweepRow(d state.Direction, base, stride, n, cBeg, cEnd in
 	sc *rowScratch, rhs *state.Fields, overwrite bool) {
 
 	u := gatherRow(s.G.W, base, stride, n, sc)
+
+	s.fillFluxPLMHLLC(d, u, n, cBeg, cEnd, sc)
+
+	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
+
+	if s.trc != nil {
+		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
+	}
+}
+
+// fillFluxPLMHLLC is the flux half of fusedSweepRow, shared with the
+// fail-safe repair so recomputed fluxes are bitwise identical.
+func (s *Solver) fillFluxPLMHLLC(d state.Direction, u [state.NComp][]float64, n, cBeg, cEnd int,
+	sc *rowScratch) {
+
 	plm := recon.PLM{Lim: recon.MonotonizedCentral}
 	for c := 0; c < state.NComp; c++ {
 		plm.Reconstruct(u[c], sc.fl[c][:n+1], sc.fr[c][:n+1])
@@ -106,12 +121,6 @@ func (s *Solver) fusedSweepRow(d state.Direction, base, stride, n, cBeg, cEnd in
 		sc.fx[state.ISz][f] = fsz
 		sc.fx[state.ITau][f] = ftau
 	}
-
-	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
-
-	if s.trc != nil {
-		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
-	}
 }
 
 // fusedPCMHLLRow mirrors sweepRow for the PCM+HLL configuration — the
@@ -125,7 +134,22 @@ func (s *Solver) fusedPCMHLLRow(d state.Direction, base, stride, n, cBeg, cEnd i
 
 	u := gatherRow(s.G.W, base, stride, n, sc)
 
-	gamma := s.gamma
+	fillFluxPCMHLL(s.gamma, d, u, cBeg, cEnd, sc)
+
+	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
+
+	if s.trc != nil {
+		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
+	}
+}
+
+// fillFluxPCMHLL is the flux half of fusedPCMHLLRow. Besides backing the
+// fused PCM+HLL sweep it is the fail-safe repair's low-order flux kernel
+// for Γ-law configurations, so a repaired cell's fallback update is
+// bitwise the flux the global PCM+HLL fallback scheme would have used.
+func fillFluxPCMHLL(gamma float64, d state.Direction, u [state.NComp][]float64, cBeg, cEnd int,
+	sc *rowScratch) {
+
 	var L, R fusedState
 	for f := cBeg; f <= cEnd; f++ {
 		pl := fusedPrim{
@@ -144,12 +168,6 @@ func (s *Solver) fusedPCMHLLRow(d state.Direction, base, stride, n, cBeg, cEnd i
 		sc.fx[state.ISy][f] = fsy
 		sc.fx[state.ISz][f] = fsz
 		sc.fx[state.ITau][f] = ftau
-	}
-
-	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
-
-	if s.trc != nil {
-		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
 	}
 }
 

@@ -55,6 +55,14 @@ func TestStepZeroAllocs(t *testing.T) {
 			c.Recon = recon.PCM{}
 			c.Riemann = riemann.HLL{}
 		}},
+		// The fail-safe detector rides every stage of a clean run; the
+		// zero-troubled steady state must stay allocation-free (mask and
+		// snapshot buffers are allocated once, detector chunks pre-bound).
+		{"failsafe-2d", testprob.Blast2D, 48, func(c *Config) { c.FailSafe = true }},
+		{"failsafe-fused-2d", testprob.Blast2D, 48, func(c *Config) {
+			c.Fused = true
+			c.FailSafe = true
+		}},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"math"
 	"runtime"
+	"sync"
 	"sync/atomic"
 
 	"rhsc/internal/c2p"
@@ -109,6 +110,35 @@ type Config struct {
 	// tolerates under StrictChecks before the step is declared violated.
 	// The default 0 treats any failed inversion as a fault.
 	StrictC2PLimit int
+	// FailSafe enables the a posteriori subcell fail-safe pipeline: after
+	// every candidate RK stage a detector flags troubled cells (NaN/Inf,
+	// D<=0, tau<=0, failed c2p inversion, relaxed-admissibility rho/P
+	// jumps) and the solver re-updates only those cells with first-order
+	// PCM+HLL fluxes, replacing the troubled faces' fluxes on both sides
+	// so conservation stays exact (see docs/RESILIENCE.md). A stage with
+	// zero troubled cells is bitwise identical to the plain pipeline.
+	FailSafe bool
+	// FailSafeRelax scales the relaxed discrete-maximum-principle bound of
+	// the detector: a candidate rho or P outside the pre-stage face
+	// neighbourhood's [min, max] widened by Relax*(max-min) plus a 1e-6
+	// relative cushion is troubled. Zero selects the default 1.0.
+	FailSafeRelax float64
+	// FailSafeMaxFrac, when positive, demotes the stage to a hard
+	// *StateError (for the caller's global retry) when the troubled
+	// fraction of interior cells exceeds it — a failure that widespread is
+	// not local. Zero never demotes on fraction.
+	FailSafeMaxFrac float64
+	// MaskExchange, when non-nil, is called by the fail-safe repair with
+	// the troubled-cell mask (full grid layout, ghosts included) after the
+	// local boundary fill, so a distributed driver can fill ghost-band
+	// mask entries of faces marked grid.External with its neighbours'
+	// flags — the cross-rank analogue of HaloExchange.
+	MaskExchange func(mask []uint8)
+	// FaultHook, when non-nil, is called after every candidate RK stage
+	// update with the stage index and the conserved field, before any
+	// validation or fail-safe detection. Deterministic fault injectors use
+	// it to corrupt the in-flight stage (package resilience).
+	FaultHook func(stage int, u *state.Fields)
 }
 
 // DefaultConfig returns the configuration used throughout the paper's
@@ -130,6 +160,8 @@ type Stats struct {
 	RHSEvals    atomic.Int64 // right-hand-side evaluations
 	ZoneUpdates atomic.Int64 // interior zones × RHS evaluations
 	C2PResets   atomic.Int64 // cells reset to atmosphere during recovery
+	Troubled    atomic.Int64 // cells flagged by the fail-safe detector
+	Repaired    atomic.Int64 // flagged cells re-updated by the local repair
 }
 
 // Solver advances one grid in time.
@@ -163,6 +195,22 @@ type Solver struct {
 	curOverwrite bool
 	recAccum     bool
 	recResets    atomic.Int64
+	recFlagging  bool // recovery flags failures instead of resetting (fail-safe)
+	recMu        sync.Mutex
+	recFirstIdx  int // flat index of the lowest failed inversion, -1 if none
+	recFirstCons state.Cons
+
+	// Fail-safe pipeline state (Config.FailSafe; see failsafe.go). All
+	// buffers are allocated once so the zero-troubled steady state stays
+	// allocation-free.
+	fsMask    []uint8       // troubled-cell mask, full grid layout
+	fsTouched []uint8       // cells whose U the repair rewrote
+	fsU       *state.Fields // pre-stage conserved snapshot
+	fsW       *state.Fields // pre-stage primitive snapshot
+	fsGamma   float64       // Γ of the ideal gas for the fused low-order flux, else 0
+	fsStrides []int         // flat-index strides of the active dims (DMP neighbourhood)
+	fsScanChunk, fsDMPChunk func(lo, hi int)
+	fsCount                 atomic.Int64
 
 	// In-pass CFL reduction state: RecoverPrimitives, when armed via
 	// cflAccum (Step arms its final stage), folds the per-row max signal
@@ -250,17 +298,37 @@ func New(g *grid.Grid, cfg Config) (*Solver, error) {
 		gr := s.G
 		ny := gr.JEnd() - gr.JBeg()
 		n := 0
+		firstIdx := -1
+		var firstCons state.Cons
+		mask := s.fsMask
+		reset := true
+		if s.recFlagging {
+			reset = false
+		} else {
+			mask = nil
+		}
 		for r := lo; r < hi; r++ {
 			j := gr.JBeg() + r%ny
 			k := gr.KBeg() + r/ny
 			row := (k*gr.TotalY + j) * gr.TotalX
-			n += s.C2P.RecoverRange(gr.U, gr.W, row+gr.IBeg(), row+gr.IEnd())
+			res := s.C2P.RecoverRangeEx(gr.U, gr.W, row+gr.IBeg(), row+gr.IEnd(), mask, reset)
+			if res.Failures > 0 {
+				n += res.Failures
+				if firstIdx < 0 || res.FirstIdx < firstIdx {
+					firstIdx, firstCons = res.FirstIdx, res.FirstCons
+				}
+			}
 			if s.recAccum {
 				s.cflRows[r] = s.rowCFL(row)
 			}
 		}
 		if n > 0 {
 			s.recResets.Add(int64(n))
+			s.recMu.Lock()
+			if s.recFirstIdx < 0 || firstIdx < s.recFirstIdx {
+				s.recFirstIdx, s.recFirstCons = firstIdx, firstCons
+			}
+			s.recMu.Unlock()
 		}
 	}
 	s.cflChunk = func(lo, hi int) {
@@ -358,6 +426,14 @@ func (s *Solver) parallelFor(n int, fn func(lo, hi int)) {
 // invalidates the cache instead: it rewrote W, so a cached reduction
 // would be stale.
 func (s *Solver) RecoverPrimitives() int {
+	return s.recoverPrims(false)
+}
+
+// recoverPrims is RecoverPrimitives with an optional flagging mode: the
+// fail-safe detector recovers with failures marking s.fsMask and leaving
+// the conserved state untouched (the repair recomputes those cells from
+// pre-stage data), instead of the default atmosphere reset.
+func (s *Solver) recoverPrims(flagging bool) int {
 	g := s.G
 	ny := g.JEnd() - g.JBeg()
 	nz := g.KEnd() - g.KBeg()
@@ -365,8 +441,11 @@ func (s *Solver) RecoverPrimitives() int {
 	s.cflAccum = false
 	s.cflValid = false
 	s.recAccum = accum
+	s.recFlagging = flagging
 	s.recResets.Store(0)
+	s.recFirstIdx = -1
 	s.parallelFor(ny*nz, s.recoverChunk)
+	s.recFlagging = false
 	if accum {
 		s.cflMax = s.combineCFL()
 		s.cflValid = true
@@ -379,7 +458,9 @@ func (s *Solver) RecoverPrimitives() int {
 		s.tracerRecover()
 	}
 	r := int(s.recResets.Load())
-	s.St.C2PResets.Add(int64(r))
+	if !flagging {
+		s.St.C2PResets.Add(int64(r))
+	}
 	return r
 }
 
@@ -596,15 +677,12 @@ func accumulateRow(sc *rowScratch, rhs *state.Fields, base, stride, cBeg, cEnd i
 	}
 }
 
-// sweepRow performs one strip: gather primitives along the row starting at
-// flat index base with the given stride and length n, reconstruct, solve
-// the face Riemann problems, and accumulate flux differences for interior
-// cells [cBeg, cEnd).
-func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
-	sc *rowScratch, rhs *state.Fields, overwrite bool) {
-
-	// Gather the strip (aliased for x, strided copy for y/z).
-	u := gatherRow(s.G.W, base, stride, n, sc)
+// fillFluxGeneric reconstructs the gathered strip u with the configured
+// scheme and writes the faces' Riemann fluxes into sc.fx — the flux half
+// of sweepRow, shared with the fail-safe repair so recomputed fluxes are
+// bitwise identical to the sweep's.
+func (s *Solver) fillFluxGeneric(d state.Direction, u [state.NComp][]float64, n, cBeg, cEnd int,
+	sc *rowScratch) {
 
 	// Reconstruct every component.
 	for c := 0; c < state.NComp; c++ {
@@ -644,6 +722,19 @@ func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx
 		sc.fx[state.ISz][f] = fx.Sz
 		sc.fx[state.ITau][f] = fx.Tau
 	}
+}
+
+// sweepRow performs one strip: gather primitives along the row starting at
+// flat index base with the given stride and length n, reconstruct, solve
+// the face Riemann problems, and accumulate flux differences for interior
+// cells [cBeg, cEnd).
+func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
+	sc *rowScratch, rhs *state.Fields, overwrite bool) {
+
+	// Gather the strip (aliased for x, strided copy for y/z).
+	u := gatherRow(s.G.W, base, stride, n, sc)
+
+	s.fillFluxGeneric(d, u, n, cBeg, cEnd, sc)
 
 	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
 
@@ -750,6 +841,14 @@ func (s *Solver) Step(dt float64) error {
 	if dt <= 0 {
 		return fmt.Errorf("core: non-positive dt %v", dt)
 	}
+	if s.Cfg.FailSafe {
+		if s.trc != nil {
+			return errors.New("core: FailSafe does not support the passive tracer")
+		}
+		if s.fsMask == nil {
+			s.initFS()
+		}
+	}
 	u := s.G.U
 
 	// The final stage's recovery reads exactly the primitives the next
@@ -820,9 +919,19 @@ func (s *Solver) Step(dt float64) error {
 // first stage of every SSP integrator.
 func (s *Solver) eulerStage(dt float64) error {
 	s.ComputeRHS(s.rhs)
+	fs := s.fsOn()
+	if fs {
+		s.FSBegin()
+	}
 	s.G.U.AXPY(dt, s.rhs)
 	if s.trc != nil {
 		axpyScalar(s.trc.cons, dt, s.trc.rhs)
+	}
+	if hook := s.Cfg.FaultHook; hook != nil {
+		hook(1, s.G.U)
+	}
+	if fs {
+		return s.fsStagePost(1, dt, 0, 1)
 	}
 	return s.stageCheck(1, s.RecoverPrimitives())
 }
@@ -832,9 +941,19 @@ func (s *Solver) eulerStage(dt float64) error {
 // refreshes primitives.
 func (s *Solver) combineStage(stage int, dt, a, b float64) error {
 	s.ComputeRHS(s.rhs)
+	fs := s.fsOn()
+	if fs {
+		s.FSBegin()
+	}
 	s.G.U.LinComb2AXPY(a, s.u0, b, dt, s.rhs)
 	if s.trc != nil {
 		lincomb2AXPYScalar(s.trc.cons, a, s.trc.u0, b, dt, s.trc.rhs)
+	}
+	if hook := s.Cfg.FaultHook; hook != nil {
+		hook(stage, s.G.U)
+	}
+	if fs {
+		return s.fsStagePost(stage, dt, a, b)
 	}
 	return s.stageCheck(stage, s.RecoverPrimitives())
 }
@@ -847,7 +966,13 @@ func (s *Solver) stageCheck(stage, resets int) error {
 		return nil
 	}
 	if resets > s.Cfg.StrictC2PLimit {
-		return &StateError{Stage: stage, C2PResets: resets}
+		e := &StateError{Stage: stage, C2PResets: resets}
+		if idx := s.recFirstIdx; idx >= 0 {
+			g := s.G
+			e.First = [3]int{idx % g.TotalX, (idx / g.TotalX) % g.TotalY, idx / (g.TotalX * g.TotalY)}
+			e.FirstCons = s.recFirstCons
+		}
+		return e
 	}
 	return s.checkState(stage)
 }

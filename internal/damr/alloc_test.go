@@ -4,26 +4,20 @@ import (
 	"math"
 	"testing"
 
+	"rhsc/internal/amr"
 	"rhsc/internal/cluster"
 	"rhsc/internal/testprob"
 )
 
-// TestStepZeroAllocs pins the distributed pooling invariant: once the
-// epoch's halo send buffers are derived and the solvers' scratch pools
-// are warm, a lockstep step — stage advances, packed halo exchanges on
-// the pooled double buffers, combine, end-of-step sync with the armed
-// CFL reduction — performs zero heap allocations across both ranks.
-//
-// The dt collective (FTAllReduceMin) and the regrid/checkpoint phases
-// are outside this scope: they run at most once per step or per epoch
-// and inherently build survivor-set payloads.
+// measureStepAllocs drives persistent rank workers through warmed
+// lockstep steps and returns the steady-state allocations per step.
 //
 // testing.AllocsPerRun reads the global allocation counter, so the rank
 // goroutines are persistent workers driven over channels — a goroutine
 // spawn per measured run would be counted.
-func TestStepZeroAllocs(t *testing.T) {
+func measureStepAllocs(t *testing.T, cfg amr.Config) float64 {
+	t.Helper()
 	p := testprob.Blast2D
-	cfg := blastConfig()
 	const nbx, ranks = 4, 2
 	opts := Options{Ranks: ranks, Net: cluster.Infiniband(), Steps: 1}
 	if err := opts.validate(); err != nil {
@@ -45,7 +39,9 @@ func TestStepZeroAllocs(t *testing.T) {
 		starts[i] = make(chan float64)
 		go func(r *rankRun, start chan float64) {
 			for dt := range start {
-				r.step(dt)
+				if err := r.step(dt); err != nil {
+					t.Errorf("rank %d step: %v", r.rank, err)
+				}
 				done <- struct{}{}
 			}
 		}(r, starts[i])
@@ -77,8 +73,32 @@ func TestStepZeroAllocs(t *testing.T) {
 	for i := 0; i < 3; i++ { // warm the scratch pools and halo buffers
 		stepAll(dt)
 	}
-	allocs := testing.AllocsPerRun(5, func() { stepAll(dt) })
-	if allocs != 0 {
-		t.Errorf("steady-state distributed step allocates %.1f times, want 0", allocs)
-	}
+	return testing.AllocsPerRun(5, func() { stepAll(dt) })
+}
+
+// TestStepZeroAllocs pins the distributed pooling invariant: once the
+// epoch's halo send buffers are derived and the solvers' scratch pools
+// are warm, a lockstep step — stage advances, packed halo exchanges on
+// the pooled double buffers, combine, end-of-step sync with the armed
+// CFL reduction — performs zero heap allocations across both ranks.
+// The fail-safe case adds per-stage detection and the always-on packed
+// mask exchange, which must stay allocation-free while no cell is
+// flagged.
+//
+// The dt collective (FTAllReduceMin) and the regrid/checkpoint phases
+// are outside this scope: they run at most once per step or per epoch
+// and inherently build survivor-set payloads.
+func TestStepZeroAllocs(t *testing.T) {
+	t.Run("plain", func(t *testing.T) {
+		if allocs := measureStepAllocs(t, blastConfig()); allocs != 0 {
+			t.Errorf("steady-state distributed step allocates %.1f times, want 0", allocs)
+		}
+	})
+	t.Run("failsafe", func(t *testing.T) {
+		cfg := blastConfig()
+		cfg.Core.FailSafe = true
+		if allocs := measureStepAllocs(t, cfg); allocs != 0 {
+			t.Errorf("steady-state fail-safe step allocates %.1f times, want 0", allocs)
+		}
+	})
 }

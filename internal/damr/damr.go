@@ -136,6 +136,13 @@ type Result struct {
 	RecoveryVirtual float64
 	RecoveryReal    time.Duration
 
+	// TroubledCells and RepairedCells sum the fail-safe detector flags
+	// and local flux-replacement repairs over the owning ranks (zero
+	// unless the leaf method runs with core.Config.FailSafe). Like
+	// ZoneUpdates, a replayed recovery window re-earns its counts.
+	TroubledCells int64
+	RepairedCells int64
+
 	// Tree is rank 0's hierarchy with every leaf's final data gathered
 	// in, for validation against a single-rank run.
 	Tree *amr.Tree

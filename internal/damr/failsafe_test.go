@@ -1,0 +1,93 @@
+package damr
+
+import (
+	"math"
+	"testing"
+
+	"rhsc/internal/cluster"
+	"rhsc/internal/testprob"
+)
+
+// TestFaultFailSafeRankInvariance pins the distributed fail-safe: a
+// blast run whose tightened admissibility bound keeps the detector
+// firing (so steps really are repaired, across block and rank
+// boundaries) must reproduce the serial fail-safe tree bit-for-bit at
+// every rank count — same flagged-cell totals, same repairs, same
+// field. The mask exchange is what makes this hold: both owners of a
+// rank-boundary face see the same flags and recompute the same
+// corrected flux.
+func TestFaultFailSafeRankInvariance(t *testing.T) {
+	p := testprob.Blast2D
+	cfg := blastConfig()
+	cfg.Core.FailSafe = true
+	cfg.Core.FailSafeRelax = 0.05
+	const nbx, steps = 4, 10
+
+	ref := referenceRun(t, p, nbx, steps, cfg)
+	if ref.TroubledCells() == 0 {
+		t.Fatal("reference run never flagged a cell — the test exercises nothing")
+	}
+	if ref.RepairedCells() != ref.TroubledCells() {
+		t.Fatalf("reference repaired %d of %d flagged cells",
+			ref.RepairedCells(), ref.TroubledCells())
+	}
+
+	for _, ranks := range []int{1, 2, 4} {
+		res, err := Run(p, nbx, cfg, Options{
+			Ranks: ranks,
+			Mode:  cluster.Async,
+			Net:   cluster.Infiniband(),
+			Steps: steps,
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if res.TroubledCells != ref.TroubledCells() {
+			t.Errorf("ranks=%d: troubled %d, reference %d",
+				ranks, res.TroubledCells, ref.TroubledCells())
+		}
+		if res.RepairedCells != ref.RepairedCells() {
+			t.Errorf("ranks=%d: repaired %d, reference %d",
+				ranks, res.RepairedCells, ref.RepairedCells())
+		}
+		refMass := ref.TotalMass()
+		if rel := math.Abs(res.TotalMass-refMass) / refMass; rel > 1e-12 {
+			t.Errorf("ranks=%d: mass %v vs reference %v (rel %.3e)", ranks, res.TotalMass, refMass, rel)
+		}
+		linf, l1 := sampleL1(res.Tree, ref, p, 64)
+		if linf > 1e-12 || l1 > 1e-12 {
+			t.Errorf("ranks=%d: density mismatch Linf=%.3e L1=%.3e", ranks, linf, l1)
+		}
+	}
+}
+
+// TestFailSafeCleanRunMatchesPlain: with the fail-safe on but no cell
+// ever flagged, the distributed run must remain bitwise identical to
+// the plain distributed run — detection and the mask exchange are
+// read-only on the solution.
+func TestFailSafeCleanRunMatchesPlain(t *testing.T) {
+	p := testprob.Blast2D
+	const nbx, steps, ranks = 4, 6, 2
+
+	run := func(fs bool) *Result {
+		cfg := blastConfig()
+		cfg.Core.FailSafe = fs
+		res, err := Run(p, nbx, cfg, Options{Ranks: ranks, Net: cluster.Infiniband(), Steps: steps})
+		if err != nil {
+			t.Fatalf("failsafe=%v: %v", fs, err)
+		}
+		return res
+	}
+	plain, safe := run(false), run(true)
+	if safe.TroubledCells != 0 || safe.RepairedCells != 0 {
+		t.Fatalf("clean run flagged cells: troubled=%d repaired=%d",
+			safe.TroubledCells, safe.RepairedCells)
+	}
+	if plain.TotalMass != safe.TotalMass {
+		t.Errorf("mass diverged bitwise: %v vs %v", plain.TotalMass, safe.TotalMass)
+	}
+	linf, _ := sampleL1(plain.Tree, safe.Tree, p, 64)
+	if linf != 0 {
+		t.Errorf("density diverged bitwise: Linf=%.3e", linf)
+	}
+}

@@ -25,6 +25,7 @@ const (
 	tagMigrate    = 201
 	tagGather     = 202
 	tagCheckpoint = 203
+	tagFSMask     = 204
 )
 
 // epoch is the replicated picture of one partition generation: who owns
@@ -204,6 +205,23 @@ func (r *rankRun) setEpoch(ep *epoch) {
 			make([]float64, 0, size),
 		}
 	}
+	r.maskSend, r.maskPhase = nil, 0
+	if r.cfg.Core.FailSafe {
+		// Fail-safe runs swap troubled-cell masks over the same exchange
+		// plan every stage (packed 8 cells per word, ~1/40 of the halo
+		// payload); double-buffered by parity like haloSend.
+		r.maskSend = make(map[int][2][]float64, len(ep.peersOut))
+		for _, dst := range ep.peersOut {
+			words := 0
+			for _, i := range ep.sendTo[dst] {
+				words += (len(r.t.LeafFSMask(i)) + 7) / 8
+			}
+			r.maskSend[dst] = [2][]float64{
+				make([]float64, 0, words),
+				make([]float64, 0, words),
+			}
+		}
+	}
 }
 
 // rankRun is one rank's goroutine: a full tree replica advanced in
@@ -249,6 +267,8 @@ type rankRun struct {
 	// setEpoch re-derives the halo buffers whenever the plan changes.
 	haloSend  map[int][2][]float64
 	haloPhase int
+	maskSend  map[int][2][]float64 // fail-safe troubled-cell masks, same parity discipline
+	maskPhase int
 	migPack   map[int][]float64
 	ckPack    []float64
 	encBuf    bytes.Buffer
@@ -425,23 +445,91 @@ func (r *rankRun) exchangeHalos(stageZones bool) {
 		// next loop-top MaxDtOf is a cheap per-leaf combine.
 		t.ArmCFL(ep.mine)
 	}
-	t.SyncSubset(ep.fresh, ep.mine)
+	rec := ep.fresh
+	if stageZones && r.cfg.Core.FailSafe {
+		// The fail-safe stage already recovered every owned leaf (the
+		// detector's candidate recovery covers the interior; repair
+		// re-recovers the cells it touched), so only the halo replicas
+		// need the post-exchange recover. Re-recovering owners would not
+		// be bitwise neutral: a cell whose stored primitives were clamped
+		// (pressure floor, velocity cap) re-enters Newton from the
+		// clamped guess and drifts off the serial tree's bit pattern.
+		rec = ep.halo
+	}
+	t.SyncSubset(rec, ep.mine)
+}
+
+// exchangeMasks swaps the troubled-cell masks of boundary leaves with
+// every halo peer — unconditionally, so a replica's mask can never go
+// stale — and reports whether any local or received mask carries a
+// flag. The payload packs 8 mask bytes per float64 word into the
+// parity send buffers sized by setEpoch, so a clean steady-state stage
+// allocates nothing.
+func (r *rankRun) exchangeMasks(localTroubled int) bool {
+	t, ep := r.t, r.ep
+	par := r.maskPhase & 1
+	r.maskPhase++
+	for _, dst := range ep.peersOut {
+		pair := r.maskSend[dst]
+		buf := pair[par][:0]
+		for _, i := range ep.sendTo[dst] {
+			buf = appendMaskWords(buf, t.LeafFSMask(i))
+		}
+		pair[par] = buf
+		r.maskSend[dst] = pair
+		r.comm.Send(dst, tagFSMask, buf, r.clock)
+	}
+	dirty := localTroubled > 0
+	for _, src := range ep.peersIn {
+		data, stamp := r.comm.Recv(src, tagFSMask)
+		off := 0
+		for _, j := range ep.recvFrom[src] {
+			m := t.LeafFSMask(j)
+			if unpackMaskWords(data[off:], m) {
+				dirty = true
+			}
+			off += (len(m) + 7) / 8
+		}
+		if avail := stamp + r.opts.Net.Cost(len(data)*8); avail > r.clock {
+			r.clock = avail
+		}
+	}
+	return dirty
 }
 
 // step advances one global CFL step, mirroring amr.Tree.Step stage for
 // stage so every fresh leaf follows the identical operation sequence.
-func (r *rankRun) step(dt float64) {
+// Under the fail-safe each Euler stage inserts the mask exchange
+// between detection and repair, so both owners of a rank-boundary face
+// see the same troubled flags and recompute the same corrected flux;
+// when every mask is clean the repair (and its ghost fill) is skipped
+// entirely, without any collective.
+func (r *rankRun) step(dt float64) error {
 	t, ep := r.t, r.ep
 	t.BeginStep(ep.mine)
-	for s := 0; s < 2; s++ {
-		t.StageAdvance(ep.mine, dt)
-		r.exchangeHalos(true)
+	if r.cfg.Core.FailSafe {
+		for s := 1; s <= 2; s++ {
+			troubled := t.StageAdvanceFS(ep.mine, s, dt)
+			if r.exchangeMasks(troubled) {
+				t.FSGhostMasks(ep.mine)
+				if err := t.FSRepairLeaves(ep.mine, s, dt); err != nil {
+					return err
+				}
+			}
+			r.exchangeHalos(true)
+		}
+	} else {
+		for s := 0; s < 2; s++ {
+			t.StageAdvance(ep.mine, dt)
+			r.exchangeHalos(true)
+		}
 	}
 	t.CombineStage(ep.mine)
 	r.exchangeHalos(false)
 	t.AdvanceTime(dt)
 	r.imbAccum += r.ep.imbalance
 	r.execSteps++
+	return nil
 }
 
 // regridPhase mirrors the regrid branch of amr.Tree.Step: regrid with
@@ -647,6 +735,40 @@ func unpackBytesInto(payload []float64, dst []byte) []byte {
 	return dst
 }
 
+// appendMaskWords packs a troubled-cell mask into the transport payload,
+// 8 mask bytes per float64 word (little-endian within the word,
+// zero-padded tail). Lengths are implied by the epoch's leaf sets, so no
+// prefix is needed.
+func appendMaskWords(dst []float64, m []uint8) []float64 {
+	for off := 0; off < len(m); off += 8 {
+		var word uint64
+		for k := 0; k < 8 && off+k < len(m); k++ {
+			word |= uint64(m[off+k]) << (8 * k)
+		}
+		dst = append(dst, math.Float64frombits(word))
+	}
+	return dst
+}
+
+// unpackMaskWords inverts appendMaskWords into m, reading
+// ceil(len(m)/8) words from the head of payload; it reports whether any
+// flag was set.
+func unpackMaskWords(payload []float64, m []uint8) bool {
+	dirty := false
+	for w := 0; w*8 < len(m); w++ {
+		bits := math.Float64bits(payload[w])
+		if bits != 0 {
+			dirty = true
+		}
+		for k := 0; k < 8; k++ {
+			if i := w*8 + k; i < len(m) {
+				m[i] = byte(bits >> (8 * k))
+			}
+		}
+	}
+	return dirty
+}
+
 // packBlobs concatenates several byte blobs into one transport payload:
 // a count word followed by each blob in packBytes form.
 func packBlobs(blobs [][]byte) []float64 {
@@ -796,7 +918,9 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		if opts.Steps == 0 && r.t.Time()+dt > tEnd {
 			dt = tEnd - r.t.Time()
 		}
-		r.step(dt)
+		if err := r.step(dt); err != nil {
+			return nil, err
+		}
 		if r.t.Steps()%r.t.RegridEvery() == 0 {
 			if err := r.regridPhase(); err != nil {
 				return nil, err
@@ -818,6 +942,7 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		r.clock, r.rebalClock, float64(t.ZoneUpdates()),
 		float64(r.migBlocks), float64(r.migBytes),
 		float64(r.ckBytes), r.ckClock, r.recClock, float64(r.recomputed),
+		float64(t.TroubledCells()), float64(t.RepairedCells()),
 	}
 	parts, alive, err := comm.FTAllGather(stats, r.active)
 	if err != nil {
@@ -883,6 +1008,8 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		RecomputedSteps:   int(fold(8, false)),
 		RecoveryVirtual:   fold(7, false),
 		RecoveryReal:      r.recReal,
+		TroubledCells:     int64(fold(9, true)),
+		RepairedCells:     int64(fold(10, true)),
 		Tree:              t,
 	}, nil
 }

@@ -30,13 +30,31 @@ type Injector struct {
 	// Unphysical injects a finite but inadmissible state (tau < 0)
 	// instead of NaN, exercising the positivity branch of validation.
 	Unphysical bool
+	// InStage moves the corruption inside the step: the guard installs it
+	// through core.Config.FaultHook so the poison lands after the first RK
+	// stage's update, before validation or fail-safe detection — the
+	// corruption a local repair can catch mid-step instead of a post-step
+	// scan rejecting the whole update. Count still bounds how many
+	// attempts of AtStep get poisoned.
+	InStage bool
 
 	fired int
 }
 
 // fire poisons the state if this (step, attempt) is scheduled; it
-// reports whether it injected.
+// reports whether it injected. In-stage injectors never fire here — the
+// guard routes them through the solver's FaultHook instead.
 func (in *Injector) fire(s *core.Solver, step int) bool {
+	if in == nil || in.InStage || !in.eligible(step) {
+		return false
+	}
+	in.poison(s)
+	return true
+}
+
+// eligible reports whether this committed step still has poisoned
+// attempts budgeted.
+func (in *Injector) eligible(step int) bool {
 	if in == nil || step != in.AtStep {
 		return false
 	}
@@ -44,9 +62,12 @@ func (in *Injector) fire(s *core.Solver, step int) bool {
 	if count == 0 {
 		count = 1
 	}
-	if in.fired >= count {
-		return false
-	}
+	return in.fired < count
+}
+
+// poison corrupts the scheduled cell and consumes one attempt from the
+// budget. Callers check eligible first.
+func (in *Injector) poison(s *core.Solver) {
 	in.fired++
 	g := s.G
 	idx := in.Cell
@@ -58,5 +79,4 @@ func (in *Injector) fire(s *core.Solver, step int) bool {
 	} else {
 		g.U.Comp[state.ITau][idx] = math.NaN()
 	}
-	return true
 }

@@ -29,12 +29,14 @@
 package resilience
 
 import (
+	"errors"
 	"fmt"
 
 	"rhsc/internal/core"
 	"rhsc/internal/metrics"
 	"rhsc/internal/recon"
 	"rhsc/internal/riemann"
+	"rhsc/internal/state"
 )
 
 // Policy bounds the retry machinery.
@@ -49,6 +51,12 @@ type Policy struct {
 	// C2PFailureLimit is the number of atmosphere resets a single RK
 	// stage may take before the step counts as violated (default 0).
 	C2PFailureLimit int
+	// MaxTroubledFrac bounds the fail-safe local repair when the wrapped
+	// solver runs with core.Config.FailSafe: a stage whose troubled-cell
+	// fraction exceeds it is demoted to this guard's global retry path
+	// (the damage is not local). Zero keeps the solver's configured value.
+	// Ignored when the solver does not use the fail-safe pipeline.
+	MaxTroubledFrac float64
 }
 
 // withDefaults fills zero fields.
@@ -100,10 +108,20 @@ type Guard struct {
 
 // NewGuard wraps s. It enables per-stage strict validation on the
 // solver (core.Config.StrictChecks) with the policy's c2p failure limit.
+// When the solver runs the fail-safe pipeline (core.Config.FailSafe),
+// the policy's MaxTroubledFrac is installed as its demotion threshold:
+// a stage the local repair cannot or should not handle surfaces as a
+// *core.StateError, which this guard's retry path treats like any other
+// violation (restore, halve dt, eventually the global first-order
+// fallback) — with the fail-safe disabled for the remaining attempts of
+// that step, so the demotion really is global.
 func NewGuard(s *core.Solver, pol Policy) *Guard {
 	pol = pol.withDefaults()
 	s.Cfg.StrictChecks = true
 	s.Cfg.StrictC2PLimit = pol.C2PFailureLimit
+	if s.Cfg.FailSafe && pol.MaxTroubledFrac > 0 {
+		s.Cfg.FailSafeMaxFrac = pol.MaxTroubledFrac
+	}
 	g := &Guard{S: s, Policy: pol}
 	g.Stats = &g.own
 	return g
@@ -123,6 +141,9 @@ func (g *Guard) Step(dt float64) (float64, error) {
 	t0 := s.Time()
 	hiRec, hiRS := s.Method()
 	fallback := false
+	fsWas := s.Cfg.FailSafe
+	tr0, rp0 := s.St.Troubled.Load(), s.St.Repaired.Load()
+	defer func() { s.Cfg.FailSafe = fsWas }()
 
 	cur := dt
 	var lastErr error
@@ -154,7 +175,38 @@ func (g *Guard) Step(dt float64) (float64, error) {
 				g.Stats.Fallbacks.Add(1)
 			}
 		}
+		// In-stage injection lands through the solver's FaultHook so the
+		// fail-safe pipeline sees the corruption before validation; any
+		// caller-installed hook is preserved around the attempt.
+		var injected bool
+		hooked := false
+		var prevHook func(int, *state.Fields)
+		if inj := g.Inject; inj != nil && inj.InStage && inj.eligible(g.steps) {
+			prevHook = s.Cfg.FaultHook
+			hooked = true
+			s.Cfg.FaultHook = func(stage int, u *state.Fields) {
+				if prevHook != nil {
+					prevHook(stage, u)
+				}
+				if stage == 1 && !injected {
+					injected = true
+					inj.poison(s)
+				}
+			}
+		}
+		zu0 := s.St.ZoneUpdates.Load()
 		err := s.Step(cur)
+		if hooked {
+			s.Cfg.FaultHook = prevHook
+		}
+		if injected {
+			g.Stats.Injected.Add(1)
+		}
+		if fallback {
+			// Every zone of a global first-order retry runs at fallback
+			// order (even if the attempt later fails validation).
+			g.Stats.FallbackZones.Add(s.St.ZoneUpdates.Load() - zu0)
+		}
 		if err == nil {
 			if g.Inject != nil && g.Inject.fire(s, g.steps) {
 				g.Stats.Injected.Add(1)
@@ -167,10 +219,24 @@ func (g *Guard) Step(dt float64) (float64, error) {
 					return 0, err
 				}
 			}
+			g.Stats.Troubled.Add(s.St.Troubled.Load() - tr0)
+			rep := s.St.Repaired.Load() - rp0
+			g.Stats.Repaired.Add(rep)
+			// Locally repaired cells are the fail-safe's entire fallback-order
+			// bill — the quantity the global retry pays per whole grid.
+			g.Stats.FallbackZones.Add(rep)
 			g.steps++
 			return cur, nil
 		}
 		lastErr = err
+		// A fail-safe demotion (troubled fraction over policy, or the local
+		// repair failed) falls through to the global retry machinery with
+		// the fail-safe off for this step's remaining attempts.
+		var se *core.StateError
+		if s.Cfg.FailSafe && errors.As(err, &se) && (se.RepairFailed || se.Troubled > 0) {
+			g.Stats.Demotions.Add(1)
+			s.Cfg.FailSafe = false
+		}
 	}
 }
 
