@@ -8,7 +8,7 @@
 //	benchsuite [flags] <experiment>
 //
 // Experiments: table1 fig2 table2 table3 fig4 fig5 table4 fig6 fig7
-// table5 fig8 damr resilience stepbench failsafe, or "all".
+// table5 fig8 damr resilience stepbench failsafe serve, or "all".
 //
 // Flags:
 //
@@ -47,6 +47,7 @@ var experiments = []experiment{
 	{"resilience", "E13: checkpoint overhead and fault recovery", (*suite).resilience},
 	{"stepbench", "E14: single-pass step pipeline cost (ns/zone, allocs/step)", (*suite).stepbench},
 	{"failsafe", "E15: fail-safe local repair vs global retry", (*suite).failsafe},
+	{"serve", "E16: job server throughput, queue wait and preemption latency", (*suite).serveBench},
 }
 
 type suite struct {

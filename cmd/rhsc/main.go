@@ -11,11 +11,15 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"log"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 	"time"
 
 	"rhsc"
@@ -36,6 +40,7 @@ func main() {
 		tm      = flag.Bool("taub-mathews", false, "use the Taub-Mathews EOS")
 		out     = flag.String("out", "", "write final profile/slab CSV to this file")
 		ckpt    = flag.String("checkpoint", "", "write a binary checkpoint to this file")
+		spool   = flag.String("spool", "rhsc-spool", "directory for interrupt checkpoints (SIGINT/SIGTERM)")
 		useAMR  = flag.Bool("amr", false, "run with adaptive mesh refinement")
 		maxLev  = flag.Int("maxlevel", 2, "AMR: maximum refinement level")
 		blocks  = flag.Int("rootblocks", 8, "AMR: root blocks along x")
@@ -64,7 +69,7 @@ func main() {
 	}
 
 	if *useAMR {
-		runAMR(opts, *tend, *maxLev, *blocks)
+		runAMR(opts, *tend, *maxLev, *blocks, *spool)
 		return
 	}
 	if *ranks > 0 {
@@ -85,8 +90,12 @@ func main() {
 		tEnd = *tend
 	}
 	start := time.Now()
-	if err := sim.RunTo(tEnd); err != nil {
+	interrupted, err := runSerial(sim, tEnd, *spool)
+	if err != nil {
 		log.Fatal(err)
+	}
+	if interrupted {
+		return
 	}
 	elapsed := time.Since(start)
 	fmt.Printf("%s N=%d t=%.4g: %v wall, %.2f Mzups, mass %.6g\n",
@@ -191,7 +200,7 @@ func runHetero(opts rhsc.Options, devices string, dynamic bool, steps int, tend 
 		time.Since(start).Round(time.Millisecond), h.VirtualSeconds()*1e3)
 }
 
-func runAMR(opts rhsc.Options, tend float64, maxLevel, rootBlocks int) {
+func runAMR(opts rhsc.Options, tend float64, maxLevel, rootBlocks int, spool string) {
 	a, err := rhsc.NewAMRSim(opts, rhsc.AMROptions{
 		MaxLevel: maxLevel, RootBlocks: rootBlocks,
 	})
@@ -202,12 +211,80 @@ func runAMR(opts rhsc.Options, tend float64, maxLevel, rootBlocks int) {
 	if tend > 0 {
 		tEnd = tend
 	}
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
 	start := time.Now()
-	if err := a.RunTo(tEnd); err != nil {
-		log.Fatal(err)
+	for a.Tree.Time() < tEnd-1e-14 {
+		select {
+		case sig := <-sigc:
+			exitSpooled(spool, a.Problem.Name+"-amr", sig, a.Tree.Time(), a.CheckpointExact)
+		default:
+		}
+		dt := a.Tree.MaxDt()
+		if a.Tree.Time()+dt > tEnd {
+			dt = tEnd - a.Tree.Time()
+		}
+		if err := a.Tree.Step(dt); err != nil {
+			log.Fatal(err)
+		}
 	}
 	elapsed := time.Since(start)
 	leaves, zones, level, updates := a.Stats()
 	fmt.Printf("%s AMR L%d: %v wall, %d leaves, %d active zones, %d zone-updates\n",
 		a.Problem.Name, level, elapsed.Round(time.Millisecond), leaves, zones, updates)
+}
+
+// runSerial advances the simulation to tEnd with a signal-aware step
+// loop (numerically identical to Sim.RunTo): on SIGINT/SIGTERM the
+// run is checkpointed exactly into the spool directory and the process
+// exits 0 — nonzero only when that checkpoint cannot be written.
+func runSerial(sim *rhsc.Sim, tEnd float64, spool string) (bool, error) {
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	defer signal.Stop(sigc)
+	sim.Solver.RecoverPrimitives() // Advance's first-step recovery
+	for sim.Time() < tEnd-1e-14 {
+		select {
+		case sig := <-sigc:
+			exitSpooled(spool, sim.Problem.Name, sig, sim.Time(), sim.CheckpointExact)
+		default:
+		}
+		dt := sim.Solver.MaxDt()
+		if sim.Time()+dt > tEnd {
+			dt = tEnd - sim.Time()
+		}
+		if err := sim.Solver.Step(dt); err != nil {
+			return false, err
+		}
+	}
+	return false, nil
+}
+
+// exitSpooled writes an exact checkpoint into the spool directory and
+// terminates the process: exit 0 on success, 1 when in-flight state
+// could not be saved. Restart later with -problem/-n matching and
+// rhsc.Restore (or resubmit to rhscd).
+func exitSpooled(dir, name string, sig os.Signal, t float64, save func(io.Writer) error) {
+	fail := func(err error) {
+		log.Printf("rhsc: %v: spool checkpoint failed: %v", sig, err)
+		os.Exit(1)
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		fail(err)
+	}
+	path := filepath.Join(dir, fmt.Sprintf("%s-%d.ckpt", name, os.Getpid()))
+	f, err := os.Create(path)
+	if err != nil {
+		fail(err)
+	}
+	if err := save(f); err != nil {
+		f.Close()
+		fail(err)
+	}
+	if err := f.Close(); err != nil {
+		fail(err)
+	}
+	fmt.Printf("%v: checkpointed t=%.6g to %s\n", sig, t, path)
+	os.Exit(0)
 }

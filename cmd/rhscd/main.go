@@ -1,0 +1,120 @@
+// Command rhscd is the simulation-as-a-service daemon: a multi-tenant
+// job server running catalogued simulations on a bounded worker pool
+// with admission control and checkpoint-based preemption.
+//
+//	rhscd -addr :8080 -workers 4 -spool /var/spool/rhscd
+//	curl -d '{"problem":"sod","n":256}' localhost:8080/v1/jobs
+//	curl localhost:8080/v1/jobs/j000001/watch
+//
+// On SIGINT/SIGTERM the daemon stops admitting work, checkpoints every
+// in-flight job into the spool directory, and exits 0; the exit code is
+// nonzero only when a checkpoint could not be written. A restarted
+// daemon re-admits the spooled jobs and resumes parked ones
+// bit-exactly.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"rhsc/internal/serve"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8080", "HTTP listen address")
+		workers = flag.Int("workers", 2, "simulation worker pool size")
+		queue   = flag.Int("queue", 64, "queued-job capacity")
+		maxCost = flag.Int64("maxcost", 0, "per-job zone-update cost ceiling (0 = unlimited)")
+		spool   = flag.String("spool", "rhscd-spool", "directory for drain checkpoints")
+		budget  = flag.Int64("budget", 0, "default per-tenant zone-update budget (0 = unlimited)")
+		active  = flag.Int("active", 0, "default per-tenant concurrent job cap (0 = unlimited)")
+		quotas  = flag.String("quotas", "", "per-tenant overrides, e.g. 'alice=4:1e9,bob=2:0' (maxactive:budget)")
+	)
+	flag.Parse()
+
+	cfg := serve.Config{
+		Workers: *workers, MaxQueue: *queue, MaxJobCost: *maxCost,
+		DefaultQuota: serve.Quota{MaxActive: *active, Budget: *budget},
+	}
+	var err error
+	if cfg.Quotas, err = parseQuotas(*quotas); err != nil {
+		log.Fatal(err)
+	}
+
+	srv := serve.New(cfg)
+	if *spool != "" {
+		if n, err := srv.LoadSpool(*spool); err != nil {
+			log.Printf("rhscd: spool load: %v", err)
+		} else if n > 0 {
+			log.Printf("rhscd: re-admitted %d spooled job(s) from %s", n, *spool)
+		}
+	}
+
+	httpSrv := &http.Server{Addr: *addr, Handler: serve.NewMux(srv)}
+	httpErr := make(chan error, 1)
+	go func() { httpErr <- httpSrv.ListenAndServe() }()
+	log.Printf("rhscd: serving on %s with %d worker(s), spool %q", *addr, *workers, *spool)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case sig := <-sigc:
+		log.Printf("rhscd: %v: draining", sig)
+	case err := <-httpErr:
+		log.Fatalf("rhscd: http: %v", err)
+	}
+
+	ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+	defer cancel()
+	if err := httpSrv.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+		log.Printf("rhscd: http shutdown: %v", err)
+	}
+	if err := srv.Drain(*spool); err != nil {
+		// The one condition worth a nonzero exit: in-flight state that
+		// could not be checkpointed is lost.
+		log.Printf("rhscd: drain: %v", err)
+		os.Exit(1)
+	}
+	log.Printf("rhscd: drained cleanly")
+}
+
+// parseQuotas decodes 'tenant=maxactive:budget' pairs.
+func parseQuotas(s string) (map[string]serve.Quota, error) {
+	if s == "" {
+		return nil, nil
+	}
+	out := make(map[string]serve.Quota)
+	for _, pair := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("rhscd: bad quota %q (want tenant=maxactive:budget)", pair)
+		}
+		ma, bu, ok := strings.Cut(val, ":")
+		if !ok {
+			return nil, fmt.Errorf("rhscd: bad quota %q (want tenant=maxactive:budget)", pair)
+		}
+		var q serve.Quota
+		var err error
+		if q.MaxActive, err = strconv.Atoi(ma); err != nil {
+			return nil, fmt.Errorf("rhscd: bad maxactive in %q: %v", pair, err)
+		}
+		b, err := strconv.ParseFloat(bu, 64)
+		if err != nil {
+			return nil, fmt.Errorf("rhscd: bad budget in %q: %v", pair, err)
+		}
+		q.Budget = int64(b)
+		out[name] = q
+	}
+	return out, nil
+}

@@ -2,12 +2,16 @@ package amr
 
 import (
 	"bytes"
+	"encoding/binary"
 	"encoding/gob"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"sort"
 
 	"rhsc/internal/core"
+	"rhsc/internal/output"
 	"rhsc/internal/testprob"
 )
 
@@ -39,7 +43,16 @@ type treeCheckpoint struct {
 }
 
 // Save serialises the tree structure and every leaf's conserved state.
-func (t *Tree) Save(w io.Writer) error {
+// Loads from it re-recover primitives, so a restarted run is accurate
+// but not bit-identical; use SaveExact when exact continuation matters.
+func (t *Tree) Save(w io.Writer) error { return t.save(w, false) }
+
+// SaveExact serialises the tree structure plus every leaf's conserved
+// AND primitive fields (including ghosts), so Load continues the run
+// bit-identically — the property checkpoint-based preemption relies on.
+func (t *Tree) SaveExact(w io.Writer) error { return t.save(w, true) }
+
+func (t *Tree) save(w io.Writer, prims bool) error {
 	cp := treeCheckpoint{
 		Problem:     t.prob.Name,
 		BlockN:      t.cfg.BlockN,
@@ -57,6 +70,9 @@ func (t *Tree) Save(w io.Writer) error {
 		raw := n.sol.G.U.Raw()
 		rec := leafRecord{Level: n.level, Bi: n.bi, Bj: n.bj,
 			U: append([]float64(nil), raw...)}
+		if prims {
+			rec.W = append([]float64(nil), n.sol.G.W.Raw()...)
+		}
 		cp.Leaves = append(cp.Leaves, rec)
 	}
 	return gob.NewEncoder(w).Encode(&cp)
@@ -66,14 +82,20 @@ func (t *Tree) Save(w io.Writer) error {
 // the checkpoint was written from; the numerical method comes from core
 // (which must produce the same ghost width the checkpoint's blocks were
 // sized for).
+//
+// Failures are classified with the output package's checkpoint error
+// taxonomy: an undecodable payload wraps output.ErrCheckpointCorrupt;
+// a decodable payload whose problem, structure or block shapes do not
+// fit wraps output.ErrCheckpointMismatch. The serving layer uses this
+// to distinguish fatal resume failures from transient I/O.
 func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
 	var cp treeCheckpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, fmt.Errorf("amr: decode checkpoint: %w", err)
+		return nil, output.CorruptError("amr: decode checkpoint", err)
 	}
 	p, err := testprob.ByName(cp.Problem)
 	if err != nil {
-		return nil, fmt.Errorf("amr: checkpoint problem: %w", err)
+		return nil, output.MismatchError("amr: checkpoint problem", err)
 	}
 	cfg := Config{
 		Core:        coreCfg,
@@ -83,21 +105,80 @@ func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
 		CoarsenTol:  cp.CoarsenTol,
 		RegridEvery: cp.RegridEvery,
 	}
+	if cp.BlockN < 2*coreCfg.Recon.Ghost() || cp.Nbx < 1 || cp.Nby < 1 {
+		return nil, output.MismatchError("amr: checkpoint layout",
+			fmt.Errorf("block size %d (ghost %d), roots %dx%d",
+				cp.BlockN, coreCfg.Recon.Ghost(), cp.Nbx, cp.Nby))
+	}
 	t, err := newSkeleton(p, cfg, cp.Nbx, cp.Nby)
 	if err != nil {
 		return nil, err
 	}
 	if err := t.installRecords(cp.Leaves, cp.Time); err != nil {
-		return nil, err
+		return nil, output.MismatchError("amr: checkpoint structure", err)
 	}
 	t.t = cp.Time
 	t.steps = cp.Steps
 	t.zoneUpdates = cp.ZoneUpdates
-	// Checkpoints carry no primitives: re-recover them. (This reseeds the
-	// Newton guesses, so a loaded run is accurate but not bit-identical;
-	// TreeFromLeafBlobs is the bit-exact path.)
-	t.sync(true)
+	// An exact checkpoint (SaveExact) carries every leaf's primitives, so
+	// the state is already consistent and re-recovery would only reseed
+	// the Newton guesses away from the uninterrupted trajectory. Plain
+	// checkpoints carry none: re-recover. (Mixed records never occur —
+	// save writes all or none — but any W-less leaf forces the safe path.)
+	exact := len(cp.Leaves) > 0
+	for _, rec := range cp.Leaves {
+		if rec.W == nil {
+			exact = false
+			break
+		}
+	}
+	if !exact {
+		t.sync(true)
+	}
 	return t, nil
+}
+
+// BlockSize returns the cells per block side the tree was built with.
+func (t *Tree) BlockSize() int { return t.cfg.BlockN }
+
+// Fingerprint hashes the complete hierarchy state — step and time
+// counters plus every leaf's identity, conserved and primitive raw
+// fields (ghosts included) — into a 64-bit FNV-1a digest. Two trees
+// with equal fingerprints evolved through the same code are bitwise
+// interchangeable; the preemption tests use this to pin
+// checkpoint→park→resume round trips to uninterrupted runs.
+func (t *Tree) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	put := func(v uint64) {
+		binary.LittleEndian.PutUint64(buf[:], v)
+		h.Write(buf[:])
+	}
+	put(uint64(t.steps))
+	put(math.Float64bits(t.t))
+	leaves := append([]*node(nil), t.leaves...)
+	sort.Slice(leaves, func(i, j int) bool {
+		a, b := leaves[i], leaves[j]
+		if a.level != b.level {
+			return a.level < b.level
+		}
+		if a.bj != b.bj {
+			return a.bj < b.bj
+		}
+		return a.bi < b.bi
+	})
+	for _, n := range leaves {
+		put(uint64(n.level))
+		put(uint64(n.bi))
+		put(uint64(n.bj))
+		for _, v := range n.sol.G.U.Raw() {
+			put(math.Float64bits(v))
+		}
+		for _, v := range n.sol.G.W.Raw() {
+			put(math.Float64bits(v))
+		}
+	}
+	return h.Sum64()
 }
 
 // newSkeleton builds a level-0 hierarchy without bootstrap refinement:

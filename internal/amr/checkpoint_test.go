@@ -2,11 +2,14 @@ package amr
 
 import (
 	"bytes"
+	"encoding/gob"
+	"errors"
 	"math"
 	"strings"
 	"testing"
 
 	"rhsc/internal/core"
+	"rhsc/internal/output"
 	"rhsc/internal/testprob"
 )
 
@@ -239,5 +242,114 @@ func TestTreeFromLeafBlobsBitExact(t *testing.T) {
 				t.Fatalf("leaf %d word %d: %v vs %v", i, j, rawA[j], rawB[j])
 			}
 		}
+	}
+}
+
+func TestLoadErrorTaxonomy(t *testing.T) {
+	coreCfg := core.DefaultConfig()
+	// Undecodable payload: corrupt.
+	_, err := Load(strings.NewReader("junk"), coreCfg)
+	if !errors.Is(err, output.ErrCheckpointCorrupt) {
+		t.Errorf("garbage classified %v, want ErrCheckpointCorrupt", err)
+	}
+	// Decodable payloads that cannot fit this build: mismatch.
+	bad := []treeCheckpoint{
+		{Problem: "no-such-problem", BlockN: 16, Nbx: 4, Nby: 1},
+		{Problem: "sod", BlockN: 2, Nbx: 4, Nby: 1}, // < 2×ghost
+		{Problem: "sod", BlockN: 16, Nbx: 0, Nby: 1},
+		{Problem: "sod", BlockN: 16, Nbx: 4, Nby: 1,
+			Leaves: []leafRecord{{Level: 0, Bi: 0, Bj: 0, U: []float64{1}}}},
+	}
+	for i, cp := range bad {
+		var buf bytes.Buffer
+		if err := gob.NewEncoder(&buf).Encode(&cp); err != nil {
+			t.Fatal(err)
+		}
+		_, err := Load(&buf, coreCfg)
+		if !errors.Is(err, output.ErrCheckpointMismatch) {
+			t.Errorf("bad payload %d classified %v, want ErrCheckpointMismatch", i, err)
+		}
+		if errors.Is(err, output.ErrCheckpointCorrupt) {
+			t.Errorf("bad payload %d also classified as corrupt", i)
+		}
+	}
+	// A truncated valid stream is corrupt again.
+	cfg := DefaultConfig(coreCfg)
+	tr, err := NewTree(testprob.Sod, 8, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := tr.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/3]
+	if _, err := Load(bytes.NewReader(trunc), coreCfg); !errors.Is(err, output.ErrCheckpointCorrupt) {
+		t.Errorf("truncated checkpoint classified %v, want ErrCheckpointCorrupt", err)
+	}
+}
+
+// TestSaveExactBitIdentical pins the exact-checkpoint contract the job
+// server's preemption relies on: SaveExact → Load → continue matches an
+// uninterrupted run bit for bit, including across regrid boundaries
+// (the persisted step counter keeps the regrid cadence aligned).
+func TestSaveExactBitIdentical(t *testing.T) {
+	mk := func() *Tree {
+		cfg := DefaultConfig(core.DefaultConfig())
+		cfg.MaxLevel = 2
+		cfg.RegridEvery = 4
+		tr, err := NewTree(testprob.Sod, 8, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return tr
+	}
+	stepN := func(tr *Tree, n int) {
+		for i := 0; i < n; i++ {
+			dt := tr.MaxDt()
+			if err := tr.Step(dt); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	quiet := mk()
+	stepN(quiet, 20)
+
+	tr := mk()
+	stepN(tr, 10) // parks between regrids (10 is not a multiple of 4)
+	var buf bytes.Buffer
+	if err := tr.SaveExact(&buf); err != nil {
+		t.Fatal(err)
+	}
+	restored, err := Load(&buf, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if restored.Fingerprint() != tr.Fingerprint() {
+		t.Fatal("state changed across SaveExact round trip")
+	}
+	if restored.Steps() != 10 {
+		t.Fatalf("restored step counter %d, want 10", restored.Steps())
+	}
+	stepN(restored, 10)
+	if restored.Fingerprint() != quiet.Fingerprint() {
+		t.Fatalf("restored run diverged from uninterrupted: %016x != %016x",
+			restored.Fingerprint(), quiet.Fingerprint())
+	}
+
+	// The plain checkpoint, by contrast, re-recovers primitives: still a
+	// valid restart, but not bit-identical — which is exactly why the
+	// serving layer uses SaveExact.
+	var plain bytes.Buffer
+	if err := quiet.Save(&plain); err != nil {
+		t.Fatal(err)
+	}
+	replain, err := Load(&plain, core.DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if replain.NumLeaves() != quiet.NumLeaves() {
+		t.Fatalf("plain restore leaves %d, want %d", replain.NumLeaves(), quiet.NumLeaves())
 	}
 }

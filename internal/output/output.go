@@ -6,6 +6,7 @@ package output
 import (
 	"encoding/csv"
 	"encoding/gob"
+	"errors"
 	"fmt"
 	"io"
 	"strconv"
@@ -13,6 +14,62 @@ import (
 	"rhsc/internal/grid"
 	"rhsc/internal/state"
 )
+
+// Checkpoint failure classes. Callers that resume jobs (the serving
+// layer, spool recovery) match these with errors.Is to decide whether a
+// failed restore is worth retrying:
+//
+//   - ErrCheckpointCorrupt: the payload cannot be decoded at all —
+//     truncated file, torn write, or garbage. Retrying the same bytes
+//     can never succeed; the job must be failed or restarted from
+//     scratch.
+//   - ErrCheckpointMismatch: the payload decoded cleanly but does not
+//     fit the requesting configuration (wrong grid shape, unknown
+//     problem, inconsistent structure). Also fatal for these bytes, but
+//     diagnostic of a config drift rather than data loss.
+//
+// Anything else (e.g. an *os.PathError from the reader) is an I/O
+// error and may be transient.
+var (
+	ErrCheckpointCorrupt  = errors.New("checkpoint corrupt")
+	ErrCheckpointMismatch = errors.New("checkpoint mismatch")
+)
+
+// CheckpointError wraps a checkpoint load failure with its class and
+// the failing operation, so the serving layer can report "job X:
+// resume failed decoding leaf table: ..." and still classify with
+// errors.Is(err, ErrCheckpointCorrupt).
+type CheckpointError struct {
+	Op   string // what was being loaded, e.g. "decode checkpoint"
+	Kind error  // ErrCheckpointCorrupt or ErrCheckpointMismatch
+	Err  error  // underlying cause; may be nil for shape violations
+}
+
+// Error implements the error interface.
+func (e *CheckpointError) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%s: %v: %v", e.Op, e.Kind, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Op, e.Kind)
+}
+
+// Unwrap exposes both the class sentinel and the cause to errors.Is/As.
+func (e *CheckpointError) Unwrap() []error {
+	if e.Err == nil {
+		return []error{e.Kind}
+	}
+	return []error{e.Kind, e.Err}
+}
+
+// CorruptError builds a *CheckpointError classified as corrupt.
+func CorruptError(op string, err error) error {
+	return &CheckpointError{Op: op, Kind: ErrCheckpointCorrupt, Err: err}
+}
+
+// MismatchError builds a *CheckpointError classified as a mismatch.
+func MismatchError(op string, err error) error {
+	return &CheckpointError{Op: op, Kind: ErrCheckpointMismatch, Err: err}
+}
 
 // WriteProfileCSV writes a 1-D profile of the primitives along x (at the
 // first interior j, k row): columns x, rho, vx, vy, vz, p.
@@ -93,17 +150,26 @@ func WriteSeriesCSV(w io.Writer, headers []string, cols ...[]float64) error {
 
 func fmtF(v float64) string { return strconv.FormatFloat(v, 'g', 12, 64) }
 
-// checkpoint is the gob payload. Only the conserved state is stored:
-// primitives are re-derived on load.
+// checkpoint is the gob payload. The conserved state is always stored;
+// W is only populated by the exact path (SaveCheckpointExact): primitive
+// recovery seeds its Newton iteration with the previous pressure, so a
+// restart that re-derives primitives is accurate but not bit-identical
+// to the uninterrupted run. Carrying W (interior and ghosts) lets the
+// restore skip re-recovery entirely and continue round-off-exactly —
+// the property checkpoint-based preemption relies on. gob tolerates the
+// absent field in either direction, so old and new checkpoints interopt.
 type checkpoint struct {
 	Geom grid.Geometry
 	BCs  [3][2]grid.BC
 	Time float64
 	U    []float64
+	W    []float64
 }
 
 // SaveCheckpoint serialises grid geometry, boundary conditions, solution
-// time and the conserved state.
+// time and the conserved state. Restores from it re-derive primitives,
+// so a restarted run is accurate but not bitwise identical; use
+// SaveCheckpointExact when exact continuation matters.
 func SaveCheckpoint(w io.Writer, g *grid.Grid, t float64) error {
 	cp := checkpoint{Geom: g.Geometry, BCs: g.BCs, Time: t}
 	cp.U = make([]float64, len(g.U.Raw()))
@@ -111,22 +177,64 @@ func SaveCheckpoint(w io.Writer, g *grid.Grid, t float64) error {
 	return gob.NewEncoder(w).Encode(&cp)
 }
 
+// SaveCheckpointExact serialises conserved and primitive fields
+// (including ghost zones) so a restore continues bit-identically to the
+// uninterrupted run.
+func SaveCheckpointExact(w io.Writer, g *grid.Grid, t float64) error {
+	cp := checkpoint{Geom: g.Geometry, BCs: g.BCs, Time: t}
+	cp.U = make([]float64, len(g.U.Raw()))
+	copy(cp.U, g.U.Raw())
+	cp.W = make([]float64, len(g.W.Raw()))
+	copy(cp.W, g.W.Raw())
+	return gob.NewEncoder(w).Encode(&cp)
+}
+
 // LoadCheckpoint reconstructs the grid and returns it with the stored
-// solution time. The primitive field is left zeroed; callers must run
-// their solver's RecoverPrimitives to refill it.
+// solution time. The primitive field is left zeroed unless the
+// checkpoint was written by SaveCheckpointExact; callers that need to
+// know should use LoadCheckpointFull.
 func LoadCheckpoint(r io.Reader) (*grid.Grid, float64, error) {
+	g, t, _, err := LoadCheckpointFull(r)
+	return g, t, err
+}
+
+// LoadCheckpointFull is LoadCheckpoint, additionally reporting whether
+// the checkpoint carried primitives (SaveCheckpointExact): when prims
+// is true the grid's W field is filled bit-exactly and the caller must
+// NOT re-run primitive recovery if it wants exact continuation; when
+// false the caller must run its solver's RecoverPrimitives.
+//
+// Failures are classified: undecodable payloads wrap
+// ErrCheckpointCorrupt, structurally valid payloads that do not fit
+// the grid wrap ErrCheckpointMismatch (see CheckpointError).
+func LoadCheckpointFull(r io.Reader) (*grid.Grid, float64, bool, error) {
 	var cp checkpoint
 	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
-		return nil, 0, fmt.Errorf("output: decode checkpoint: %w", err)
+		return nil, 0, false, CorruptError("output: decode checkpoint", err)
+	}
+	// grid.New panics on non-positive extents; surface a decodable-but-
+	// absurd geometry as a mismatch instead.
+	if cp.Geom.Nx < 1 || cp.Geom.Ny < 1 || cp.Geom.Nz < 1 || cp.Geom.Ng < 0 {
+		return nil, 0, false, MismatchError("output: checkpoint geometry",
+			fmt.Errorf("unusable cell counts %dx%dx%d (ghost %d)",
+				cp.Geom.Nx, cp.Geom.Ny, cp.Geom.Nz, cp.Geom.Ng))
 	}
 	g := grid.New(cp.Geom)
 	g.BCs = cp.BCs
 	if len(cp.U) != len(g.U.Raw()) {
-		return nil, 0, fmt.Errorf("output: checkpoint holds %d values, grid needs %d",
-			len(cp.U), len(g.U.Raw()))
+		return nil, 0, false, MismatchError("output: checkpoint conserved field",
+			fmt.Errorf("holds %d values, grid needs %d", len(cp.U), len(g.U.Raw())))
 	}
 	copy(g.U.Raw(), cp.U)
-	return g, cp.Time, nil
+	prims := cp.W != nil
+	if prims {
+		if len(cp.W) != len(g.W.Raw()) {
+			return nil, 0, false, MismatchError("output: checkpoint primitive field",
+				fmt.Errorf("holds %d values, grid needs %d", len(cp.W), len(g.W.Raw())))
+		}
+		copy(g.W.Raw(), cp.W)
+	}
+	return g, cp.Time, prims, nil
 }
 
 // WriteGnuplotHeatmap writes the density of the first interior k-slab in

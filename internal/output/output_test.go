@@ -3,6 +3,8 @@ package output
 import (
 	"bytes"
 	"encoding/csv"
+	"encoding/gob"
+	"errors"
 	"math"
 	"strconv"
 	"strings"
@@ -138,5 +140,87 @@ func TestGnuplotHeatmap(t *testing.T) {
 	}
 	if err := WriteGnuplotHeatmap(&buf, g, 99); err == nil {
 		t.Error("bad component accepted")
+	}
+}
+
+func TestCheckpointErrorTaxonomy(t *testing.T) {
+	// Undecodable payloads are corrupt, not mismatched.
+	_, _, _, err := LoadCheckpointFull(strings.NewReader("not a checkpoint"))
+	if !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("garbage classified %v, want ErrCheckpointCorrupt", err)
+	}
+	if errors.Is(err, ErrCheckpointMismatch) {
+		t.Error("garbage also classified as mismatch")
+	}
+
+	// A truncated but well-started stream is corrupt too.
+	g := mkGrid1D()
+	var buf bytes.Buffer
+	if err := SaveCheckpoint(&buf, g, 1.0); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, _, _, err := LoadCheckpointFull(bytes.NewReader(trunc)); !errors.Is(err, ErrCheckpointCorrupt) {
+		t.Errorf("truncated checkpoint classified %v, want ErrCheckpointCorrupt", err)
+	}
+
+	// Decodable payloads with impossible shapes are mismatches.
+	bad := []checkpoint{
+		{Geom: grid.Geometry{Nx: 0, Ny: 1, Nz: 1, Ng: 2, X0: 0, X1: 1}},
+		{Geom: g.Geometry, BCs: g.BCs, U: []float64{1, 2, 3}},
+	}
+	for i, cp := range bad {
+		var b bytes.Buffer
+		if err := gob.NewEncoder(&b).Encode(&cp); err != nil {
+			t.Fatal(err)
+		}
+		_, _, _, err := LoadCheckpointFull(&b)
+		if !errors.Is(err, ErrCheckpointMismatch) {
+			t.Errorf("bad shape %d classified %v, want ErrCheckpointMismatch", i, err)
+		}
+		if errors.Is(err, ErrCheckpointCorrupt) {
+			t.Errorf("bad shape %d also classified as corrupt", i)
+		}
+	}
+}
+
+func TestExactCheckpointCarriesPrimitives(t *testing.T) {
+	g := mkGrid1D()
+	g.SetAllBCs(grid.Outflow)
+
+	// Plain checkpoints report no primitives.
+	var plain bytes.Buffer
+	if err := SaveCheckpoint(&plain, g, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	_, _, prims, err := LoadCheckpointFull(&plain)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if prims {
+		t.Error("plain checkpoint claims primitives")
+	}
+
+	// Exact checkpoints restore U and W bit for bit, ghosts included.
+	var exact bytes.Buffer
+	if err := SaveCheckpointExact(&exact, g, 0.5); err != nil {
+		t.Fatal(err)
+	}
+	g2, tt, prims, err := LoadCheckpointFull(&exact)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !prims || tt != 0.5 {
+		t.Fatalf("exact load prims=%v t=%v", prims, tt)
+	}
+	for i, v := range g.U.Raw() {
+		if g2.U.Raw()[i] != v {
+			t.Fatalf("U[%d] differs", i)
+		}
+	}
+	for i, v := range g.W.Raw() {
+		if g2.W.Raw()[i] != v {
+			t.Fatalf("W[%d] differs", i)
+		}
 	}
 }

@@ -130,6 +130,13 @@ func NewGuard(s *core.Solver, pol Policy) *Guard {
 // Steps returns the number of committed (successful) steps.
 func (g *Guard) Steps() int { return g.steps }
 
+// SetSteps overrides the committed-step counter. The job server uses it
+// when resuming a preempted job from a checkpoint: the counter indexes
+// Injector schedules (Injector.AtStep is an absolute committed-step
+// index), so a resumed guard must continue counting where the parked
+// run stopped for its fault schedule to stay aligned across preemption.
+func (g *Guard) SetSteps(n int) { g.steps = n }
+
 // Step advances by dt with validation and bounded retry, returning the
 // dt actually committed (dt, or a halved refinement of it). On
 // *StepFailure the state is the pre-step snapshot; on success the usual

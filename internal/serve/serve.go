@@ -1,0 +1,731 @@
+// Package serve is the simulation-as-a-service layer: a multi-tenant
+// job server that runs catalogued simulations (quickstart 1-D problems
+// through full AMR runs) to completion on a bounded worker pool.
+//
+// Scheduling model (see docs/SERVING.md):
+//
+//   - Admission control. Every job is validated and charged a
+//     worst-case zone-update cost at submit time; jobs exceeding the
+//     per-job ceiling, their tenant's budget or concurrency quota, or
+//     the queue capacity are rejected immediately — the server never
+//     accepts work it cannot eventually run.
+//   - Priority queue. Admitted jobs wait in a strict-priority,
+//     FIFO-within-class queue.
+//   - Checkpoint-based preemption. When a higher-priority job arrives
+//     and every worker is busy, the lowest-priority running job is
+//     checkpointed through the exact (conserved + primitive) gob
+//     machinery, parked back into the queue, and later resumed
+//     round-off-exactly from its snapshot: preemption is invisible in
+//     the final state, bit for bit.
+//   - Fault isolation. Worker panics and unrecoverable numerical
+//     failures are absorbed per job: the job fails, the daemon and
+//     every other job keep running. Serial jobs run under the
+//     resilience guard, so injected or organic numerical faults are
+//     retried with halved steps and the dissipative fallback first.
+//   - Graceful drain. Drain checkpoints every in-flight job into a
+//     spool directory; a later LoadSpool re-admits them, resuming
+//     parked work bit-exactly.
+package serve
+
+import (
+	"bytes"
+	"container/heap"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+
+	"rhsc"
+	"rhsc/internal/metrics"
+	"rhsc/internal/output"
+)
+
+// Quota bounds one tenant. Zero fields are unlimited.
+type Quota struct {
+	// MaxActive caps the tenant's in-flight jobs (queued + parked +
+	// running).
+	MaxActive int `json:"max_active,omitempty"`
+	// Budget caps the tenant's lifetime zone-update spend: admission
+	// reserves each job's worst-case cost estimate and reconciles to
+	// actual usage when the job finishes.
+	Budget int64 `json:"budget,omitempty"`
+}
+
+// Config sizes the server. Zero fields take the documented defaults.
+type Config struct {
+	// Workers is the pool size (default 2).
+	Workers int
+	// MaxQueue caps waiting jobs — queued plus parked (default 64).
+	MaxQueue int
+	// MaxJobCost rejects any single job whose worst-case cost estimate
+	// exceeds it (0 = unlimited).
+	MaxJobCost int64
+	// DefaultQuota applies to tenants absent from Quotas.
+	DefaultQuota Quota
+	// Quotas maps tenant names to their quota.
+	Quotas map[string]Quota
+	// Counters, when non-nil, shares serving counters with the caller
+	// (benchmark harness, metrics endpoint); otherwise the server owns
+	// a private set.
+	Counters *metrics.ServeCounters
+}
+
+// tenantAcct tracks one tenant's quota consumption.
+type tenantAcct struct {
+	quota    Quota
+	active   int   // queued + parked + running jobs
+	reserved int64 // admission-reserved cost of active jobs
+	used     int64 // actual zone updates of finished jobs
+}
+
+// Server is the job scheduler and worker pool. Create with New; all
+// methods are safe for concurrent use.
+type Server struct {
+	cfg Config
+	// C is the serving counter set (shared or owned).
+	C *metrics.ServeCounters
+
+	mu        sync.Mutex
+	cond      *sync.Cond
+	queue     jobHeap
+	jobs      map[string]*job
+	running   map[*job]struct{}
+	tenants   map[string]*tenantAcct
+	seq       uint64
+	ids       uint64
+	stopping  bool
+	drainErrs []error
+	wg        sync.WaitGroup
+}
+
+// New builds the server and starts its worker pool.
+func New(cfg Config) *Server {
+	if cfg.Workers <= 0 {
+		cfg.Workers = 2
+	}
+	if cfg.MaxQueue <= 0 {
+		cfg.MaxQueue = 64
+	}
+	s := &Server{
+		cfg:     cfg,
+		C:       cfg.Counters,
+		jobs:    make(map[string]*job),
+		running: make(map[*job]struct{}),
+		tenants: make(map[string]*tenantAcct),
+	}
+	if s.C == nil {
+		s.C = &metrics.ServeCounters{}
+	}
+	s.cond = sync.NewCond(&s.mu)
+	for i := 0; i < cfg.Workers; i++ {
+		s.wg.Add(1)
+		go s.worker()
+	}
+	return s
+}
+
+// Workers returns the pool size.
+func (s *Server) Workers() int { return s.cfg.Workers }
+
+// Metrics snapshots the serving counters.
+func (s *Server) Metrics() metrics.ServeSnapshot { return s.C.Snapshot() }
+
+// TenantUsage reports a tenant's quota consumption.
+func (s *Server) TenantUsage(name string) (active int, reserved, used int64) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if t, ok := s.tenants[name]; ok {
+		return t.active, t.reserved, t.used
+	}
+	return 0, 0, 0
+}
+
+// tenantLocked returns (creating if needed) the accounting bucket.
+func (s *Server) tenantLocked(name string) *tenantAcct {
+	t, ok := s.tenants[name]
+	if !ok {
+		q := s.cfg.DefaultQuota
+		if qq, ok := s.cfg.Quotas[name]; ok {
+			q = qq
+		}
+		t = &tenantAcct{quota: q}
+		s.tenants[name] = t
+	}
+	return t
+}
+
+// Submit runs admission control and either queues the job or records a
+// rejection. The returned Status is the job's initial snapshot — state
+// Queued, or RejectedState with Reason set. An error is returned only
+// for invalid specs (the HTTP layer maps it to 400; rejections map to
+// 429).
+func (s *Server) Submit(spec JobSpec) (Status, error) {
+	if err := spec.Validate(); err != nil {
+		return Status{}, err
+	}
+	cost, err := spec.Cost()
+	if err != nil {
+		return Status{}, err
+	}
+	now := time.Now()
+
+	s.mu.Lock()
+	s.ids++
+	s.seq++
+	j := &job{
+		id:        fmt.Sprintf("j%06d", s.ids),
+		spec:      spec,
+		seq:       s.seq,
+		cost:      cost,
+		state:     Queued,
+		submitted: now,
+		heapIdx:   -1,
+	}
+	s.jobs[j.id] = j
+
+	reject := func(reason string) (Status, error) {
+		j.state = RejectedState
+		j.reason = reason
+		j.finished = now
+		s.C.Rejected.Add(1)
+		s.mu.Unlock()
+		return j.status(), nil
+	}
+	if s.stopping {
+		return reject("server draining")
+	}
+	if s.cfg.MaxJobCost > 0 && cost > s.cfg.MaxJobCost {
+		return reject(fmt.Sprintf("job cost %d exceeds per-job limit %d", cost, s.cfg.MaxJobCost))
+	}
+	ten := s.tenantLocked(spec.tenant())
+	if ten.quota.MaxActive > 0 && ten.active >= ten.quota.MaxActive {
+		return reject(fmt.Sprintf("tenant %q concurrency limit %d reached",
+			spec.tenant(), ten.quota.MaxActive))
+	}
+	if ten.quota.Budget > 0 && ten.used+ten.reserved+cost > ten.quota.Budget {
+		return reject(fmt.Sprintf("tenant %q budget exhausted (%d used + %d reserved + %d requested > %d)",
+			spec.tenant(), ten.used, ten.reserved, cost, ten.quota.Budget))
+	}
+	if len(s.queue) >= s.cfg.MaxQueue {
+		return reject(fmt.Sprintf("queue full (%d waiting)", len(s.queue)))
+	}
+
+	ten.active++
+	ten.reserved += cost
+	heap.Push(&s.queue, j)
+	s.C.Accepted.Add(1)
+	s.C.QueueDepth.Store(int64(len(s.queue)))
+	s.maybePreemptLocked(spec.Priority)
+	s.cond.Signal()
+	s.mu.Unlock()
+	return j.status(), nil
+}
+
+// maybePreemptLocked flags the lowest-priority running job for
+// checkpoint-preemption when the pool is saturated and a strictly
+// higher-priority job just arrived. Among equal-priority victims the
+// latest arrival yields (it has lost the least progress on average).
+// Called with s.mu held.
+func (s *Server) maybePreemptLocked(pri int) {
+	if len(s.running) < s.cfg.Workers {
+		return // an idle worker will pick the arrival up directly
+	}
+	var victim *job
+	for j := range s.running {
+		if j.spec.Priority >= pri {
+			continue
+		}
+		if victim == nil || j.spec.Priority < victim.spec.Priority ||
+			(j.spec.Priority == victim.spec.Priority && j.seq > victim.seq) {
+			victim = j
+		}
+	}
+	if victim != nil {
+		victim.preempt.Store(true)
+	}
+}
+
+// Get returns a job's status.
+func (s *Server) Get(id string) (Status, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return Status{}, false
+	}
+	return j.status(), true
+}
+
+// List returns every known job's status in arrival order.
+func (s *Server) List() []Status {
+	s.mu.Lock()
+	js := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		js = append(js, j)
+	}
+	s.mu.Unlock()
+	sort.Slice(js, func(i, k int) bool { return js[i].seq < js[k].seq })
+	out := make([]Status, len(js))
+	for i, j := range js {
+		out[i] = j.status()
+	}
+	return out
+}
+
+// Watch subscribes to a job's progress stream. The channel delivers a
+// Status per progress event and closes after the terminal one; call
+// cancel when done early.
+func (s *Server) Watch(id string) (<-chan Status, func(), bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, nil, false
+	}
+	ch, cancel := j.subscribe()
+	return ch, cancel, true
+}
+
+// Wait blocks until the job reaches a terminal state and returns it.
+func (s *Server) Wait(id string) (Status, error) {
+	ch, cancel, ok := s.Watch(id)
+	if !ok {
+		return Status{}, fmt.Errorf("serve: unknown job %q", id)
+	}
+	defer cancel()
+	for range ch {
+	}
+	st, _ := s.Get(id)
+	return st, nil
+}
+
+// Result returns a finished job's deliverable (CSV), or false when the
+// job is unknown or not Done.
+func (s *Server) Result(id string) ([]byte, bool) {
+	s.mu.Lock()
+	j, ok := s.jobs[id]
+	s.mu.Unlock()
+	if !ok {
+		return nil, false
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != Done || j.result == nil {
+		return nil, false
+	}
+	return j.result, true
+}
+
+// --- worker pool --------------------------------------------------------
+
+func (s *Server) worker() {
+	defer s.wg.Done()
+	for {
+		s.mu.Lock()
+		for len(s.queue) == 0 && !s.stopping {
+			s.cond.Wait()
+		}
+		if s.stopping {
+			s.mu.Unlock()
+			return
+		}
+		j := heap.Pop(&s.queue).(*job)
+		s.running[j] = struct{}{}
+		s.C.QueueDepth.Store(int64(len(s.queue)))
+		s.C.BusyWorkers.Add(1)
+		s.mu.Unlock()
+
+		s.runJob(j)
+
+		s.mu.Lock()
+		delete(s.running, j)
+		s.C.BusyWorkers.Add(-1)
+		s.mu.Unlock()
+	}
+}
+
+// runJob drives one job segment: fresh start or bit-exact resume, step
+// loop with preemption checks, and the terminal transition. Worker
+// panics are absorbed here — the job fails, the daemon survives.
+func (s *Server) runJob(j *job) {
+	defer func() {
+		if r := recover(); r != nil {
+			s.fail(j, fmt.Sprintf("worker panic absorbed: %v", r))
+		}
+	}()
+
+	j.mu.Lock()
+	spec := j.spec
+	snap := j.snapshot
+	j.snapshot = nil
+	resumed := snap != nil
+	j.state = Running
+	if j.started.IsZero() {
+		j.started = time.Now()
+	}
+	stepBase := j.stepBase
+	j.mu.Unlock()
+	if resumed {
+		s.C.Parked.Add(-1)
+		s.C.Resumed.Add(1)
+	}
+
+	var runner rhsc.JobRunner
+	var err error
+	if resumed {
+		runner, err = rhsc.ResumeJobRunner(bytes.NewReader(snap), spec.options(), spec.AMR, spec.TEnd)
+		if err == nil {
+			runner.SetStepBase(stepBase)
+		}
+	} else {
+		runner, err = rhsc.NewJobRunner(spec.options(), spec.amrOptions(), spec.TEnd)
+	}
+	if err != nil {
+		s.fail(j, buildReason(err, resumed))
+		return
+	}
+	if spec.Inject != nil {
+		if err := runner.InjectFault(rhsc.FaultInjection{
+			AtStep: spec.Inject.AtStep, Count: spec.Inject.Count,
+			Cell: spec.Inject.Cell, Unphysical: spec.Inject.Unphysical,
+			InStage: spec.Inject.InStage,
+		}); err != nil {
+			s.fail(j, err.Error())
+			return
+		}
+	}
+	j.mu.Lock()
+	j.tEnd = runner.TEnd()
+	j.mu.Unlock()
+	j.publish()
+
+	report := spec.ReportEvery
+	if report <= 0 {
+		report = 16
+	}
+	for {
+		if runner.Time() >= runner.TEnd()-1e-14 {
+			s.complete(j, runner)
+			return
+		}
+		if spec.MaxSteps > 0 && runner.Steps() >= spec.MaxSteps {
+			s.complete(j, runner)
+			return
+		}
+		if j.preempt.Load() {
+			if s.park(j, runner) {
+				return
+			}
+		}
+		if _, err := runner.StepOnce(); err != nil {
+			s.progress(j, runner)
+			s.fail(j, err.Error())
+			return
+		}
+		if spec.PanicAtStep > 0 && runner.Steps() >= spec.PanicAtStep {
+			panic(fmt.Sprintf("injected panic at step %d", runner.Steps()))
+		}
+		s.progress(j, runner)
+		if runner.Steps()%report == 0 {
+			j.publish()
+		}
+	}
+}
+
+// progress folds the runner's counters into the job record.
+func (s *Server) progress(j *job, runner rhsc.JobRunner) {
+	j.mu.Lock()
+	j.step = runner.Steps()
+	j.t = runner.Time()
+	j.zones = runner.Zones()
+	j.zoneUpdates = j.zuBase + runner.ZoneUpdates()
+	j.fault = runner.FaultStats()
+	j.mu.Unlock()
+}
+
+// park checkpoints the running job and returns it to the queue; the
+// resumed continuation is bit-identical to never having parked. A
+// checkpoint failure outside a drain abandons the preemption (the job
+// keeps its worker); during a drain it fails the job and records the
+// error so the daemon can exit nonzero.
+func (s *Server) park(j *job, runner rhsc.JobRunner) bool {
+	var buf bytes.Buffer
+	if err := runner.CheckpointExact(&buf); err != nil {
+		j.preempt.Store(false)
+		s.mu.Lock()
+		stopping := s.stopping
+		if stopping {
+			s.drainErrs = append(s.drainErrs,
+				fmt.Errorf("serve: drain checkpoint of %s: %w", j.id, err))
+		}
+		s.mu.Unlock()
+		if stopping {
+			s.fail(j, fmt.Sprintf("drain checkpoint failed: %v", err))
+			return true
+		}
+		return false
+	}
+	s.progress(j, runner)
+	j.mu.Lock()
+	j.snapshot = buf.Bytes()
+	j.stepBase = runner.Steps()
+	if !j.spec.AMR {
+		// Serial solvers count zone updates per segment; AMR trees
+		// persist theirs inside the checkpoint.
+		j.zuBase += runner.ZoneUpdates()
+	}
+	j.state = Parked
+	j.preemptions++
+	j.preempt.Store(false)
+	j.mu.Unlock()
+	s.C.Preempted.Add(1)
+	s.C.Parked.Add(1)
+
+	s.mu.Lock()
+	heap.Push(&s.queue, j)
+	s.C.QueueDepth.Store(int64(len(s.queue)))
+	s.cond.Signal()
+	s.mu.Unlock()
+	j.publish()
+	return true
+}
+
+// complete finishes a job: deliverable, fingerprint, quota
+// reconciliation.
+func (s *Server) complete(j *job, runner rhsc.JobRunner) {
+	var res bytes.Buffer
+	resErr := runner.WriteResult(&res)
+	s.progress(j, runner)
+	j.mu.Lock()
+	j.state = Done
+	j.finished = time.Now()
+	j.fingerprint = runner.Fingerprint()
+	if resErr == nil {
+		j.result = res.Bytes()
+	} else {
+		j.reason = fmt.Sprintf("result serialisation failed: %v", resErr)
+	}
+	j.mu.Unlock()
+	s.release(j)
+	s.C.Completed.Add(1)
+	j.publish()
+}
+
+// fail terminates a job on an absorbed error.
+func (s *Server) fail(j *job, reason string) {
+	j.mu.Lock()
+	if j.state.terminal() {
+		j.mu.Unlock()
+		return
+	}
+	j.state = Failed
+	j.reason = reason
+	j.finished = time.Now()
+	j.mu.Unlock()
+	s.release(j)
+	s.C.Failed.Add(1)
+	j.publish()
+}
+
+// release returns a terminal job's quota reservation and charges its
+// actual usage.
+func (s *Server) release(j *job) {
+	j.mu.Lock()
+	used := j.zoneUpdates
+	j.mu.Unlock()
+	s.mu.Lock()
+	ten := s.tenantLocked(j.spec.tenant())
+	ten.active--
+	ten.reserved -= j.cost
+	ten.used += used
+	s.mu.Unlock()
+}
+
+// buildReason classifies a construction or resume failure using the
+// checkpoint error taxonomy, so operators can tell an unretryable
+// snapshot (corrupt bytes, config drift) from transient I/O.
+func buildReason(err error, resumed bool) string {
+	if !resumed {
+		return "job construction failed: " + err.Error()
+	}
+	switch {
+	case errors.Is(err, output.ErrCheckpointCorrupt):
+		return "resume failed (fatal: snapshot corrupt): " + err.Error()
+	case errors.Is(err, output.ErrCheckpointMismatch):
+		return "resume failed (fatal: snapshot/config mismatch): " + err.Error()
+	default:
+		return "resume failed (possibly transient): " + err.Error()
+	}
+}
+
+// --- drain and spool ----------------------------------------------------
+
+// spoolMeta is the sidecar JSON written next to each spooled snapshot.
+type spoolMeta struct {
+	ID          string  `json:"id"`
+	Spec        JobSpec `json:"spec"`
+	StepBase    int     `json:"step_base"`
+	ZuBase      int64   `json:"zu_base"`
+	Preemptions int     `json:"preemptions"`
+	HasSnapshot bool    `json:"has_snapshot"`
+}
+
+// Drain stops the server gracefully: admission closes, every running
+// job is checkpoint-preempted, and once the pool is idle the whole
+// queue (parked snapshots and never-started jobs alike) is written to
+// dir — one <id>.json sidecar plus an optional <id>.ckpt snapshot per
+// job. The returned error joins every checkpoint or spool failure; nil
+// means every in-flight job is safely on disk (the daemon exits
+// nonzero only otherwise). An empty dir skips spooling (Close).
+func (s *Server) Drain(dir string) error {
+	s.mu.Lock()
+	if s.stopping {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return nil
+	}
+	s.stopping = true
+	for j := range s.running {
+		j.preempt.Store(true)
+	}
+	s.cond.Broadcast()
+	s.mu.Unlock()
+	s.wg.Wait()
+
+	s.mu.Lock()
+	errs := s.drainErrs
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			errs = append(errs, err)
+		} else {
+			for len(s.queue) > 0 {
+				j := heap.Pop(&s.queue).(*job)
+				if err := spoolJob(dir, j); err != nil {
+					errs = append(errs, err)
+				}
+			}
+			s.C.QueueDepth.Store(0)
+		}
+	}
+	s.mu.Unlock()
+	return errors.Join(errs...)
+}
+
+// Close stops the server without spooling (tests, benchmarks). Running
+// jobs are parked in memory and discarded.
+func (s *Server) Close() { _ = s.Drain("") }
+
+// spoolJob writes one queued/parked job to the spool directory.
+func spoolJob(dir string, j *job) error {
+	j.mu.Lock()
+	meta := spoolMeta{
+		ID: j.id, Spec: j.spec, StepBase: j.stepBase, ZuBase: j.zuBase,
+		Preemptions: j.preemptions, HasSnapshot: j.snapshot != nil,
+	}
+	snap := j.snapshot
+	j.mu.Unlock()
+	blob, err := json.MarshalIndent(&meta, "", "  ")
+	if err != nil {
+		return fmt.Errorf("serve: spool %s: %w", j.id, err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, j.id+".json"), blob, 0o644); err != nil {
+		return fmt.Errorf("serve: spool %s: %w", j.id, err)
+	}
+	if snap != nil {
+		if err := os.WriteFile(filepath.Join(dir, j.id+".ckpt"), snap, 0o644); err != nil {
+			return fmt.Errorf("serve: spool %s: %w", j.id, err)
+		}
+	}
+	return nil
+}
+
+// LoadSpool re-admits jobs spooled by a previous Drain: parked jobs
+// rejoin the queue with their snapshot (and resume bit-exactly),
+// never-started jobs rejoin as queued. Spool files are consumed.
+// Returns the number of jobs loaded; per-job failures are joined into
+// the error but do not stop the sweep.
+func (s *Server) LoadSpool(dir string) (int, error) {
+	metas, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil {
+		return 0, err
+	}
+	sort.Strings(metas)
+	loaded := 0
+	var errs []error
+	for _, mp := range metas {
+		blob, err := os.ReadFile(mp)
+		if err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		var meta spoolMeta
+		if err := json.Unmarshal(blob, &meta); err != nil {
+			errs = append(errs, fmt.Errorf("serve: spool meta %s: %w", mp, err))
+			continue
+		}
+		var snap []byte
+		cp := strings.TrimSuffix(mp, ".json") + ".ckpt"
+		if meta.HasSnapshot {
+			if snap, err = os.ReadFile(cp); err != nil {
+				errs = append(errs, fmt.Errorf("serve: spool snapshot for %s: %w", meta.ID, err))
+				continue
+			}
+		}
+		if err := s.readmit(meta, snap); err != nil {
+			errs = append(errs, err)
+			continue
+		}
+		os.Remove(mp)
+		os.Remove(cp)
+		loaded++
+	}
+	return loaded, errors.Join(errs...)
+}
+
+// readmit enqueues one spooled job, bypassing admission (its quota was
+// granted in the previous life; budgets restart with the process).
+func (s *Server) readmit(meta spoolMeta, snap []byte) error {
+	if err := meta.Spec.Validate(); err != nil {
+		return fmt.Errorf("serve: spooled job %s: %w", meta.ID, err)
+	}
+	cost, err := meta.Spec.Cost()
+	if err != nil {
+		return fmt.Errorf("serve: spooled job %s: %w", meta.ID, err)
+	}
+	now := time.Now()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.stopping {
+		return fmt.Errorf("serve: spooled job %s: server draining", meta.ID)
+	}
+	s.ids++
+	s.seq++
+	id := meta.ID
+	if _, taken := s.jobs[id]; taken || id == "" {
+		id = fmt.Sprintf("j%06d", s.ids)
+	}
+	j := &job{
+		id: id, spec: meta.Spec, seq: s.seq, cost: cost,
+		state: Queued, submitted: now, heapIdx: -1,
+		stepBase: meta.StepBase, zuBase: meta.ZuBase,
+		preemptions: meta.Preemptions, snapshot: snap,
+	}
+	if snap != nil {
+		j.state = Parked
+		s.C.Parked.Add(1)
+	}
+	ten := s.tenantLocked(meta.Spec.tenant())
+	ten.active++
+	ten.reserved += cost
+	s.jobs[id] = j
+	heap.Push(&s.queue, j)
+	s.C.Accepted.Add(1)
+	s.C.QueueDepth.Store(int64(len(s.queue)))
+	s.cond.Signal()
+	return nil
+}

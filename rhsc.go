@@ -21,8 +21,11 @@
 package rhsc
 
 import (
+	"encoding/binary"
 	"fmt"
+	"hash/fnv"
 	"io"
+	"math"
 	"time"
 
 	"rhsc/internal/amr"
@@ -32,10 +35,12 @@ import (
 	"rhsc/internal/exact"
 	"rhsc/internal/grid"
 	"rhsc/internal/hetero"
+	"rhsc/internal/metrics"
 	"rhsc/internal/newton"
 	"rhsc/internal/output"
 	"rhsc/internal/par"
 	"rhsc/internal/recon"
+	"rhsc/internal/resilience"
 	"rhsc/internal/riemann"
 	"rhsc/internal/state"
 	"rhsc/internal/testprob"
@@ -151,6 +156,15 @@ func buildConfig(o Options) (*testprob.Problem, core.Config, error) {
 // Problems lists the catalogued problem names.
 func Problems() []string { return testprob.Names() }
 
+// CheckOptions validates the options without allocating a grid: the
+// problem name, scheme names and integrator are resolved exactly as
+// NewSim would. The job server uses it for admission-time validation of
+// queued specs whose grids are only built at dispatch.
+func CheckOptions(o Options) error {
+	_, _, err := buildConfig(o)
+	return err
+}
+
 // Sim is a single-grid simulation.
 type Sim struct {
 	Problem *testprob.Problem
@@ -229,19 +243,31 @@ func (s *Sim) WriteProfile(w io.Writer) error { return output.WriteProfileCSV(w,
 // WriteSlab writes the 2-D slab as CSV.
 func (s *Sim) WriteSlab(w io.Writer) error { return output.WriteSlabCSV(w, s.Grid) }
 
-// Checkpoint writes a restartable snapshot.
+// Checkpoint writes a restartable snapshot (conserved state only; a
+// restore re-derives primitives, so the restarted run is accurate but
+// not bit-identical). Use CheckpointExact for exact continuation.
 func (s *Sim) Checkpoint(w io.Writer) error {
 	return output.SaveCheckpoint(w, s.Grid, s.Solver.Time())
 }
 
-// Restore rebuilds a Sim from a checkpoint written by Checkpoint. The
-// options must name the same problem and method.
+// CheckpointExact writes a snapshot carrying both conserved and
+// primitive fields (ghosts included): Restore continues the run
+// bit-identically to the uninterrupted one — the property the job
+// server's checkpoint-based preemption relies on.
+func (s *Sim) CheckpointExact(w io.Writer) error {
+	return output.SaveCheckpointExact(w, s.Grid, s.Solver.Time())
+}
+
+// Restore rebuilds a Sim from a checkpoint written by Checkpoint or
+// CheckpointExact. The options must name the same problem and method.
+// Exact checkpoints restore the primitive field bitwise and skip
+// re-recovery, so the resumed run continues round-off-exactly.
 func Restore(r io.Reader, o Options) (*Sim, error) {
 	p, cfg, err := buildConfig(o)
 	if err != nil {
 		return nil, err
 	}
-	g, t, err := output.LoadCheckpoint(r)
+	g, t, prims, err := output.LoadCheckpointFull(r)
 	if err != nil {
 		return nil, err
 	}
@@ -250,7 +276,9 @@ func Restore(r io.Reader, o Options) (*Sim, error) {
 		return nil, err
 	}
 	s.SetTime(t)
-	s.RecoverPrimitives()
+	if !prims {
+		s.RecoverPrimitives()
+	}
 	return &Sim{Problem: p, Solver: s, Grid: g, opts: o}, nil
 }
 
@@ -554,6 +582,10 @@ func (a *AMRSim) Stats() (leaves, zones int, maxLevel int, zoneUpdates int64) {
 // Checkpoint writes the full hierarchy (structure + conserved data).
 func (a *AMRSim) Checkpoint(w io.Writer) error { return a.Tree.Save(w) }
 
+// CheckpointExact writes the hierarchy with both conserved and
+// primitive leaf fields, so RestoreAMR continues bit-identically.
+func (a *AMRSim) CheckpointExact(w io.Writer) error { return a.Tree.SaveExact(w) }
+
 // RestoreAMR rebuilds an adaptive simulation from a checkpoint written by
 // AMRSim.Checkpoint. The numerical method is rebuilt from the options
 // (which must use the same reconstruction ghost width).
@@ -567,6 +599,263 @@ func RestoreAMR(r io.Reader, o Options) (*AMRSim, error) {
 		return nil, err
 	}
 	return &AMRSim{Problem: tr.Problem(), Tree: tr}, nil
+}
+
+// --- Job running (serving layer) -----------------------------------------
+
+// FaultSnapshot re-exports the resilience counters a job reports.
+type FaultSnapshot = metrics.FaultSnapshot
+
+// FaultInjection schedules one deterministic state corruption for chaos
+// testing a guarded job: at committed step AtStep the conserved energy
+// of Cell (negative = domain centre) is poisoned for Count consecutive
+// attempts (NaN, or a finite tau<0 when Unphysical). InStage lands the
+// poison mid-step through the solver's fault hook instead of after it.
+// Step indices are absolute across preemption: a job parked at step 10
+// and resumed keeps an AtStep=15 injection scheduled.
+type FaultInjection struct {
+	AtStep     int
+	Count      int
+	Cell       int
+	Unphysical bool
+	InStage    bool
+}
+
+// JobRunner is the uniform stepping surface the serving layer drives: a
+// serial Sim under a resilience guard, or an AMRSim. One CFL-limited
+// step at a time (clamped onto the job's end time), exact checkpoints
+// for preemption, and a state fingerprint for round-trip verification.
+// Use from one goroutine.
+type JobRunner interface {
+	// StepOnce advances one CFL-limited step clamped to TEnd and returns
+	// the dt committed. Numerical faults in serial jobs are absorbed by
+	// the guard (retry with halved dt, dissipative fallback) before an
+	// error surfaces.
+	StepOnce() (float64, error)
+	// Time is the current solution time; TEnd the job's end time.
+	Time() float64
+	TEnd() float64
+	// Steps counts committed steps, continuing across checkpoint/resume
+	// (serial runners via SetStepBase, AMR trees persist their counter).
+	Steps() int
+	// SetStepBase aligns the committed-step counter of a resumed serial
+	// runner with the parked run (no-op for AMR).
+	SetStepBase(n int)
+	// Zones is the current active interior zone count (AMR: over leaves).
+	Zones() int
+	// ZoneUpdates is the cumulative zones × RHS evaluations.
+	ZoneUpdates() int64
+	// CheckpointExact writes a snapshot from which ResumeJobRunner
+	// continues bit-identically to an uninterrupted run.
+	CheckpointExact(w io.Writer) error
+	// Fingerprint hashes time and the full conserved + primitive state
+	// (FNV-1a); equal fingerprints mean bitwise-identical solutions.
+	Fingerprint() uint64
+	// FaultStats reports the job's resilience counters (zero for AMR
+	// jobs, which do not run under a guard).
+	FaultStats() FaultSnapshot
+	// InjectFault schedules a deterministic corruption (serial jobs
+	// only; an error for AMR runners).
+	InjectFault(f FaultInjection) error
+	// WriteResult writes the job's deliverable: the primitive profile
+	// (1-D) or slab (2-D) as CSV; AMR runners sample a root-resolution
+	// centerline profile.
+	WriteResult(w io.Writer) error
+}
+
+// NewJobRunner builds a runner from options: serial when ao is nil, AMR
+// otherwise. tEnd ≤ 0 selects the problem's canonical end time.
+func NewJobRunner(o Options, ao *AMROptions, tEnd float64) (JobRunner, error) {
+	if ao != nil {
+		a, err := NewAMRSim(o, *ao)
+		if err != nil {
+			return nil, err
+		}
+		return newAMRRunner(a, tEnd), nil
+	}
+	sim, err := NewSim(o)
+	if err != nil {
+		return nil, err
+	}
+	// Advance's first-step recovery, done once up front so StepOnce is
+	// uniform; a resumed runner must NOT repeat it (see ResumeJobRunner).
+	sim.Solver.RecoverPrimitives()
+	return newSimRunner(sim, tEnd), nil
+}
+
+// ResumeJobRunner rebuilds a parked runner from a CheckpointExact
+// snapshot; the continued run is bit-identical to one that was never
+// parked. amrJob selects the checkpoint format; the options must match
+// the parked job's.
+func ResumeJobRunner(r io.Reader, o Options, amrJob bool, tEnd float64) (JobRunner, error) {
+	if amrJob {
+		a, err := RestoreAMR(r, o)
+		if err != nil {
+			return nil, err
+		}
+		return newAMRRunner(a, tEnd), nil
+	}
+	sim, err := Restore(r, o)
+	if err != nil {
+		return nil, err
+	}
+	// No recovery here: Restore filled W bit-exactly from the exact
+	// checkpoint, and re-recovering would reseed the Newton iteration
+	// off the uninterrupted trajectory.
+	return newSimRunner(sim, tEnd), nil
+}
+
+// hashFloats folds a float64 slice into an FNV-1a digest.
+func hashFloats(h io.Writer, vs []float64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], math.Float64bits(v))
+		h.Write(buf[:])
+	}
+}
+
+// simRunner drives a serial Sim under a resilience guard.
+type simRunner struct {
+	sim   *Sim
+	guard *resilience.Guard
+	tEnd  float64
+}
+
+func newSimRunner(sim *Sim, tEnd float64) *simRunner {
+	if tEnd <= 0 {
+		tEnd = sim.Problem.TEnd
+	}
+	return &simRunner{
+		sim:   sim,
+		guard: resilience.NewGuard(sim.Solver, resilience.Policy{}),
+		tEnd:  tEnd,
+	}
+}
+
+func (r *simRunner) StepOnce() (float64, error) {
+	s := r.sim.Solver
+	dt := s.MaxDt()
+	if s.Time()+dt > r.tEnd {
+		dt = r.tEnd - s.Time()
+	}
+	if dt <= 0 {
+		return 0, fmt.Errorf("rhsc: time step underflow at t=%v", s.Time())
+	}
+	return r.guard.Step(dt)
+}
+
+func (r *simRunner) Time() float64       { return r.sim.Time() }
+func (r *simRunner) TEnd() float64       { return r.tEnd }
+func (r *simRunner) Steps() int          { return r.guard.Steps() }
+func (r *simRunner) SetStepBase(n int)   { r.guard.SetSteps(n) }
+func (r *simRunner) ZoneUpdates() int64  { return r.sim.ZoneUpdates() }
+func (r *simRunner) Zones() int {
+	g := r.sim.Grid
+	return g.Nx * g.Ny * g.Nz
+}
+
+func (r *simRunner) CheckpointExact(w io.Writer) error { return r.sim.CheckpointExact(w) }
+
+func (r *simRunner) Fingerprint() uint64 {
+	h := fnv.New64a()
+	var buf [8]byte
+	binary.LittleEndian.PutUint64(buf[:], math.Float64bits(r.sim.Time()))
+	h.Write(buf[:])
+	hashFloats(h, r.sim.Grid.U.Raw())
+	hashFloats(h, r.sim.Grid.W.Raw())
+	return h.Sum64()
+}
+
+func (r *simRunner) FaultStats() FaultSnapshot { return r.guard.Stats.Snapshot() }
+
+func (r *simRunner) InjectFault(f FaultInjection) error {
+	r.guard.Inject = &resilience.Injector{
+		AtStep: f.AtStep, Count: f.Count, Cell: f.Cell,
+		Unphysical: f.Unphysical, InStage: f.InStage,
+	}
+	if f.Cell == 0 {
+		r.guard.Inject.Cell = -1
+	}
+	return nil
+}
+
+func (r *simRunner) WriteResult(w io.Writer) error {
+	if r.sim.Grid.Ny > 1 {
+		return r.sim.WriteSlab(w)
+	}
+	return r.sim.WriteProfile(w)
+}
+
+// amrRunner drives an AMRSim.
+type amrRunner struct {
+	sim  *AMRSim
+	tEnd float64
+}
+
+func newAMRRunner(a *AMRSim, tEnd float64) *amrRunner {
+	if tEnd <= 0 {
+		tEnd = a.Problem.TEnd
+	}
+	return &amrRunner{sim: a, tEnd: tEnd}
+}
+
+func (r *amrRunner) StepOnce() (float64, error) {
+	t := r.sim.Tree
+	dt := t.MaxDt()
+	if t.Time()+dt > r.tEnd {
+		dt = r.tEnd - t.Time()
+	}
+	if dt <= 0 {
+		return 0, fmt.Errorf("rhsc: time step underflow at t=%v", t.Time())
+	}
+	return dt, t.Step(dt)
+}
+
+func (r *amrRunner) Time() float64      { return r.sim.Tree.Time() }
+func (r *amrRunner) TEnd() float64      { return r.tEnd }
+func (r *amrRunner) Steps() int         { return r.sim.Tree.Steps() }
+func (r *amrRunner) SetStepBase(int)    {} // the tree persists its own counter
+func (r *amrRunner) Zones() int         { return r.sim.Tree.TotalZones() }
+func (r *amrRunner) ZoneUpdates() int64 { return r.sim.Tree.ZoneUpdates() }
+
+func (r *amrRunner) CheckpointExact(w io.Writer) error { return r.sim.CheckpointExact(w) }
+func (r *amrRunner) Fingerprint() uint64               { return r.sim.Tree.Fingerprint() }
+func (r *amrRunner) FaultStats() FaultSnapshot {
+	return FaultSnapshot{
+		Troubled: r.sim.Tree.TroubledCells(),
+		Repaired: r.sim.Tree.RepairedCells(),
+	}
+}
+
+func (r *amrRunner) InjectFault(FaultInjection) error {
+	return fmt.Errorf("rhsc: fault injection requires a serial job")
+}
+
+func (r *amrRunner) WriteResult(w io.Writer) error {
+	t := r.sim.Tree
+	nbx, _ := t.RootBlocks()
+	// Root-resolution centerline sample: enough to plot the solution
+	// without serialising the hierarchy.
+	n := nbx * t.BlockSize()
+	if n < 64 {
+		n = 64
+	}
+	p := r.sim.Problem
+	dx := (p.X1 - p.X0) / float64(n)
+	ymid := 0.0
+	if p.Dim >= 2 {
+		ymid = 0.5 * (p.Y0 + p.Y1)
+	}
+	fmt.Fprintln(w, "x,rho,vx,vy,p")
+	for i := 0; i < n; i++ {
+		x := p.X0 + (float64(i)+0.5)*dx
+		pr := t.SampleAt(x, ymid)
+		if _, err := fmt.Fprintf(w, "%.12g,%.12g,%.12g,%.12g,%.12g\n",
+			x, pr.Rho, pr.Vx, pr.Vy, pr.P); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 // --- Newtonian baseline --------------------------------------------------

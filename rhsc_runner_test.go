@@ -1,0 +1,176 @@
+package rhsc
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// stepN commits n CFL-limited steps.
+func stepN(t *testing.T, r JobRunner, n int) {
+	t.Helper()
+	for i := 0; i < n; i++ {
+		if _, err := r.StepOnce(); err != nil {
+			t.Fatalf("step %d: %v", r.Steps(), err)
+		}
+	}
+}
+
+// TestJobRunnerSerialResumeBitwise pins the property the job server's
+// preemption relies on: checkpoint → park → resume is invisible in the
+// final state, bit for bit, for a serial guarded run.
+func TestJobRunnerSerialResumeBitwise(t *testing.T) {
+	opts := Options{Problem: "sod", N: 128}
+
+	quiet, err := NewJobRunner(opts, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, quiet, 20)
+
+	r1, err := NewJobRunner(opts, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, r1, 8)
+	var snap bytes.Buffer
+	if err := r1.CheckpointExact(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ResumeJobRunner(&snap, opts, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.SetStepBase(r1.Steps())
+	if r2.Steps() != 8 {
+		t.Fatalf("resumed step counter %d, want 8", r2.Steps())
+	}
+	if got, want := r2.Fingerprint(), r1.Fingerprint(); got != want {
+		t.Fatalf("state changed across checkpoint round trip: %016x != %016x", got, want)
+	}
+	stepN(t, r2, 12)
+
+	if r2.Time() != quiet.Time() {
+		t.Fatalf("resumed time %v != uninterrupted %v (must be bitwise equal)",
+			r2.Time(), quiet.Time())
+	}
+	if got, want := r2.Fingerprint(), quiet.Fingerprint(); got != want {
+		t.Fatalf("resumed run diverged from uninterrupted: %016x != %016x", got, want)
+	}
+
+	// The deliverables agree byte for byte too.
+	var a, b strings.Builder
+	if err := quiet.WriteResult(&a); err != nil {
+		t.Fatal(err)
+	}
+	if err := r2.WriteResult(&b); err != nil {
+		t.Fatal(err)
+	}
+	if a.String() != b.String() {
+		t.Fatal("resumed result CSV differs from uninterrupted")
+	}
+}
+
+// TestJobRunnerAMRResumeBitwise parks an AMR run between regrids (step
+// 10, RegridEvery 4) so the resumed tree must regrid at steps 12, 16,
+// 20 exactly as the uninterrupted one does — the persisted step counter
+// carries the cadence across the checkpoint.
+func TestJobRunnerAMRResumeBitwise(t *testing.T) {
+	opts := Options{Problem: "sod", N: 128}
+	ao := &AMROptions{MaxLevel: 2, RootBlocks: 8}
+
+	quiet, err := NewJobRunner(opts, ao, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, quiet, 20)
+
+	r1, err := NewJobRunner(opts, ao, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, r1, 10)
+	var snap bytes.Buffer
+	if err := r1.CheckpointExact(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ResumeJobRunner(&snap, opts, true, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Steps() != 10 {
+		t.Fatalf("resumed tree step counter %d, want 10", r2.Steps())
+	}
+	if got, want := r2.Fingerprint(), r1.Fingerprint(); got != want {
+		t.Fatalf("tree changed across checkpoint round trip: %016x != %016x", got, want)
+	}
+	stepN(t, r2, 10)
+
+	if got, want := r2.Fingerprint(), quiet.Fingerprint(); got != want {
+		t.Fatalf("resumed AMR run diverged from uninterrupted: %016x != %016x", got, want)
+	}
+	if r2.Zones() != quiet.Zones() {
+		t.Fatalf("active zones diverged: %d != %d", r2.Zones(), quiet.Zones())
+	}
+}
+
+// TestJobRunnerInjectionAcrossResume checks that absolute fault
+// schedules survive preemption: an injection at step 12 lands in the
+// resumed segment (parked at 8) exactly as in an uninterrupted run.
+func TestJobRunnerInjectionAcrossResume(t *testing.T) {
+	opts := Options{Problem: "sod", N: 64}
+	inject := FaultInjection{AtStep: 12, Count: 1}
+
+	quiet, err := NewJobRunner(opts, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := quiet.InjectFault(inject); err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, quiet, 16)
+	if quiet.FaultStats().Injected != 1 {
+		t.Fatalf("uninterrupted run injected %d faults, want 1", quiet.FaultStats().Injected)
+	}
+
+	r1, err := NewJobRunner(opts, nil, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r1.InjectFault(inject); err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, r1, 8)
+	if r1.FaultStats().Injected != 0 {
+		t.Fatalf("fault fired before its step: %+v", r1.FaultStats())
+	}
+	var snap bytes.Buffer
+	if err := r1.CheckpointExact(&snap); err != nil {
+		t.Fatal(err)
+	}
+	r2, err := ResumeJobRunner(&snap, opts, false, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2.SetStepBase(r1.Steps())
+	if err := r2.InjectFault(inject); err != nil {
+		t.Fatal(err)
+	}
+	stepN(t, r2, 8)
+	if r2.FaultStats().Injected != 1 {
+		t.Fatalf("resumed run injected %d faults, want 1 (absolute schedule)",
+			r2.FaultStats().Injected)
+	}
+}
+
+// TestJobRunnerAMRRejectsInjection documents the serial-only contract.
+func TestJobRunnerAMRRejectsInjection(t *testing.T) {
+	r, err := NewJobRunner(Options{Problem: "sod", N: 128},
+		&AMROptions{MaxLevel: 1, RootBlocks: 8}, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := r.InjectFault(FaultInjection{AtStep: 1}); err == nil {
+		t.Fatal("AMR runner accepted a fault injection")
+	}
+}

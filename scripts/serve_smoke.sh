@@ -1,0 +1,57 @@
+#!/usr/bin/env bash
+# Smoke test for the rhscd daemon: boot it on a free port, submit a
+# quickstart sod job over the HTTP API, poll it to completion, fetch
+# the CSV result, then SIGTERM the daemon and require a clean drain
+# (exit 0). Run from the repository root; needs only go and curl.
+set -euo pipefail
+
+ADDR="127.0.0.1:18080"
+SPOOL="$(mktemp -d)"
+LOG="$(mktemp)"
+trap 'kill "$PID" 2>/dev/null || true; rm -rf "$SPOOL" "$LOG" rhscd-smoke' EXIT
+
+go build -o rhscd-smoke ./cmd/rhscd
+./rhscd-smoke -addr "$ADDR" -workers 2 -spool "$SPOOL" >"$LOG" 2>&1 &
+PID=$!
+
+# Wait for the daemon to listen.
+for _ in $(seq 1 50); do
+    if curl -sf "http://$ADDR/v1/metrics" >/dev/null 2>&1; then
+        break
+    fi
+    sleep 0.1
+done
+curl -sf "http://$ADDR/v1/metrics" >/dev/null || { cat "$LOG"; echo "daemon never came up"; exit 1; }
+
+# Submit a quickstart job and remember its id.
+SUBMIT=$(curl -sf -X POST -d '{"problem":"sod","n":128,"max_steps":40}' "http://$ADDR/v1/jobs")
+echo "submit: $SUBMIT"
+ID=$(echo "$SUBMIT" | sed -n 's/.*"id": *"\([^"]*\)".*/\1/p')
+[ -n "$ID" ] || { echo "no job id in response"; exit 1; }
+
+# Poll until terminal.
+STATE=""
+for _ in $(seq 1 100); do
+    STATUS=$(curl -sf "http://$ADDR/v1/jobs/$ID")
+    STATE=$(echo "$STATUS" | sed -n 's/.*"state": *"\([^"]*\)".*/\1/p')
+    case "$STATE" in
+        done|failed|rejected) break ;;
+    esac
+    sleep 0.1
+done
+echo "final state: $STATE"
+[ "$STATE" = "done" ] || { echo "$STATUS"; cat "$LOG"; exit 1; }
+
+# The result endpoint serves the CSV profile. (Buffer the body before
+# head: with pipefail, head closing the pipe early would fail curl.)
+RESULT=$(curl -sf "http://$ADDR/v1/jobs/$ID/result")
+echo "$RESULT" | head -1 | grep -q '^x,' || {
+    echo "result endpoint did not serve a CSV profile"; exit 1; }
+
+# Graceful shutdown: SIGTERM must drain and exit 0.
+kill -TERM "$PID"
+if ! wait "$PID"; then
+    echo "daemon exited nonzero on SIGTERM:"; cat "$LOG"; exit 1
+fi
+cat "$LOG"
+echo "serve smoke test passed"
