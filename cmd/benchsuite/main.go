@@ -48,6 +48,7 @@ var experiments = []experiment{
 	{"stepbench", "E14: single-pass step pipeline cost (ns/zone, allocs/step)", (*suite).stepbench},
 	{"failsafe", "E15: fail-safe local repair vs global retry", (*suite).failsafe},
 	{"serve", "E16: job server throughput, queue wait and preemption latency", (*suite).serveBench},
+	{"hetero", "E17: dynamic device router vs static planner on skewed and faulty fleets", (*suite).heteroBench},
 }
 
 type suite struct {

@@ -27,6 +27,7 @@ import (
 	"syscall"
 	"time"
 
+	"rhsc/internal/hetero"
 	"rhsc/internal/serve"
 )
 
@@ -40,6 +41,7 @@ func main() {
 		budget  = flag.Int64("budget", 0, "default per-tenant zone-update budget (0 = unlimited)")
 		active  = flag.Int("active", 0, "default per-tenant concurrent job cap (0 = unlimited)")
 		quotas  = flag.String("quotas", "", "per-tenant overrides, e.g. 'alice=4:1e9,bob=2:0' (maxactive:budget)")
+		fleet   = flag.String("fleet", "", "routed device fleet, e.g. 'cpu8,k20,k20-staged,phi'; jobs land on health-scored capacity (GET /v1/fleet)")
 	)
 	flag.Parse()
 
@@ -50,6 +52,14 @@ func main() {
 	var err error
 	if cfg.Quotas, err = parseQuotas(*quotas); err != nil {
 		log.Fatal(err)
+	}
+	if *fleet != "" {
+		devs, err := hetero.ParseFleet(*fleet)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Placer = serve.NewFleetPlacer(devs...)
+		log.Printf("rhscd: routing jobs across %d device(s): %s", len(devs), *fleet)
 	}
 
 	srv := serve.New(cfg)

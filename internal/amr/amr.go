@@ -45,6 +45,12 @@ type Config struct {
 	CoarsenTol float64
 	// RegridEvery re-evaluates the flags every so many steps (default 4).
 	RegridEvery int
+	// Attach, when non-nil, is called once for every leaf solver the tree
+	// creates — at construction and again for each block born in a
+	// regrid. A heterogeneous executor uses it to install its SweepExec
+	// on every leaf (hetero.Executor.Attach), so strip routing survives
+	// refinement: new leaves come up already routed.
+	Attach func(*core.Solver)
 }
 
 // DefaultConfig returns a reasonable AMR policy over the given core
@@ -219,6 +225,9 @@ func (t *Tree) attachSolver(n *node) error {
 		return err
 	}
 	n.sol = sol
+	if t.cfg.Attach != nil {
+		t.cfg.Attach(sol)
+	}
 	n.rhs = state.NewFields(g.NCells())
 	n.u0 = state.NewFields(g.NCells())
 	return nil

@@ -1,30 +1,26 @@
 // Package hetero models heterogeneous execution of the HRSC solver:
 // accelerator devices, host CPUs, kernel launch and PCIe-style transfer
-// costs, and static vs. dynamic scheduling of the solver's strip sweeps
-// across a mixed device set.
+// costs, and the scheduling of the solver's strip sweeps across a mixed
+// device set — statically, dynamically, or through the health-scored
+// router (see router.go and docs/HETERO.md).
 //
 // Substitution note (see DESIGN.md): pure Go cannot drive real GPUs, so a
 // device executes its kernels on host goroutines for *correctness* while a
 // deterministic virtual clock accounts its *performance* from a calibrated
 // spec (zone throughput, launch latency, transfer latency/bandwidth). The
-// heterogeneous experiments (E7, E8) are statements about those ratios —
-// where the CPU/GPU crossover sits, how much a dynamic work queue recovers
-// on mismatched devices — and the virtual clock reproduces exactly those
-// shapes.
+// heterogeneous experiments (E7, E8, E17) are statements about those
+// ratios — where the CPU/GPU crossover sits, how much a dynamic work queue
+// recovers on mismatched devices, how fast the router walls off a sick
+// device — and the virtual clock reproduces exactly those shapes.
 package hetero
 
 import (
-	"bufio"
 	"errors"
 	"fmt"
-	"io"
 	"math"
-	"sort"
+	"strings"
 	"sync"
 
-	"rhsc/internal/core"
-	"rhsc/internal/metrics"
-	"rhsc/internal/par"
 	"rhsc/internal/state"
 )
 
@@ -66,9 +62,97 @@ type Spec struct {
 	// every kernel — the naive offload pattern the paper's evaluation
 	// contrasts against.
 	Resident bool
+	// Domain names the interconnect locality domain the device hangs off
+	// (a PCIe root complex, a NUMA node). Devices sharing a domain are
+	// "near" each other: the router's affinity term discounts working-set
+	// handoffs inside a domain. Empty means the host domain.
+	Domain string
 	// Workers is the real host parallelism used to execute the device's
 	// kernels (correctness path).
 	Workers int
+}
+
+// ErrBadSpec is the sentinel every Spec validation failure unwraps to.
+var ErrBadSpec = errors.New("hetero: invalid device spec")
+
+// SpecError reports which field of which device's spec was rejected and
+// why; it unwraps to ErrBadSpec.
+type SpecError struct {
+	Name   string  // device name (may be empty)
+	Field  string  // offending Spec field
+	Value  float64 // offending value
+	Reason string
+}
+
+// Error implements error.
+func (e *SpecError) Error() string {
+	return fmt.Sprintf("hetero: device %q: %s = %g %s", e.Name, e.Field, e.Value, e.Reason)
+}
+
+// Unwrap lets errors.Is(err, ErrBadSpec) classify validation failures.
+func (e *SpecError) Unwrap() error { return ErrBadSpec }
+
+// Validate rejects a spec that would poison downstream cost arithmetic
+// with NaN/Inf (zero or negative throughput, bandwidth, or core counts)
+// before a device is ever built from it.
+func (s Spec) Validate() error {
+	bad := func(field string, v float64, reason string) error {
+		return &SpecError{Name: s.Name, Field: field, Value: v, Reason: reason}
+	}
+	if s.ZoneRate <= 0 || math.IsNaN(s.ZoneRate) || math.IsInf(s.ZoneRate, 0) {
+		return bad("ZoneRate", s.ZoneRate, "must be positive and finite")
+	}
+	if s.LaunchLatency < 0 || math.IsNaN(s.LaunchLatency) || math.IsInf(s.LaunchLatency, 0) {
+		return bad("LaunchLatency", s.LaunchLatency, "must be non-negative and finite")
+	}
+	if s.Workers <= 0 {
+		return bad("Workers", float64(s.Workers), "must be a positive core count")
+	}
+	if s.Kind == GPU && !s.Resident {
+		// Only staged accelerators divide by the link bandwidth.
+		if s.TransferBW <= 0 || math.IsNaN(s.TransferBW) || math.IsInf(s.TransferBW, 0) {
+			return bad("TransferBW", s.TransferBW, "must be positive and finite for a staged accelerator")
+		}
+	}
+	if s.TransferLatency < 0 || math.IsNaN(s.TransferLatency) || math.IsInf(s.TransferLatency, 0) {
+		return bad("TransferLatency", s.TransferLatency, "must be non-negative and finite")
+	}
+	return nil
+}
+
+// Fingerprint is the compute fingerprint a device advertises to the
+// router: its throughput relative to a reference host core, its link
+// characteristics, and its interconnect locality. The router plans with
+// fingerprints and *corrects* them with observed health (router.go).
+type Fingerprint struct {
+	// ThroughputX is the device's nominal zone rate in units of one
+	// reference host core (4 Mzones/s, see SpecHostCPU).
+	ThroughputX float64 `json:"throughput_x"`
+	// LinkLatency/LinkBW describe the staging link; zero for devices
+	// that never stage.
+	LinkLatency float64 `json:"link_latency,omitempty"`
+	LinkBW      float64 `json:"link_bw,omitempty"`
+	// Domain is the interconnect locality domain (Spec.Domain).
+	Domain string `json:"domain,omitempty"`
+	// Staged marks a device that pays per-kernel working-set traffic.
+	Staged bool `json:"staged,omitempty"`
+}
+
+// refCoreRate is the fingerprint reference: one 2015-era host core.
+const refCoreRate = 4e6
+
+// Fingerprint derives the spec's compute fingerprint.
+func (s Spec) Fingerprint() Fingerprint {
+	fp := Fingerprint{
+		ThroughputX: s.ZoneRate / refCoreRate,
+		Domain:      s.Domain,
+		Staged:      s.Kind == GPU && !s.Resident,
+	}
+	if fp.Staged {
+		fp.LinkLatency = s.TransferLatency
+		fp.LinkBW = s.TransferBW
+	}
+	return fp
 }
 
 // SpecHostCPU returns a 2015-era multicore host socket: ~4 Mzones/s per
@@ -80,8 +164,9 @@ func SpecHostCPU(cores int) Spec {
 	return Spec{
 		Name:          fmt.Sprintf("host-cpu-%dc", cores),
 		Kind:          CPU,
-		ZoneRate:      4e6 * float64(cores),
+		ZoneRate:      refCoreRate * float64(cores),
 		LaunchLatency: 5e-7,
+		Domain:        "host",
 		Workers:       cores,
 	}
 }
@@ -98,6 +183,7 @@ func SpecK20GPU() Spec {
 		TransferLatency: 10e-6,
 		TransferBW:      6e9,
 		Resident:        true,
+		Domain:          "pcie0",
 		Workers:         4,
 	}
 }
@@ -114,6 +200,7 @@ func SpecXeonPhi() Spec {
 		TransferLatency: 10e-6,
 		TransferBW:      6e9,
 		Resident:        true,
+		Domain:          "pcie1",
 		Workers:         4,
 	}
 }
@@ -136,17 +223,22 @@ type Device struct {
 	busy  float64 // accumulated virtual busy seconds
 	zones int64   // zones processed (load-balance accounting)
 	kerns int64   // kernels launched
+	slow  float64 // chaos latency multiplier (1 = nominal); see chaos.go
 }
 
-// NewDevice wraps a spec, rejecting one that cannot make progress.
+// NewDevice wraps a spec, rejecting (with a *SpecError wrapping
+// ErrBadSpec) one whose zero/negative throughput, bandwidth, or core
+// count would surface as NaN/Inf costs downstream. For compatibility a
+// zero Workers count is defaulted to 1 before validation; negative
+// counts are rejected.
 func NewDevice(s Spec) (*Device, error) {
-	if s.ZoneRate <= 0 {
-		return nil, fmt.Errorf("hetero: device %q needs positive ZoneRate", s.Name)
-	}
-	if s.Workers < 1 {
+	if s.Workers == 0 {
 		s.Workers = 1
 	}
-	return &Device{Spec: s}, nil
+	if err := s.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{Spec: s, slow: 1}, nil
 }
 
 // MustDevice is NewDevice for statically known-good specs (tests,
@@ -163,9 +255,11 @@ func MustDevice(s Spec) *Device {
 // (a non-resident accelerator).
 func (d *Device) Staged() bool { return d.Spec.Kind == GPU && !d.Spec.Resident }
 
-// KernelCost returns the virtual cost of launching and computing one
-// kernel over the given zones (no transfer: DMA is streamed and accounted
-// per sweep phase, see TransferCost).
+// KernelCost returns the *nominal* virtual cost of launching and
+// computing one kernel over the given zones (no transfer: DMA is
+// streamed and accounted per sweep phase, see TransferCost). Planners
+// use this estimate; the clock charge additionally pays any chaos
+// latency multiplier, which only observation can reveal.
 func (d *Device) KernelCost(zones int) float64 {
 	return d.Spec.LaunchLatency + float64(zones)/d.Spec.ZoneRate
 }
@@ -184,13 +278,34 @@ func (d *Device) TransferCost(bytes int) float64 {
 // of the given zones to this device within one sweep phase: launch +
 // compute + (staged) the bandwidth share of its working set. The
 // per-phase transfer latency is amortised and excluded. The dynamic
-// scheduler plans with this estimate.
+// scheduler plans with this estimate; the router replaces the nominal
+// compute term with the observed one (Router.EffPerZone).
 func (d *Device) MarginalCost(zones int) float64 {
 	c := d.KernelCost(zones)
 	if d.Staged() {
 		c += float64(stripBytes(zones)) / d.Spec.TransferBW
 	}
 	return c
+}
+
+// SetSlowdown installs a latency multiplier on the device's clock: every
+// subsequent kernel charge costs slow× its nominal time. The chaos
+// harness uses it for latency-spike and flapping-health injection; a
+// multiplier ≤ 0 or NaN resets to 1.
+func (d *Device) SetSlowdown(slow float64) {
+	if !(slow > 0) || math.IsInf(slow, 0) {
+		slow = 1
+	}
+	d.mu.Lock()
+	d.slow = slow
+	d.mu.Unlock()
+}
+
+// Slowdown returns the current chaos latency multiplier.
+func (d *Device) Slowdown() float64 {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	return d.slow
 }
 
 // Charge adds a completed kernel (launch + compute) to the device's clock.
@@ -200,10 +315,13 @@ func (d *Device) Charge(zones int) float64 {
 }
 
 // chargeInterval charges a kernel and returns its cost and the [start,
-// end) interval on the device's virtual timeline.
+// end) interval on the device's virtual timeline. The chaos slowdown
+// multiplier inflates the charged (observed) cost — planners keep seeing
+// nominal costs, exactly like a real straggler.
 func (d *Device) chargeInterval(zones int) (cost, start, end float64) {
 	cost = d.KernelCost(zones)
 	d.mu.Lock()
+	cost *= d.slow
 	start = d.busy
 	d.busy += cost
 	end = d.busy
@@ -247,485 +365,54 @@ func (d *Device) Kernels() int64 {
 	return d.kerns
 }
 
-// Reset clears the clock and counters.
+// Reset clears the clock, counters, and any chaos slowdown.
 func (d *Device) Reset() {
 	d.mu.Lock()
 	d.busy, d.zones, d.kerns = 0, 0, 0
+	d.slow = 1
 	d.mu.Unlock()
-}
-
-// Policy selects how strips are scheduled across devices.
-type Policy int
-
-// Scheduling policies.
-const (
-	// Static partitions each sweep proportionally to raw ZoneRate, one
-	// kernel per device per sweep. Minimal launch overhead, but blind to
-	// transfer costs, so mismatched devices imbalance.
-	Static Policy = iota
-	// Dynamic feeds fixed-size chunks to whichever device would finish
-	// earliest (deterministic list scheduling of a work queue), adapting
-	// to effective — not nominal — device speed.
-	Dynamic
-)
-
-// String implements fmt.Stringer.
-func (p Policy) String() string {
-	if p == Static {
-		return "static"
-	}
-	return "dynamic"
-}
-
-// assignment is a strip range given to one device.
-type assignment struct {
-	dev    int
-	lo, hi int
-}
-
-// Executor dispatches the solver's strip sweeps onto a device set and
-// accounts virtual time. Attach it to a solver via Attach; afterwards the
-// solver's normal Step/Advance run heterogeneously.
-type Executor struct {
-	Devices []*Device
-	Policy  Policy
-	// ChunkStrips is the dynamic-policy chunk size (strips per kernel);
-	// <= 0 selects max(1, nStrips/(8·ndev)).
-	ChunkStrips int
-
-	// Trace, when true, records one event per kernel for timeline
-	// (Gantt) export via TraceEvents / WriteTraceCSV.
-	Trace bool
-
-	// Fault, when non-nil, deterministically fails one device mid-run;
-	// its kernels re-execute on the healthy set (see DeviceFault).
-	Fault *DeviceFault
-	// Stats counts injected device faults, kernel re-executions, and the
-	// degraded-mode flag; NewExecutor points it at private storage, but
-	// callers may share one across executors.
-	Stats *metrics.FaultCounters
-
-	solver *core.Solver
-	pool   *par.Pool
-
-	faulted []bool  // device permanently excluded after an injected fault
-	planned []int64 // planned kernels per device (fault-trigger accounting)
-	backoff float64 // accumulated virtual retry-backoff seconds
-	pending float64 // backoff charged to the current phase's makespan
-	own     metrics.FaultCounters
-
-	mu      sync.Mutex
-	virtual float64 // accumulated virtual makespan
-	phase   int64
-	events  []TraceEvent
-}
-
-// DeviceFault injects a fail-stop device error: the device completes
-// AfterKernels kernels, then its next launch comes back with an error.
-// The executor marks the device degraded, charges it the wasted launch,
-// re-executes the failed kernel — after FlakyRetries further failed
-// attempts, each preceded by an exponentially growing virtual backoff —
-// on the earliest-finishing healthy device, and excludes the faulty
-// device from every later sweep plan.
-//
-// The fault is evaluated when a sweep is *planned*, not while kernels
-// execute: pool execution order is nondeterministic, plan order is not,
-// so a faulted run is exactly reproducible and its solution bitwise
-// matches the fault-free one (kernels always compute correctly on the
-// host; only the virtual clocks and device assignment change).
-type DeviceFault struct {
-	Device       int     // index into Executor.Devices
-	AfterKernels int64   // kernels the device completes before failing
-	FlakyRetries int     // extra failed re-execution attempts before success
-	RetryBackoff float64 // base virtual backoff per retry (default 100 µs)
-}
-
-// TraceEvent is one kernel on a device's virtual timeline.
-type TraceEvent struct {
-	Phase  int64   // sweep-phase counter
-	Device string  // device name
-	Strips int     // strips in the kernel
-	Zones  int     // zones processed
-	Start  float64 // device-local virtual start time (seconds)
-	End    float64
-}
-
-// NewExecutor builds an executor over the given devices.
-func NewExecutor(policy Policy, devices ...*Device) (*Executor, error) {
-	if len(devices) == 0 {
-		return nil, errors.New("hetero: executor needs at least one device")
-	}
-	workers := 0
-	for _, d := range devices {
-		if d == nil {
-			return nil, errors.New("hetero: nil device")
-		}
-		workers += d.Spec.Workers
-	}
-	ex := &Executor{
-		Devices: devices,
-		Policy:  policy,
-		pool:    par.NewPool(workers),
-		faulted: make([]bool, len(devices)),
-		planned: make([]int64, len(devices)),
-	}
-	ex.Stats = &ex.own
-	return ex, nil
-}
-
-// MustExecutor is NewExecutor for statically known-good device sets;
-// it panics on input NewExecutor rejects.
-func MustExecutor(policy Policy, devices ...*Device) *Executor {
-	ex, err := NewExecutor(policy, devices...)
-	if err != nil {
-		panic(err)
-	}
-	return ex
-}
-
-// Attach hooks the executor into the solver's sweep execution. It must be
-// called before stepping; it also routes the solver's generic pool work
-// through the executor's pool.
-func (ex *Executor) Attach(s *core.Solver) {
-	ex.solver = s
-	s.Cfg.SweepExec = ex.sweepExec
-	if s.Cfg.Pool == nil {
-		s.Cfg.Pool = ex.pool
-	}
-}
-
-// VirtualTime returns the accumulated virtual makespan in seconds.
-func (ex *Executor) VirtualTime() float64 {
-	ex.mu.Lock()
-	defer ex.mu.Unlock()
-	return ex.virtual
-}
-
-// ResetClocks zeroes the executor makespan, trace, fault state and every
-// device clock.
-func (ex *Executor) ResetClocks() {
-	ex.mu.Lock()
-	ex.virtual = 0
-	ex.phase = 0
-	ex.events = nil
-	ex.mu.Unlock()
-	for i, d := range ex.Devices {
-		d.Reset()
-		ex.faulted[i] = false
-		ex.planned[i] = 0
-	}
-	ex.backoff = 0
-	ex.pending = 0
-	ex.Stats.Reset()
-}
-
-// BackoffVirtual returns the virtual seconds spent in retry backoff
-// after injected device faults.
-func (ex *Executor) BackoffVirtual() float64 { return ex.backoff }
-
-// Degraded reports whether a device has been lost to an injected fault
-// and the executor is running on the reduced set.
-func (ex *Executor) Degraded() bool { return ex.Stats.Degraded.Load() }
-
-// TraceEvents returns a copy of the recorded kernel timeline (Trace must
-// have been enabled), sorted by phase then device-local start time.
-func (ex *Executor) TraceEvents() []TraceEvent {
-	ex.mu.Lock()
-	out := append([]TraceEvent(nil), ex.events...)
-	ex.mu.Unlock()
-	sort.Slice(out, func(i, j int) bool {
-		if out[i].Phase != out[j].Phase {
-			return out[i].Phase < out[j].Phase
-		}
-		if out[i].Device != out[j].Device {
-			return out[i].Device < out[j].Device
-		}
-		return out[i].Start < out[j].Start
-	})
-	return out
-}
-
-// WriteTraceCSV dumps the kernel timeline for external Gantt plotting.
-func (ex *Executor) WriteTraceCSV(w io.Writer) error {
-	bw := bufio.NewWriter(w)
-	if _, err := fmt.Fprintln(bw, "phase,device,strips,zones,start,end"); err != nil {
-		return err
-	}
-	for _, e := range ex.TraceEvents() {
-		if _, err := fmt.Fprintf(bw, "%d,%s,%d,%d,%.9g,%.9g\n",
-			e.Phase, e.Device, e.Strips, e.Zones, e.Start, e.End); err != nil {
-			return err
-		}
-	}
-	return bw.Flush()
 }
 
 // stripBytes estimates the working set of one strip: primitives in, RHS
 // out, NComp doubles each way.
 func stripBytes(zones int) int { return zones * state.NComp * 8 * 2 }
 
-// sweepExec implements core.Config.SweepExec.
-func (ex *Executor) sweepExec(d state.Direction, nStrips int, sweep func(lo, hi int)) {
-	if nStrips <= 0 {
-		return
-	}
-	zonesPerStrip := ex.solver.StripZones(d)
-
-	var plan []assignment
-	switch ex.Policy {
-	case Static:
-		plan = ex.staticPlan(nStrips)
-	case Dynamic:
-		plan = ex.dynamicPlan(nStrips, zonesPerStrip)
-	}
-	plan = ex.applyFault(plan, zonesPerStrip)
-
-	// Execute: kernels run for real on the pool; each is charged to its
-	// device's virtual clock.
-	phaseStart := make([]float64, len(ex.Devices))
-	phaseZones := make([]int64, len(ex.Devices))
-	for i, dev := range ex.Devices {
-		phaseStart[i] = dev.Busy()
-		phaseZones[i] = dev.Zones()
-	}
-	phase := ex.phase
-	ex.phase++
-	var wg sync.WaitGroup
-	for _, a := range plan {
-		a := a
-		wg.Add(1)
-		ex.pool.Go(func() {
-			defer wg.Done()
-			sweep(a.lo, a.hi)
-			zones := (a.hi - a.lo) * zonesPerStrip
-			dev := ex.Devices[a.dev]
-			_, start, end := dev.chargeInterval(zones)
-			if ex.Trace {
-				ex.mu.Lock()
-				ex.events = append(ex.events, TraceEvent{
-					Phase: phase, Device: dev.Spec.Name,
-					Strips: a.hi - a.lo, Zones: zones,
-					Start: start, End: end,
-				})
-				ex.mu.Unlock()
-			}
-		})
-	}
-	wg.Wait()
-
-	// Staged devices pay one streamed transfer of the phase working set.
-	for i, dev := range ex.Devices {
-		if z := dev.Zones() - phaseZones[i]; z > 0 {
-			dev.ChargeTransfer(stripBytes(int(z)))
-		}
-	}
-
-	// Makespan of this phase: the slowest device's accumulated charge,
-	// plus any retry backoff an injected device fault cost this phase.
-	span := ex.pending
-	ex.backoff += ex.pending
-	ex.pending = 0
-	for i, dev := range ex.Devices {
-		if b := dev.Busy() - phaseStart[i]; b > span {
-			span = b
-		}
-	}
-	ex.mu.Lock()
-	ex.virtual += span
-	ex.mu.Unlock()
-}
-
-// applyFault rewrites a sweep plan when the configured device fault
-// fires: the triggering kernel and every later kernel of the faulty
-// device migrate to the earliest-finishing healthy device (list
-// scheduling over within-phase ETAs, as dynamicPlan does). Runs in the
-// (serial) sweep-planning path; see DeviceFault for the determinism
-// argument.
-func (ex *Executor) applyFault(plan []assignment, zonesPerStrip int) []assignment {
-	f := ex.Fault
-	if f == nil || f.Device < 0 || f.Device >= len(ex.Devices) || ex.faulted[f.Device] {
-		return plan
-	}
-	eta := make([]float64, len(ex.Devices))
-	out := make([]assignment, 0, len(plan))
-	place := func(a assignment) {
-		out = append(out, a)
-		eta[a.dev] += ex.Devices[a.dev].MarginalCost((a.hi - a.lo) * zonesPerStrip)
-	}
-	for _, a := range plan {
-		if a.dev != f.Device {
-			place(a)
+// ParseFleet builds a device set from a comma-separated preset list, the
+// wire format of rhscd's -fleet flag. Presets: "cpuN" (an N-core host
+// socket), "k20" (resident Kepler GPU), "k20-staged" (PCIe-staged GPU),
+// "phi" (Knights-Corner coprocessor).
+func ParseFleet(list string) ([]*Device, error) {
+	var devs []*Device
+	for _, name := range strings.Split(list, ",") {
+		name = strings.TrimSpace(name)
+		if name == "" {
 			continue
 		}
-		if !ex.faulted[f.Device] {
-			if ex.planned[f.Device] < f.AfterKernels {
-				ex.planned[f.Device]++
-				place(a)
-				continue
+		var sp Spec
+		switch {
+		case name == "k20":
+			sp = SpecK20GPU()
+		case name == "k20-staged":
+			sp = SpecK20GPUStaged()
+		case name == "phi":
+			sp = SpecXeonPhi()
+		case strings.HasPrefix(name, "cpu") && len(name) > 3:
+			var cores int
+			if _, err := fmt.Sscanf(name[3:], "%d", &cores); err != nil || cores < 1 {
+				return nil, fmt.Errorf("hetero: bad fleet preset %q (want cpuN)", name)
 			}
-			// This launch errors: degrade the device, charge it the
-			// wasted launch, and pay exponentially growing backoff for
-			// the failed re-execution attempts plus the one that lands.
-			ex.faulted[f.Device] = true
-			ex.Stats.Injected.Add(1)
-			ex.Stats.Degraded.Store(true)
-			ex.Devices[f.Device].Charge(0)
-			back := f.RetryBackoff
-			if back <= 0 {
-				back = 1e-4
-			}
-			for k := 0; k <= f.FlakyRetries; k++ {
-				ex.Stats.Retries.Add(1)
-				ex.pending += back
-				back *= 2
-			}
+			sp = SpecHostCPU(cores)
+		default:
+			return nil, fmt.Errorf("hetero: unknown fleet preset %q", name)
 		}
-		best, bestT := -1, math.Inf(1)
-		for i, d := range ex.Devices {
-			if ex.faulted[i] {
-				continue
-			}
-			if t := eta[i] + d.MarginalCost((a.hi-a.lo)*zonesPerStrip); t < bestT {
-				best, bestT = i, t
-			}
+		d, err := NewDevice(sp)
+		if err != nil {
+			return nil, err
 		}
-		if best < 0 {
-			// No healthy device remains: keep the assignment so the sweep
-			// still completes (correctness path runs on the host anyway).
-			out = append(out, a)
-			continue
-		}
-		place(assignment{dev: best, lo: a.lo, hi: a.hi})
+		devs = append(devs, d)
 	}
-	return out
-}
-
-// healthy returns the schedulable device indices: every device not
-// excluded by an injected fault, or all of them if none survives (the
-// correctness path must still run the sweep somewhere).
-func (ex *Executor) healthy() []int {
-	out := make([]int, 0, len(ex.Devices))
-	for i := range ex.Devices {
-		if !ex.faulted[i] {
-			out = append(out, i)
-		}
+	if len(devs) == 0 {
+		return nil, errors.New("hetero: empty fleet")
 	}
-	if len(out) == 0 {
-		for i := range ex.Devices {
-			out = append(out, i)
-		}
-	}
-	return out
-}
-
-// staticPlan splits [0, nStrips) proportionally to raw ZoneRate: one
-// kernel per healthy device.
-func (ex *Executor) staticPlan(nStrips int) []assignment {
-	devs := ex.healthy()
-	total := 0.0
-	for _, i := range devs {
-		total += ex.Devices[i].Spec.ZoneRate
-	}
-	plan := make([]assignment, 0, len(devs))
-	lo := 0
-	acc := 0.0
-	for n, i := range devs {
-		acc += ex.Devices[i].Spec.ZoneRate
-		hi := int(math.Round(float64(nStrips) * acc / total))
-		if n == len(devs)-1 {
-			hi = nStrips
-		}
-		if hi > lo {
-			plan = append(plan, assignment{dev: i, lo: lo, hi: hi})
-		}
-		lo = hi
-	}
-	return plan
-}
-
-// dynamicPlan models a work queue with deterministic list scheduling:
-// chunks are assigned, in order, to the device that would finish them
-// earliest given everything already assigned in this sweep.
-func (ex *Executor) dynamicPlan(nStrips, zonesPerStrip int) []assignment {
-	devs := ex.healthy()
-	chunk := ex.ChunkStrips
-	if chunk <= 0 {
-		chunk = nStrips / (8 * len(devs))
-		if chunk < 1 {
-			chunk = 1
-		}
-	}
-	eta := make([]float64, len(ex.Devices))
-	var plan []assignment
-	for lo := 0; lo < nStrips; lo += chunk {
-		hi := lo + chunk
-		if hi > nStrips {
-			hi = nStrips
-		}
-		zones := (hi - lo) * zonesPerStrip
-		best, bestT := devs[0], math.Inf(1)
-		for _, i := range devs {
-			t := eta[i] + ex.Devices[i].MarginalCost(zones)
-			if t < bestT {
-				best, bestT = i, t
-			}
-		}
-		eta[best] = bestT
-		plan = append(plan, assignment{dev: best, lo: lo, hi: hi})
-	}
-	return plan
-}
-
-// LoadReport summarises per-device work after a run.
-type LoadReport struct {
-	Name    string
-	Kind    Kind
-	Zones   int64
-	Kernels int64
-	Busy    float64 // virtual seconds
-	Share   float64 // fraction of total zones
-	Faulted bool    // excluded mid-run by an injected fault
-}
-
-// Report returns the per-device load breakdown, ordered as the devices
-// were given.
-func (ex *Executor) Report() []LoadReport {
-	var total int64
-	for _, d := range ex.Devices {
-		total += d.Zones()
-	}
-	out := make([]LoadReport, len(ex.Devices))
-	for i, d := range ex.Devices {
-		share := 0.0
-		if total > 0 {
-			share = float64(d.Zones()) / float64(total)
-		}
-		out[i] = LoadReport{
-			Name: d.Spec.Name, Kind: d.Spec.Kind,
-			Zones: d.Zones(), Kernels: d.Kernels(),
-			Busy: d.Busy(), Share: share,
-			Faulted: ex.faulted[i],
-		}
-	}
-	return out
-}
-
-// Imbalance returns max(busy)/mean(busy) − 1 across devices: 0 for perfect
-// balance.
-func (ex *Executor) Imbalance() float64 {
-	if len(ex.Devices) < 2 {
-		return 0
-	}
-	busies := make([]float64, len(ex.Devices))
-	sum := 0.0
-	for i, d := range ex.Devices {
-		busies[i] = d.Busy()
-		sum += busies[i]
-	}
-	mean := sum / float64(len(busies))
-	if mean <= 0 {
-		return 0
-	}
-	sort.Float64s(busies)
-	return busies[len(busies)-1]/mean - 1
+	return devs, nil
 }

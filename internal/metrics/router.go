@@ -1,0 +1,64 @@
+package metrics
+
+import "sync/atomic"
+
+// RouterCounters aggregates the dynamic device router's lifecycle events
+// (package hetero): drain/undrain transitions, probe launches,
+// quarantines of flapping devices, fail-stop deaths, and strip kernels
+// rerouted off a dying device mid-run, plus the serve-layer placement
+// leases routed onto the fleet. Every field is atomic — producers on
+// concurrent goroutines (serve workers, executor phases) increment
+// without locking; Snapshot gives a consistent-enough view for reporting
+// (same contract as FaultCounters).
+//
+// The zero value is ready to use. Do not copy a RouterCounters after
+// first use.
+type RouterCounters struct {
+	Drains      atomic.Int64 // devices taken out of rotation by health scoring
+	Undrains    atomic.Int64 // drained devices returned to rotation after a clean probe
+	Probes      atomic.Int64 // probe kernels sent to drained devices
+	Quarantines atomic.Int64 // devices benched for flapping faster than the health window
+	Deaths      atomic.Int64 // fail-stop device losses (chaos or organic)
+	Reroutes    atomic.Int64 // in-flight strip kernels migrated off a dying device
+	Leases      atomic.Int64 // serve-layer job segments placed onto routed capacity
+	LeaseFaults atomic.Int64 // placed segments that ended in failure (feeds health)
+}
+
+// RouterSnapshot is a plain-value copy of RouterCounters for reports and
+// JSON serialisation.
+type RouterSnapshot struct {
+	Drains      int64 `json:"drains"`
+	Undrains    int64 `json:"undrains"`
+	Probes      int64 `json:"probes"`
+	Quarantines int64 `json:"quarantines"`
+	Deaths      int64 `json:"deaths"`
+	Reroutes    int64 `json:"reroutes"`
+	Leases      int64 `json:"leases"`
+	LeaseFaults int64 `json:"lease_faults"`
+}
+
+// Reset zeroes every counter in place.
+func (r *RouterCounters) Reset() {
+	r.Drains.Store(0)
+	r.Undrains.Store(0)
+	r.Probes.Store(0)
+	r.Quarantines.Store(0)
+	r.Deaths.Store(0)
+	r.Reroutes.Store(0)
+	r.Leases.Store(0)
+	r.LeaseFaults.Store(0)
+}
+
+// Snapshot returns the current counter values.
+func (r *RouterCounters) Snapshot() RouterSnapshot {
+	return RouterSnapshot{
+		Drains:      r.Drains.Load(),
+		Undrains:    r.Undrains.Load(),
+		Probes:      r.Probes.Load(),
+		Quarantines: r.Quarantines.Load(),
+		Deaths:      r.Deaths.Load(),
+		Reroutes:    r.Reroutes.Load(),
+		Leases:      r.Leases.Load(),
+		LeaseFaults: r.LeaseFaults.Load(),
+	}
+}

@@ -3,6 +3,9 @@ package serve
 import (
 	"encoding/json"
 	"net/http"
+
+	"rhsc/internal/hetero"
+	"rhsc/internal/metrics"
 )
 
 // NewMux exposes the server over a JSON HTTP API:
@@ -16,6 +19,9 @@ import (
 //	                         terminal event
 //	GET  /v1/jobs/{id}/result the finished job's CSV deliverable
 //	GET  /v1/metrics         serving counters (metrics.ServeSnapshot)
+//	GET  /v1/fleet           routed-fleet health (per-device scores and
+//	                         drain states, equivalent capacity, router
+//	                         counters); 404 without a -fleet
 func NewMux(s *Server) *http.ServeMux {
 	mux := http.NewServeMux()
 
@@ -92,6 +98,19 @@ func NewMux(s *Server) *http.ServeMux {
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Metrics())
+	})
+
+	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {
+		fp, ok := s.cfg.Placer.(*FleetPlacer)
+		if !ok || fp == nil {
+			httpError(w, http.StatusNotFound, "no routed fleet configured")
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Devices  []hetero.DeviceHealth  `json:"devices"`
+			Capacity float64                `json:"equivalent_capacity"`
+			Counters metrics.RouterSnapshot `json:"counters"`
+		}{fp.R.HealthReport(), fp.R.EquivalentCapacity(), fp.R.C.Snapshot()})
 	})
 
 	return mux

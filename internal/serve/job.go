@@ -225,6 +225,10 @@ type Status struct {
 	// Reason explains rejections and failures.
 	Reason string `json:"reason,omitempty"`
 
+	// Device names the routed fleet device hosting the current segment
+	// (empty: unrouted host capacity, or no placer configured).
+	Device string `json:"device,omitempty"`
+
 	Step        int     `json:"step"`
 	Time        float64 `json:"time"`
 	TEnd        float64 `json:"tend,omitempty"`
@@ -261,6 +265,7 @@ type job struct {
 	mu          sync.Mutex
 	state       State
 	reason      string
+	device      string // routed device of the current/last segment
 	step        int
 	t, tEnd     float64
 	zones       int
@@ -294,7 +299,7 @@ func (j *job) status() Status {
 func (j *job) statusLocked() Status {
 	st := Status{
 		ID: j.id, Tenant: j.spec.tenant(), Priority: j.spec.Priority,
-		State: j.state, Reason: j.reason,
+		State: j.state, Reason: j.reason, Device: j.device,
 		Step: j.step, Time: j.t, TEnd: j.tEnd,
 		Zones: j.zones, ZoneUpdates: j.zoneUpdates, Preemptions: j.preemptions,
 		Troubled: j.fault.Troubled, Repaired: j.fault.Repaired,

@@ -73,6 +73,11 @@ type Config struct {
 	// (benchmark harness, metrics endpoint); otherwise the server owns
 	// a private set.
 	Counters *metrics.ServeCounters
+	// Placer, when non-nil, routes each job segment onto fleet capacity
+	// (FleetPlacer over the hetero router) instead of the flat worker
+	// pool; when it refuses — every device drained or dead — the segment
+	// falls back to unrouted host capacity. See placer.go.
+	Placer Placer
 }
 
 // tenantAcct tracks one tenant's quota consumption.
@@ -353,9 +358,34 @@ func (s *Server) worker() {
 // loop with preemption checks, and the terminal transition. Worker
 // panics are absorbed here — the job fails, the daemon survives.
 func (s *Server) runJob(j *job) {
+	// Placement: lease routed capacity for this segment. A failed
+	// segment — panic or numerical error — faults the hosting device's
+	// health; a clean park or completion credits it. Re-acquiring per
+	// segment means a job parked on a device that has since drained
+	// resumes somewhere healthy.
+	var lease Lease
+	if s.cfg.Placer != nil {
+		if l, ok := s.cfg.Placer.Acquire(j.cost); ok {
+			lease = l
+		}
+	}
+	j.mu.Lock()
+	if lease != nil {
+		j.device = lease.Device()
+	} else {
+		j.device = ""
+	}
+	j.mu.Unlock()
+
 	defer func() {
 		if r := recover(); r != nil {
 			s.fail(j, fmt.Sprintf("worker panic absorbed: %v", r))
+		}
+		if lease != nil {
+			j.mu.Lock()
+			failed := j.state == Failed
+			j.mu.Unlock()
+			lease.Release(failed)
 		}
 	}()
 
