@@ -14,6 +14,8 @@
 //
 //	-quick    reduce resolutions/steps for a fast smoke run
 //	-outdir   directory for CSV artefacts (created if missing)
+//	-gate     baseline BENCH_step.json; stepbench exits nonzero when a
+//	          config's ns/zone regresses past the tolerance
 package main
 
 import (
@@ -54,6 +56,9 @@ var experiments = []experiment{
 type suite struct {
 	quick  bool
 	outdir string
+	// gate is a baseline BENCH_step.json path: stepbench fails when a
+	// config regresses past the tolerance (the CI stepbench-gate job).
+	gate string
 }
 
 // writeCSV writes experiment series when -outdir is set.
@@ -78,6 +83,7 @@ func (s *suite) writeCSV(name string, headers []string, cols ...[]float64) {
 func main() {
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
 	outdir := flag.String("outdir", "", "write CSV artefacts here")
+	gate := flag.String("gate", "", "baseline BENCH_step.json: fail stepbench on ns/zone regression")
 	flag.Parse()
 
 	if flag.NArg() != 1 {
@@ -92,7 +98,7 @@ func main() {
 			log.Fatal(err)
 		}
 	}
-	s := &suite{quick: *quick, outdir: *outdir}
+	s := &suite{quick: *quick, outdir: *outdir, gate: *gate}
 
 	target := flag.Arg(0)
 	start := time.Now()

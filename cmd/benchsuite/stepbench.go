@@ -5,10 +5,13 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sort"
+	"strings"
 	"time"
 
 	"rhsc/internal/core"
 	"rhsc/internal/metrics"
+	"rhsc/internal/par"
 	"rhsc/internal/recon"
 	"rhsc/internal/riemann"
 	"rhsc/internal/testprob"
@@ -17,6 +20,8 @@ import (
 // stepConfig is one measured configuration of E14.
 type stepConfig struct {
 	Name string `json:"name"`
+	// Workers is the pool size for multi-worker configs (0 = serial).
+	Workers int `json:"workers,omitempty"`
 	// NsPerStep and NsPerZone are the median steady-state MaxDt+Step
 	// wall time, total and per zone update.
 	NsPerStep int64   `json:"ns_per_step"`
@@ -32,12 +37,21 @@ type stepConfig struct {
 
 // stepBenchReport is the BENCH_step.json payload.
 type stepBenchReport struct {
-	Generated string       `json:"generated"`
-	Host      string       `json:"host"`
-	N         int          `json:"n"`
-	Zones     int          `json:"zones"`
-	Steps     int          `json:"steps_per_sample"`
-	Configs   []stepConfig `json:"configs"`
+	Generated string `json:"generated"`
+	Host      string `json:"host"`
+	// GoMaxProcs and NumCPU pin the parallel capacity of the benchmark
+	// host so ns/zone numbers are comparable across runs.
+	GoMaxProcs int `json:"gomaxprocs"`
+	NumCPU     int `json:"numcpu"`
+	// TileJ, TileK and PanelW record the cache-blocking geometry of the
+	// tiled sweep engine used for the run (see docs/PERFORMANCE.md).
+	TileJ   int          `json:"tile_j"`
+	TileK   int          `json:"tile_k"`
+	PanelW  int          `json:"panel_w"`
+	N       int          `json:"n"`
+	Zones   int          `json:"zones"`
+	Steps   int          `json:"steps_per_sample"`
+	Configs []stepConfig `json:"configs"`
 }
 
 // Pre-pipeline single-thread references for the 48^3 blast on the CI
@@ -60,18 +74,27 @@ func (s *suite) stepbench() error {
 	if s.quick {
 		n, steps = 24, 2
 	}
+	// The multi-worker config keeps the stable name "blast3d-fused-parN"
+	// so the perf gate can match it across hosts; the actual pool size is
+	// recorded in the workers field.
+	parN := runtime.NumCPU()
+	if parN < 2 {
+		parN = 2
+	}
 	type cfgCase struct {
-		name string
-		mut  func(*core.Config)
+		name    string
+		workers int
+		mut     func(*core.Config)
 	}
 	cases := []cfgCase{
-		{"blast3d-generic", nil},
-		{"blast3d-fused", func(c *core.Config) { c.Fused = true }},
-		{"blast3d-pcmhll-generic", func(c *core.Config) {
+		{"blast3d-generic", 0, nil},
+		{"blast3d-fused", 0, func(c *core.Config) { c.Fused = true }},
+		{"blast3d-fused-parN", parN, func(c *core.Config) { c.Fused = true }},
+		{"blast3d-pcmhll-generic", 0, func(c *core.Config) {
 			c.Recon = recon.PCM{}
 			c.Riemann = riemann.HLL{}
 		}},
-		{"blast3d-pcmhll-fused", func(c *core.Config) {
+		{"blast3d-pcmhll-fused", 0, func(c *core.Config) {
 			c.Fused = true
 			c.Recon = recon.PCM{}
 			c.Riemann = riemann.HLL{}
@@ -80,19 +103,25 @@ func (s *suite) stepbench() error {
 
 	prob := testprob.Blast3D
 	rep := stepBenchReport{
-		Generated: time.Now().UTC().Format(time.RFC3339),
-		Host:      fmt.Sprintf("%s/%s, %d core(s)", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
-		N:         n,
-		Steps:     steps,
+		Generated:  time.Now().UTC().Format(time.RFC3339),
+		Host:       fmt.Sprintf("%s/%s, %d core(s)", runtime.GOOS, runtime.GOARCH, runtime.NumCPU()),
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		NumCPU:     runtime.NumCPU(),
+		PanelW:     core.PanelW,
+		N:          n,
+		Steps:      steps,
 	}
 	tb := metrics.NewTable(
-		fmt.Sprintf("E14: steady-state step cost, %d^3 blast, medians over %d-step samples", n, steps),
+		fmt.Sprintf("E14: steady-state step cost, %d^3 blast, median %d-step sample", n, steps),
 		"config", "ns/step", "ns/zone", "allocs/step", "vs baseline")
 
 	for _, tc := range cases {
 		cfg := core.DefaultConfig()
 		if tc.mut != nil {
 			tc.mut(&cfg)
+		}
+		if tc.workers > 0 {
+			cfg.Pool = par.NewPool(tc.workers)
 		}
 		g := prob.NewGrid(n, cfg.Recon.Ghost())
 		sol, err := core.New(g, cfg)
@@ -105,28 +134,41 @@ func (s *suite) stepbench() error {
 		sol.RecoverPrimitives()
 		zones := g.Nx * g.Ny * g.Nz
 		rep.Zones = zones
+		rep.TileJ, rep.TileK = sol.TileSizes()
 		// Warm the scratch free list, the CFL cache, and the heap.
 		for i := 0; i < 2; i++ {
 			if err := sol.Step(sol.MaxDt()); err != nil {
 				return err
 			}
 		}
+		// Take the median over several samples: single 3-step samples
+		// wobble ±15% on shared CI hosts, which is exactly the gate
+		// tolerance — the median keeps the gate signal, not the noise.
+		nSamples := 5
+		if s.quick {
+			nSamples = 3
+		}
+		samples := make([]int64, 0, nSamples)
 		var ms0, ms1 runtime.MemStats
 		runtime.GC()
 		runtime.ReadMemStats(&ms0)
-		start := time.Now()
-		for i := 0; i < steps; i++ {
-			if err := sol.Step(sol.MaxDt()); err != nil {
-				return err
+		for sample := 0; sample < nSamples; sample++ {
+			start := time.Now()
+			for i := 0; i < steps; i++ {
+				if err := sol.Step(sol.MaxDt()); err != nil {
+					return err
+				}
 			}
+			samples = append(samples, time.Since(start).Nanoseconds()/int64(steps))
 		}
-		el := time.Since(start)
 		runtime.ReadMemStats(&ms1)
+		sort.Slice(samples, func(a, b int) bool { return samples[a] < samples[b] })
 
 		c := stepConfig{
 			Name:          tc.name,
-			NsPerStep:     el.Nanoseconds() / int64(steps),
-			AllocsPerStep: int64(ms1.Mallocs-ms0.Mallocs) / int64(steps),
+			Workers:       tc.workers,
+			NsPerStep:     samples[len(samples)/2],
+			AllocsPerStep: int64(ms1.Mallocs-ms0.Mallocs) / int64(nSamples*steps),
 		}
 		c.NsPerZone = float64(c.NsPerStep) / float64(zones)
 		vs := "-"
@@ -148,5 +190,59 @@ func (s *suite) stepbench() error {
 		return err
 	}
 	fmt.Println("  [json: BENCH_step.json]")
+	if s.gate != "" {
+		return stepGate(&rep, s.gate)
+	}
+	return nil
+}
+
+// stepGateTolPct is the per-config ns/zone regression tolerance of the
+// perf gate: generous enough to absorb CI host noise, tight enough to
+// catch a real pipeline regression.
+const stepGateTolPct = 15.0
+
+// stepGate compares a freshly measured report against a committed
+// baseline BENCH_step.json (the -gate flag). It fails when any config
+// present in both regresses by more than stepGateTolPct in ns/zone, or
+// when any serial config allocates in steady state (the alloc invariant
+// is exact; pool-backed configs pay a few scheduler allocations and are
+// gated on time only). Configs without a baseline entry — e.g. a config
+// added in the same change — are reported and skipped.
+func stepGate(rep *stepBenchReport, baselinePath string) error {
+	blob, err := os.ReadFile(baselinePath)
+	if err != nil {
+		return fmt.Errorf("stepbench gate: %w", err)
+	}
+	var base stepBenchReport
+	if err := json.Unmarshal(blob, &base); err != nil {
+		return fmt.Errorf("stepbench gate: %s: %w", baselinePath, err)
+	}
+	ref := make(map[string]stepConfig, len(base.Configs))
+	for _, c := range base.Configs {
+		ref[c.Name] = c
+	}
+	var fails []string
+	for _, c := range rep.Configs {
+		if c.Workers == 0 && c.AllocsPerStep > 0 {
+			fails = append(fails, fmt.Sprintf("%s: %d allocs/step, want 0", c.Name, c.AllocsPerStep))
+		}
+		b, ok := ref[c.Name]
+		if !ok || b.NsPerZone <= 0 {
+			fmt.Printf("  [gate: %-22s no baseline entry, skipped]\n", c.Name)
+			continue
+		}
+		pct := 100 * (c.NsPerZone/b.NsPerZone - 1)
+		if pct > stepGateTolPct {
+			fails = append(fails, fmt.Sprintf(
+				"%s: %.0f ns/zone vs baseline %.0f (%+.1f%%, tolerance %.0f%%)",
+				c.Name, c.NsPerZone, b.NsPerZone, pct, stepGateTolPct))
+		} else {
+			fmt.Printf("  [gate: %-22s %+.1f%% vs baseline, ok]\n", c.Name, pct)
+		}
+	}
+	if len(fails) > 0 {
+		return fmt.Errorf("stepbench gate failed:\n  %s", strings.Join(fails, "\n  "))
+	}
+	fmt.Println("  [gate: passed]")
 	return nil
 }

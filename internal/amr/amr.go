@@ -132,6 +132,9 @@ func NewTree(p *testprob.Problem, nbx int, cfg Config) (*Tree, error) {
 	if cfg.Core.SweepExec != nil || cfg.Core.HaloExchange != nil {
 		return nil, errors.New("amr: core SweepExec/HaloExchange must be nil")
 	}
+	if cfg.Core.TileExec != nil {
+		return nil, errors.New("amr: core TileExec must be nil (leaves schedule their own tiles)")
+	}
 	if cfg.Core.MaskExchange != nil {
 		return nil, errors.New("amr: core MaskExchange must be nil (the tree fills mask ghosts)")
 	}

@@ -33,6 +33,11 @@ func TestNewTreeValidation(t *testing.T) {
 			c.Core.HaloExchange = func(*state.Fields) {}
 			return c
 		}(),
+		func() Config {
+			c := DefaultConfig(base)
+			c.Core.TileExec = func(int, func(lo, hi int)) {}
+			return c
+		}(),
 	}
 	for i, cfg := range bad {
 		if _, err := NewTree(testprob.Sod, 4, cfg); err == nil {

@@ -359,17 +359,11 @@ func (s *Solver) fsRepairRow(d state.Direction, base, stride, n, cBeg, cEnd int,
 	}
 
 	// Original high-order fluxes, recomputed from the pre-stage snapshot
-	// with the kernel the sweep used (identical inputs, identical code
-	// path — bitwise the same values).
+	// through the same fillFlux dispatch the sweep and tile kernels use
+	// (identical inputs, identical code path — bitwise the same values,
+	// whether the stage ran tiled segments or full strips).
 	uO := gatherRow(s.fsW, base, stride, n, scO)
-	switch s.fused {
-	case fusedPLMHLLC:
-		s.fillFluxPLMHLLC(d, uO, n, cBeg, cEnd, scO)
-	case fusedPCMHLL:
-		fillFluxPCMHLL(s.gamma, d, uO, cBeg, cEnd, scO)
-	default:
-		s.fillFluxGeneric(d, uO, n, cBeg, cEnd, scO)
-	}
+	s.fillFlux(d, uO, n, cBeg, cEnd, scO)
 
 	// First-order fallback fluxes from the same pre-stage primitives.
 	uL := gatherRow(s.fsW, base, stride, n, scL)

@@ -62,25 +62,9 @@ type fusedPrim struct {
 	rho, vx, vy, vz, p float64
 }
 
-// fusedSweepRow mirrors sweepRow for the PLM(MC)+HLLC configuration. The
+// fillFluxPLMHLLC is the PLM(MC)+HLLC arm of fillFlux: the
 // reconstruction reuses the generic scheme (already concrete); the flux
 // path inlines HLLC with the Γ-law EOS.
-func (s *Solver) fusedSweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
-	sc *rowScratch, rhs *state.Fields, overwrite bool) {
-
-	u := gatherRow(s.G.W, base, stride, n, sc)
-
-	s.fillFluxPLMHLLC(d, u, n, cBeg, cEnd, sc)
-
-	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
-
-	if s.trc != nil {
-		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
-	}
-}
-
-// fillFluxPLMHLLC is the flux half of fusedSweepRow, shared with the
-// fail-safe repair so recomputed fluxes are bitwise identical.
 func (s *Solver) fillFluxPLMHLLC(d state.Direction, u [state.NComp][]float64, n, cBeg, cEnd int,
 	sc *rowScratch) {
 
@@ -123,30 +107,15 @@ func (s *Solver) fillFluxPLMHLLC(d state.Direction, u [state.NComp][]float64, n,
 	}
 }
 
-// fusedPCMHLLRow mirrors sweepRow for the PCM+HLL configuration — the
-// dissipative fallback the resilience layer retries failed steps with.
-// PCM face states are the adjacent cell values themselves (uL[f] = u[f−1],
+// fillFluxPCMHLL is the PCM+HLL arm of fillFlux — the dissipative
+// fallback the resilience layer retries failed steps with. PCM face
+// states are the adjacent cell values themselves (uL[f] = u[f−1],
 // uR[f] = u[f], recon.PCM.Reconstruct), so the physical-fallback check of
 // the generic path is skipped: it would replace an inadmissible face state
-// with the very same cell value, bitwise.
-func (s *Solver) fusedPCMHLLRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
-	sc *rowScratch, rhs *state.Fields, overwrite bool) {
-
-	u := gatherRow(s.G.W, base, stride, n, sc)
-
-	fillFluxPCMHLL(s.gamma, d, u, cBeg, cEnd, sc)
-
-	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
-
-	if s.trc != nil {
-		s.tracerSweepRow(base, stride, cBeg, cEnd, dx, sc)
-	}
-}
-
-// fillFluxPCMHLL is the flux half of fusedPCMHLLRow. Besides backing the
-// fused PCM+HLL sweep it is the fail-safe repair's low-order flux kernel
-// for Γ-law configurations, so a repaired cell's fallback update is
-// bitwise the flux the global PCM+HLL fallback scheme would have used.
+// with the very same cell value, bitwise. Besides backing the fused
+// PCM+HLL sweep it is the fail-safe repair's low-order flux kernel for
+// Γ-law configurations, so a repaired cell's fallback update is bitwise
+// the flux the global PCM+HLL fallback scheme would have used.
 func fillFluxPCMHLL(gamma float64, d state.Direction, u [state.NComp][]float64, cBeg, cEnd int,
 	sc *rowScratch) {
 

@@ -90,7 +90,25 @@ type Config struct {
 	// strip sweeps: it must invoke sweep over disjoint subranges covering
 	// [0, nStrips) and return only when all strips are done. Package
 	// hetero uses this hook to dispatch strips onto modelled devices.
+	// Installing a SweepExec selects the per-direction strip traversal:
+	// the cache-blocked tile engine is bypassed (results are bitwise
+	// identical either way; see docs/PERFORMANCE.md).
 	SweepExec func(d state.Direction, nStrips int, sweep func(lo, hi int))
+	// TileJ and TileK set the pencil-tile extents (in cells along y and z)
+	// of the cache-blocked fused-direction traversal; zero selects the
+	// default. Tile sizes need not divide the grid — edge tiles shrink.
+	// The tile size never changes results, only cache behaviour.
+	TileJ, TileK int
+	// TileExec, when non-nil, replaces the default pool execution of the
+	// tile sweeps: it must invoke run over disjoint subranges covering
+	// [0, nTiles) and return only when all tiles are done. Ignored when a
+	// SweepExec is installed (strips take precedence as the work unit).
+	TileExec func(nTiles int, run func(lo, hi int))
+	// NoTiling disables the cache-blocked tile engine and restores the
+	// pre-tile per-direction strip traversal. Results are bitwise
+	// identical either way; the switch exists for A/B benchmarking and
+	// the equivalence tests.
+	NoTiling bool
 	// HaloExchange, when non-nil, is called after every primitive
 	// recovery (once per RK stage) with the freshly recovered primitive
 	// field, so a distributed driver can fill ghost faces marked
@@ -222,13 +240,26 @@ type Solver struct {
 	cflMax   float64
 	cflValid bool
 	cflAccum bool
+
+	// Cache-blocked tile engine state (see tiles.go): the precomputed
+	// pencil-tile schedule over the (j, k) plane, the resolved tile
+	// extents, and the pre-bound parallel chunk body.
+	tiles        []tileSpan
+	tileJ, tileK int
+	tileChunk    func(lo, hi int)
 }
+
+// panelW is the number of parallel y/z strips gathered per panel
+// transpose: eight float64s — one 64-byte cache line — so each contiguous
+// run state.PanelGather copies consumes exactly the line that fetched it.
+const panelW = 8
 
 type rowScratch struct {
 	u  [state.NComp][]float64 // gathered primitives along the strip
 	fl [state.NComp][]float64 // reconstructed left face states
 	fr [state.NComp][]float64 // reconstructed right face states
 	fx [state.NComp][]float64 // face fluxes
+	pu [state.NComp][]float64 // panel-transposed primitives, panelW rows
 }
 
 // New constructs a solver for grid g. The grid's ghost width must cover
@@ -246,6 +277,9 @@ func New(g *grid.Grid, cfg Config) (*Solver, error) {
 	if need := cfg.Recon.Ghost(); g.Ng < need {
 		return nil, fmt.Errorf("core: grid ghost width %d < %d required by %s",
 			g.Ng, need, cfg.Recon.Name())
+	}
+	if cfg.TileJ < 0 || cfg.TileK < 0 {
+		return nil, fmt.Errorf("core: negative tile size %dx%d", cfg.TileJ, cfg.TileK)
 	}
 	cs := c2p.NewSolver(cfg.EOS)
 	if cfg.C2POpts != (c2p.Options{}) {
@@ -287,6 +321,7 @@ func New(g *grid.Grid, cfg Config) (*Solver, error) {
 			rs.fl[c] = make([]float64, maxRow+1)
 			rs.fr[c] = make([]float64, maxRow+1)
 			rs.fx[c] = make([]float64, maxRow+1)
+			rs.pu[c] = make([]float64, panelW*maxRow)
 		}
 		return rs
 	}
@@ -340,6 +375,7 @@ func New(g *grid.Grid, cfg Config) (*Solver, error) {
 			s.cflRows[r] = s.rowCFL((k*gr.TotalY + j) * gr.TotalX)
 		}
 	}
+	s.initTiles()
 	s.refreshFused()
 	return s, nil
 }
@@ -604,35 +640,54 @@ func (s *Solver) sweepStrips(d state.Direction, lo, hi int, rhs *state.Fields, o
 	sc := s.getScratch()
 	defer s.putScratch(sc)
 	g := s.G
-	row := s.sweepRow
-	switch s.fused {
-	case fusedPLMHLLC:
-		row = s.fusedSweepRow
-	case fusedPCMHLL:
-		row = s.fusedPCMHLLRow
-	}
-	for r := lo; r < hi; r++ {
-		switch d {
-		case state.X:
-			ny := g.JEnd() - g.JBeg()
+	switch d {
+	case state.X:
+		ny := g.JEnd() - g.JBeg()
+		for r := lo; r < hi; r++ {
 			j := g.JBeg() + r%ny
 			k := g.KBeg() + r/ny
-			row(d, g.Idx(0, j, k), 1, g.TotalX, g.IBeg(), g.IEnd(), g.Dx, sc, rhs, overwrite)
-		case state.Y:
+			s.sweepRow(d, g.Idx(0, j, k), 1, g.TotalX, g.IBeg(), g.IEnd(), g.Dx, sc, rhs, overwrite)
+		}
+	case state.Y:
+		// Strips of one k are consecutive in i (strip r ↦ i fastest), so
+		// runs of up to panelW strips share a panel transpose; the chunk
+		// boundary and the end of an i-row cap each run. Grouping never
+		// changes a row's gathered values, so any chunking is bitwise
+		// identical to per-strip gathers.
+		for r := lo; r < hi; {
 			i := g.IBeg() + r%g.Nx
 			k := g.KBeg() + r/g.Nx
-			row(d, g.Idx(i, 0, k), g.TotalX, g.TotalY, g.JBeg(), g.JEnd(), g.Dy, sc, rhs, overwrite)
-		default:
+			p := hi - r
+			if rem := g.Nx - r%g.Nx; rem < p {
+				p = rem
+			}
+			if p > panelW {
+				p = panelW
+			}
+			s.sweepPanel(d, g.Idx(i, 0, k), g.TotalX, g.TotalY, g.JBeg(), g.JEnd(), g.Dy, p, sc, rhs, overwrite)
+			r += p
+		}
+	default:
+		for r := lo; r < hi; {
 			i := g.IBeg() + r%g.Nx
 			j := g.JBeg() + r/g.Nx
-			row(d, g.Idx(i, j, 0), g.TotalX*g.TotalY, g.TotalZ, g.KBeg(), g.KEnd(), g.Dz, sc, rhs, overwrite)
+			p := hi - r
+			if rem := g.Nx - r%g.Nx; rem < p {
+				p = rem
+			}
+			if p > panelW {
+				p = panelW
+			}
+			s.sweepPanel(d, g.Idx(i, j, 0), g.TotalX*g.TotalY, g.TotalZ, g.KBeg(), g.KEnd(), g.Dz, p, sc, rhs, overwrite)
+			r += p
 		}
 	}
 }
 
 // gatherRow views one strip of the primitive field as per-component
 // contiguous rows: x strips alias W directly (stride 1, read-only), y/z
-// strips gather into the scratch buffers.
+// strips gather into the scratch buffers via the shared panel-copy
+// helper (degenerate single-row form).
 func gatherRow(w *state.Fields, base, stride, n int, sc *rowScratch) (u [state.NComp][]float64) {
 	for c := 0; c < state.NComp; c++ {
 		src := w.Comp[c]
@@ -641,11 +696,7 @@ func gatherRow(w *state.Fields, base, stride, n int, sc *rowScratch) (u [state.N
 			continue
 		}
 		dst := sc.u[c][:n]
-		idx := base
-		for i := 0; i < n; i++ {
-			dst[i] = src[idx]
-			idx += stride
-		}
+		state.PanelGather(dst, src, base, 1, stride, 1, n)
 		u[c] = dst
 	}
 	return u
@@ -724,6 +775,24 @@ func (s *Solver) fillFluxGeneric(d state.Direction, u [state.NComp][]float64, n,
 	}
 }
 
+// fillFlux dispatches the configured flux kernel for a gathered row (or
+// tile segment) u of n cells, writing face fluxes [cBeg, cEnd] into
+// sc.fx. It is the single flux entry point shared by the strip sweeps,
+// the tile engine, and the fail-safe repair, so fluxes recomputed
+// anywhere are bitwise identical to the sweep's.
+func (s *Solver) fillFlux(d state.Direction, u [state.NComp][]float64, n, cBeg, cEnd int,
+	sc *rowScratch) {
+
+	switch s.fused {
+	case fusedPLMHLLC:
+		s.fillFluxPLMHLLC(d, u, n, cBeg, cEnd, sc)
+	case fusedPCMHLL:
+		fillFluxPCMHLL(s.gamma, d, u, cBeg, cEnd, sc)
+	default:
+		s.fillFluxGeneric(d, u, n, cBeg, cEnd, sc)
+	}
+}
+
 // sweepRow performs one strip: gather primitives along the row starting at
 // flat index base with the given stride and length n, reconstruct, solve
 // the face Riemann problems, and accumulate flux differences for interior
@@ -734,7 +803,7 @@ func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx
 	// Gather the strip (aliased for x, strided copy for y/z).
 	u := gatherRow(s.G.W, base, stride, n, sc)
 
-	s.fillFluxGeneric(d, u, n, cBeg, cEnd, sc)
+	s.fillFlux(d, u, n, cBeg, cEnd, sc)
 
 	accumulateRow(sc, rhs, base, stride, cBeg, cEnd, dx, overwrite)
 
@@ -743,8 +812,44 @@ func (s *Solver) sweepRow(d state.Direction, base, stride, n, cBeg, cEnd int, dx
 	}
 }
 
+// sweepPanel runs nrows parallel strips of direction d whose bases are
+// base, base+1, … (adjacent x columns): one panel transpose per component
+// gathers all rows in contiguous runs (state.PanelGather), then each row
+// goes through the same flux and accumulate kernels as sweepRow. Results
+// are bitwise identical to nrows independent sweepRow calls — the panel
+// only changes how the strided loads are scheduled. Used by both the
+// legacy strip path (grouping adjacent y/z strips) and the tile engine
+// (tile-interior segments).
+func (s *Solver) sweepPanel(d state.Direction, base, stride, n, cBeg, cEnd int, dx float64,
+	nrows int, sc *rowScratch, rhs *state.Fields, overwrite bool) {
+
+	w := s.G.W
+	for c := 0; c < state.NComp; c++ {
+		state.PanelGather(sc.pu[c], w.Comp[c], base, 1, stride, nrows, n)
+	}
+	var u [state.NComp][]float64
+	for r := 0; r < nrows; r++ {
+		for c := 0; c < state.NComp; c++ {
+			u[c] = sc.pu[c][r*n : (r+1)*n]
+		}
+		rbase := base + r
+		s.fillFlux(d, u, n, cBeg, cEnd, sc)
+		accumulateRow(sc, rhs, rbase, stride, cBeg, cEnd, dx, overwrite)
+		if s.trc != nil {
+			s.tracerSweepRow(rbase, stride, cBeg, cEnd, dx, sc)
+		}
+	}
+}
+
 // ComputeRHS evaluates the full right-hand side into rhs. Primitives and
 // their ghosts must be current (call RecoverPrimitives first).
+//
+// The default traversal is the cache-blocked tile engine (tiles.go): one
+// fused pass over pencil tiles of the (j, k) plane, each tile
+// accumulating its x, y and z flux divergences while its working set is
+// cache resident. Installing a SweepExec (the hetero device hook) or
+// setting Config.NoTiling selects the pre-tile per-direction strip
+// traversal instead; both orders produce bitwise-identical results.
 //
 // The sweeps write every interior cell (the first direction overwrites,
 // the rest accumulate) and never touch ghost cells, so rhs ghost entries
@@ -754,13 +859,23 @@ func (s *Solver) ComputeRHS(rhs *state.Fields) {
 	if s.trc != nil {
 		zeroScalar(s.trc.rhs)
 	}
-	for di, d := range s.G.ActiveDims() {
-		n := s.NumStrips(d)
-		s.curDir, s.curRHS, s.curOverwrite = d, rhs, di == 0
-		if s.Cfg.SweepExec != nil {
-			s.Cfg.SweepExec(d, n, s.sweepChunk)
+	if s.tilingOn() {
+		s.curRHS = rhs
+		nt := len(s.tiles)
+		if s.Cfg.TileExec != nil {
+			s.Cfg.TileExec(nt, s.tileChunk)
 		} else {
-			s.parallelFor(n, s.sweepChunk)
+			s.parallelFor(nt, s.tileChunk)
+		}
+	} else {
+		for di, d := range s.G.ActiveDims() {
+			n := s.NumStrips(d)
+			s.curDir, s.curRHS, s.curOverwrite = d, rhs, di == 0
+			if s.Cfg.SweepExec != nil {
+				s.Cfg.SweepExec(d, n, s.sweepChunk)
+			} else {
+				s.parallelFor(n, s.sweepChunk)
+			}
 		}
 	}
 	if src := s.Cfg.Source; src != nil {

@@ -5,6 +5,8 @@ import (
 	"math/rand"
 	"testing"
 	"testing/quick"
+
+	"rhsc/internal/mathutil"
 )
 
 // allSchemes returns every scheme under test.
@@ -398,6 +400,76 @@ func TestPLMPPMMirrorSymmetry(t *testing.T) {
 		for i := g; i <= n-g; i++ {
 			if math.Abs(uL[i]-rR[n-i]) > 1e-13 || math.Abs(uR[i]-rL[n-i]) > 1e-13 {
 				t.Fatalf("%s: mirror symmetry broken at face %d", s.Name(), i)
+			}
+		}
+	}
+}
+
+// plmReference is the naive two-slopes-per-face PLM loop the slope-carrying
+// Reconstruct replaced; the rewrite must be bitwise identical to it.
+func plmReference(p PLM, u, uL, uR []float64) {
+	n := len(u)
+	for i := 2; i <= n-2; i++ {
+		jm := i - 1
+		sL := p.slope(u[jm]-u[jm-1], u[jm+1]-u[jm])
+		sR := p.slope(u[i]-u[i-1], u[i+1]-u[i])
+		uL[i] = u[jm] + 0.5*sL
+		uR[i] = u[i] - 0.5*sR
+	}
+}
+
+func TestPLMMatchesReference(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for _, lim := range []Limiter{Minmod, MonotonizedCentral, VanLeer} {
+		p := PLM{Lim: lim}
+		for _, n := range []int{5, 6, 12, 53} {
+			u := make([]float64, n)
+			for j := range u {
+				switch rng.Intn(4) {
+				case 0:
+					u[j] = rng.NormFloat64()
+				case 1:
+					u[j] = 0
+				case 2:
+					u[j] = math.Trunc(rng.NormFloat64()) // repeated plateaus
+				default:
+					u[j] = rng.NormFloat64() * 1e-300
+				}
+			}
+			gotL, gotR := reconstruct(p, u)
+			wantL := make([]float64, n+1)
+			wantR := make([]float64, n+1)
+			plmReference(p, u, wantL, wantR)
+			for i := 2; i <= n-2; i++ {
+				if gotL[i] != wantL[i] || gotR[i] != wantR[i] {
+					t.Fatalf("%s n=%d face %d: got (%v,%v) want (%v,%v)",
+						p.Name(), n, i, gotL[i], gotR[i], wantL[i], wantR[i])
+				}
+			}
+		}
+	}
+}
+
+func TestMCSlopeBitwise(t *testing.T) {
+	check := func(dm, dp float64) bool {
+		got := mcSlope(dm, dp)
+		want := mathutil.MC(dm, dp)
+		// NaN inputs must give the exact zero the reference gives.
+		return got == want && math.Signbit(got) == math.Signbit(want)
+	}
+	if err := quick.Check(check, &quick.Config{MaxCount: 20000}); err != nil {
+		t.Error(err)
+	}
+	edges := []float64{0, math.Copysign(0, -1), 1e-300, -1e-300, 1, -1,
+		math.MaxFloat64, -math.MaxFloat64, math.Inf(1), math.Inf(-1), math.NaN()}
+	for _, a := range edges {
+		for _, b := range edges {
+			got, want := mcSlope(a, b), mathutil.MC(a, b)
+			if got != want && !(math.IsNaN(got) && math.IsNaN(want)) {
+				t.Fatalf("mcSlope(%v,%v) = %v, want %v", a, b, got, want)
+			}
+			if got == want && math.Signbit(got) != math.Signbit(want) {
+				t.Fatalf("mcSlope(%v,%v) sign of zero differs", a, b)
 			}
 		}
 	}

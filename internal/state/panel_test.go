@@ -1,0 +1,57 @@
+package state
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// panelGatherRef is the obvious per-row scalar gather PanelGather replaces.
+func panelGatherRef(dst, src []float64, base, rstride, stride, nrows, n int) {
+	for r := 0; r < nrows; r++ {
+		for j := 0; j < n; j++ {
+			dst[r*n+j] = src[base+r*rstride+j*stride]
+		}
+	}
+}
+
+func TestPanelGatherMatchesScalar(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	src := make([]float64, 4096)
+	for i := range src {
+		src[i] = rng.NormFloat64()
+	}
+	cases := []struct {
+		name                            string
+		base, rstride, stride, nrows, n int
+	}{
+		{"single-row", 3, 1, 17, 1, 40},
+		{"y-panel", 5, 1, 32, 8, 30},
+		{"z-panel", 2, 1, 32 * 8, 8, 15},
+		{"partial-panel", 0, 1, 64, 3, 20},
+		{"wide-rstride", 1, 9, 64, 5, 12},
+		{"unit-length", 11, 1, 128, 8, 1},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			got := make([]float64, tc.nrows*tc.n)
+			want := make([]float64, tc.nrows*tc.n)
+			PanelGather(got, src, tc.base, tc.rstride, tc.stride, tc.nrows, tc.n)
+			panelGatherRef(want, src, tc.base, tc.rstride, tc.stride, tc.nrows, tc.n)
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("dst[%d] = %v, want %v", i, got[i], want[i])
+				}
+			}
+		})
+	}
+}
+
+func TestPanelGatherDegenerate(t *testing.T) {
+	src := []float64{1, 2, 3}
+	dst := []float64{9, 9}
+	PanelGather(dst, src, 0, 1, 1, 0, 2) // nrows <= 0: no-op
+	PanelGather(dst, src, 0, 1, 1, 2, 0) // n <= 0: no-op
+	if dst[0] != 9 || dst[1] != 9 {
+		t.Fatalf("degenerate PanelGather wrote dst: %v", dst)
+	}
+}
