@@ -1,0 +1,239 @@
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+
+	"rhsc/internal/core"
+	"rhsc/internal/durable"
+	"rhsc/internal/metrics"
+	"rhsc/internal/output"
+	"rhsc/internal/testprob"
+)
+
+// durableCrashReport summarises the crash-at-every-write-point sweep.
+type durableCrashReport struct {
+	WritePoints  int `json:"write_points"`
+	TornVariants int `json:"torn_variants"`
+	// Outcome histogram: how many crash points recovered each
+	// generation (index 0 = nothing committed yet).
+	RecoveredGen []int `json:"recovered_generation_histogram"`
+	// TornLoads counts recoveries that served anything but a fully
+	// committed generation — the number this experiment exists to pin
+	// at zero.
+	TornLoads int `json:"torn_loads"`
+	// MonotonicityBreaks counts crash points whose recovered generation
+	// regressed against an earlier crash point.
+	MonotonicityBreaks int `json:"monotonicity_breaks"`
+}
+
+// durableCorruptionReport summarises the bit-flip/truncation matrix
+// over a real solver checkpoint.
+type durableCorruptionReport struct {
+	FrameBytes  int `json:"frame_bytes"`
+	BitFlips    int `json:"bit_flips"`
+	Truncations int `json:"truncations"`
+	Detected    int `json:"detected"`
+	// SilentLoads counts corrupted frames that loaded without error —
+	// the zero-silent-loads acceptance criterion.
+	SilentLoads int `json:"silent_loads"`
+}
+
+// durableReport is the BENCH_durable.json payload (E18).
+type durableReport struct {
+	Crash      durableCrashReport      `json:"crash_matrix"`
+	Corruption durableCorruptionReport `json:"corruption_matrix"`
+	Scrub      *durable.ScrubReport    `json:"scrub"`
+	Counters   metrics.DurableSnapshot `json:"counters"`
+}
+
+// durabilityBench is E18: end-to-end durability certification. It
+// (a) crashes a three-generation commit sequence at every mutating
+// write point — with and without torn tails — and requires recovery to
+// land on a fully committed generation, monotone in the crash point;
+// (b) flips every sampled bit of (and truncates) a real solver
+// checkpoint and requires every mutation to be detected; (c) scrubs
+// the surviving store and archives the report. Exits nonzero on any
+// torn load, silent load or monotonicity break.
+func (s *suite) durabilityBench() error {
+	fmt.Println("E18: durable checkpoint store — crash, corruption and scrub matrices")
+	var counters metrics.DurableCounters
+	rep := durableReport{}
+
+	// --- (a) crash matrix ---------------------------------------------
+	const generations = 3
+	script := func(fsys durable.FS, dir string) error {
+		st, err := durable.Open(fsys, dir, &counters)
+		if err != nil {
+			return err
+		}
+		for g := 1; g <= generations; g++ {
+			payload := bytes.Repeat([]byte{byte(g)}, 1024*g)
+			if _, err := st.Commit("state", func(w io.Writer) error {
+				_, err := w.Write(payload)
+				return err
+			}); err != nil {
+				return err
+			}
+		}
+		return nil
+	}
+	probe := durable.NewFaultFS(durable.OS, durable.Plan{})
+	dir, err := os.MkdirTemp("", "durable-crash-*")
+	if err != nil {
+		return err
+	}
+	defer os.RemoveAll(dir)
+	if err := script(probe, dir); err != nil {
+		return fmt.Errorf("clean commit script: %w", err)
+	}
+	total := probe.Ops()
+	rep.Crash.WritePoints = total
+	rep.Crash.RecoveredGen = make([]int, generations+1)
+	torn := []int{0, 7}
+	rep.Crash.TornVariants = len(torn)
+
+	for _, tb := range torn {
+		last := -1
+		for op := 1; op <= total; op++ {
+			cdir, err := os.MkdirTemp("", "durable-crash-op-*")
+			if err != nil {
+				return err
+			}
+			ffs := durable.NewFaultFS(durable.OS, durable.Plan{CrashAtOp: op, TornBytes: tb})
+			_ = script(ffs, cdir)
+
+			st, err := durable.Open(durable.OS, cdir, &counters)
+			if err != nil {
+				return err
+			}
+			var got []byte
+			gen, err := st.Load("state", func(r io.Reader) error {
+				var e error
+				got, e = io.ReadAll(r)
+				return e
+			})
+			recovered := 0
+			switch {
+			case err == nil && len(got) == 1024*int(gen) && allBytes(got, byte(gen)):
+				recovered = int(gen)
+			case errors.Is(err, durable.ErrNotExist):
+				recovered = 0
+			default:
+				rep.Crash.TornLoads++
+			}
+			if recovered < last {
+				rep.Crash.MonotonicityBreaks++
+			}
+			last = recovered
+			rep.Crash.RecoveredGen[recovered]++
+			os.RemoveAll(cdir)
+		}
+	}
+	fmt.Printf("  crash: %d write points x %d torn variants, histogram %v, torn loads %d\n",
+		total, len(torn), rep.Crash.RecoveredGen, rep.Crash.TornLoads)
+
+	// --- (b) corruption matrix over a real checkpoint ------------------
+	n := 128
+	if s.quick {
+		n = 48
+	}
+	cfg := core.DefaultConfig()
+	p := testprob.Sod
+	g := p.NewGrid(n, cfg.Recon.Ghost())
+	sol, err := core.New(g, cfg)
+	if err != nil {
+		return err
+	}
+	if err := sol.InitFromPrim(p.Init); err != nil {
+		return err
+	}
+	if _, err := sol.Advance(p.TEnd / 8); err != nil {
+		return err
+	}
+	var frame bytes.Buffer
+	if err := output.SaveCheckpointExact(&frame, sol.G, sol.Time()); err != nil {
+		return err
+	}
+	pristine := frame.Bytes()
+	rep.Corruption.FrameBytes = len(pristine)
+
+	load := func(b []byte) error {
+		_, _, _, err := output.LoadCheckpointFull(bytes.NewReader(b))
+		return err
+	}
+	if err := load(pristine); err != nil {
+		return fmt.Errorf("pristine checkpoint does not load: %w", err)
+	}
+	stride := 131 // coprime with the frame layout: offsets sweep all classes
+	for off := 0; off < len(pristine); off += stride {
+		for bit := 0; bit < 8; bit++ {
+			mut := append([]byte(nil), pristine...)
+			mut[off] ^= 1 << bit
+			rep.Corruption.BitFlips++
+			if errors.Is(load(mut), output.ErrCheckpointCorrupt) {
+				rep.Corruption.Detected++
+			} else {
+				rep.Corruption.SilentLoads++
+			}
+		}
+	}
+	for cut := 0; cut < len(pristine); cut += stride {
+		rep.Corruption.Truncations++
+		if errors.Is(load(pristine[:cut]), output.ErrCheckpointCorrupt) {
+			rep.Corruption.Detected++
+		} else {
+			rep.Corruption.SilentLoads++
+		}
+	}
+	fmt.Printf("  corruption: %d-byte checkpoint, %d bit flips + %d truncations, %d detected, %d silent\n",
+		rep.Corruption.FrameBytes, rep.Corruption.BitFlips,
+		rep.Corruption.Truncations, rep.Corruption.Detected, rep.Corruption.SilentLoads)
+
+	// --- (c) scrub the intact store ------------------------------------
+	st, err := durable.Open(durable.OS, dir, &counters)
+	if err != nil {
+		return err
+	}
+	rep.Scrub, err = st.Scrub()
+	if err != nil {
+		return err
+	}
+	rep.Counters = counters.Snapshot()
+	fmt.Printf("  scrub: %d checked, %d bad\n", rep.Scrub.Checked, rep.Scrub.Bad)
+
+	blob, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile("BENCH_durable.json", append(blob, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Println("  [json: BENCH_durable.json]")
+
+	if rep.Crash.TornLoads > 0 || rep.Crash.MonotonicityBreaks > 0 {
+		return fmt.Errorf("crash matrix served torn state (%d torn, %d monotonicity breaks)",
+			rep.Crash.TornLoads, rep.Crash.MonotonicityBreaks)
+	}
+	if rep.Corruption.SilentLoads > 0 {
+		return fmt.Errorf("%d corrupted checkpoints loaded silently", rep.Corruption.SilentLoads)
+	}
+	if rep.Scrub.Bad > 0 {
+		return fmt.Errorf("scrub found %d bad files in an uncorrupted store", rep.Scrub.Bad)
+	}
+	return nil
+}
+
+// allBytes reports whether every byte of b equals v.
+func allBytes(b []byte, v byte) bool {
+	for _, x := range b {
+		if x != v {
+			return false
+		}
+	}
+	return true
+}

@@ -8,7 +8,8 @@
 //	benchsuite [flags] <experiment>
 //
 // Experiments: table1 fig2 table2 table3 fig4 fig5 table4 fig6 fig7
-// table5 fig8 damr resilience stepbench failsafe serve, or "all".
+// table5 fig8 damr resilience stepbench failsafe serve hetero
+// durability, or "all".
 //
 // Flags:
 //
@@ -51,6 +52,7 @@ var experiments = []experiment{
 	{"failsafe", "E15: fail-safe local repair vs global retry", (*suite).failsafe},
 	{"serve", "E16: job server throughput, queue wait and preemption latency", (*suite).serveBench},
 	{"hetero", "E17: dynamic device router vs static planner on skewed and faulty fleets", (*suite).heteroBench},
+	{"durability", "E18: durable checkpoint store crash, corruption and scrub matrices", (*suite).durabilityBench},
 }
 
 type suite struct {

@@ -23,6 +23,8 @@ import (
 	"time"
 
 	"rhsc"
+	"rhsc/internal/durable"
+	"rhsc/internal/resilience"
 )
 
 func main() {
@@ -40,7 +42,10 @@ func main() {
 		tm      = flag.Bool("taub-mathews", false, "use the Taub-Mathews EOS")
 		out     = flag.String("out", "", "write final profile/slab CSV to this file")
 		ckpt    = flag.String("checkpoint", "", "write a binary checkpoint to this file")
-		spool   = flag.String("spool", "rhsc-spool", "directory for interrupt checkpoints (SIGINT/SIGTERM)")
+		spool   = flag.String("spool", "rhsc-spool", "durable checkpoint store for interrupts and -ckpt-every")
+		ckEvery = flag.Int("ckpt-every", 0, "commit a durable checkpoint every N steps (serial runs; 0 = off)")
+		resume  = flag.Bool("resume", false, "resume from the spool's newest valid checkpoint of this problem")
+		verify  = flag.String("verify", "", "scrub a durable checkpoint store directory and exit (nonzero on corruption)")
 		useAMR  = flag.Bool("amr", false, "run with adaptive mesh refinement")
 		maxLev  = flag.Int("maxlevel", 2, "AMR: maximum refinement level")
 		blocks  = flag.Int("rootblocks", 8, "AMR: root blocks along x")
@@ -60,6 +65,9 @@ func main() {
 			fmt.Println(name)
 		}
 		return
+	}
+	if *verify != "" {
+		os.Exit(runScrub(*verify))
 	}
 
 	opts := rhsc.Options{
@@ -81,7 +89,13 @@ func main() {
 		return
 	}
 
-	sim, err := rhsc.NewSim(opts)
+	var sim *rhsc.Sim
+	var err error
+	if *resume {
+		sim, err = resumeSerial(*spool, *problem, opts)
+	} else {
+		sim, err = rhsc.NewSim(opts)
+	}
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -90,7 +104,7 @@ func main() {
 		tEnd = *tend
 	}
 	start := time.Now()
-	interrupted, err := runSerial(sim, tEnd, *spool)
+	interrupted, err := runSerial(sim, tEnd, *spool, *ckEvery)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -237,13 +251,25 @@ func runAMR(opts rhsc.Options, tend float64, maxLevel, rootBlocks int, spool str
 
 // runSerial advances the simulation to tEnd with a signal-aware step
 // loop (numerically identical to Sim.RunTo): on SIGINT/SIGTERM the
-// run is checkpointed exactly into the spool directory and the process
-// exits 0 — nonzero only when that checkpoint cannot be written.
-func runSerial(sim *rhsc.Sim, tEnd float64, spool string) (bool, error) {
+// run is checkpointed exactly into the spool's durable store and the
+// process exits 0 — nonzero only when that checkpoint cannot be
+// committed. With ckEvery > 0 a durable checkpoint is also committed
+// every ckEvery steps, so even a SIGKILL or power loss costs at most
+// ckEvery steps of progress (-resume picks the run back up).
+func runSerial(sim *rhsc.Sim, tEnd float64, spool string, ckEvery int) (bool, error) {
 	sigc := make(chan os.Signal, 1)
 	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
 	defer signal.Stop(sigc)
+	var periodic *resilience.DurableCheckpointer
+	if ckEvery > 0 && spool != "" {
+		st, err := durable.Open(durable.OS, spool, nil)
+		if err != nil {
+			return false, err
+		}
+		periodic = &resilience.DurableCheckpointer{Store: st, Name: sim.Problem.Name, Every: ckEvery}
+	}
 	sim.Solver.RecoverPrimitives() // Advance's first-step recovery
+	step := 0
 	for sim.Time() < tEnd-1e-14 {
 		select {
 		case sig := <-sigc:
@@ -257,34 +283,78 @@ func runSerial(sim *rhsc.Sim, tEnd float64, spool string) (bool, error) {
 		if err := sim.Solver.Step(dt); err != nil {
 			return false, err
 		}
+		step++
+		if periodic != nil {
+			if _, err := periodic.Tick(step, sim.CheckpointExact); err != nil {
+				return false, err
+			}
+		}
 	}
 	return false, nil
 }
 
-// exitSpooled writes an exact checkpoint into the spool directory and
-// terminates the process: exit 0 on success, 1 when in-flight state
-// could not be saved. Restart later with -problem/-n matching and
-// rhsc.Restore (or resubmit to rhscd).
+// resumeSerial rebuilds a serial run from the spool store's newest
+// fully-valid checkpoint of the problem; corrupt generations are
+// quarantined and skipped automatically.
+func resumeSerial(spool, problem string, opts rhsc.Options) (*rhsc.Sim, error) {
+	var sim *rhsc.Sim
+	gen, err := resilience.RecoverLatest(durable.OS, spool, problem, func(r io.Reader) error {
+		var err error
+		sim, err = rhsc.Restore(r, opts)
+		return err
+	})
+	if err != nil {
+		return nil, fmt.Errorf("rhsc: resume %s from %s: %w", problem, spool, err)
+	}
+	fmt.Printf("resumed %s from generation %d (t=%.6g)\n", problem, gen, sim.Time())
+	return sim, nil
+}
+
+// exitSpooled commits an exact checkpoint into the spool's durable
+// store and terminates the process: exit 0 on success, 1 when
+// in-flight state could not be saved. Restart later with -resume and
+// matching -problem/-n (or resubmit to rhscd).
 func exitSpooled(dir, name string, sig os.Signal, t float64, save func(io.Writer) error) {
-	fail := func(err error) {
+	st, err := durable.Open(durable.OS, dir, nil)
+	if err == nil {
+		_, err = st.Commit(name, save)
+	}
+	if err != nil {
 		log.Printf("rhsc: %v: spool checkpoint failed: %v", sig, err)
 		os.Exit(1)
 	}
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		fail(err)
-	}
-	path := filepath.Join(dir, fmt.Sprintf("%s-%d.ckpt", name, os.Getpid()))
-	f, err := os.Create(path)
-	if err != nil {
-		fail(err)
-	}
-	if err := save(f); err != nil {
-		f.Close()
-		fail(err)
-	}
-	if err := f.Close(); err != nil {
-		fail(err)
-	}
-	fmt.Printf("%v: checkpointed t=%.6g to %s\n", sig, t, path)
+	fmt.Printf("%v: checkpointed t=%.6g to %s (resume with -resume -spool %s)\n",
+		sig, t, filepath.Join(dir, name+".g*.dur"), dir)
 	os.Exit(0)
+}
+
+// runScrub verifies every record of a durable store byte for byte and
+// prints the report; returns the process exit code (1 when any file
+// failed verification).
+func runScrub(dir string) int {
+	st, err := durable.Open(durable.OS, dir, nil)
+	if err != nil {
+		log.Printf("rhsc: verify %s: %v", dir, err)
+		return 1
+	}
+	rep, err := st.Scrub()
+	if err != nil {
+		log.Printf("rhsc: verify %s: %v", dir, err)
+		return 1
+	}
+	for _, r := range rep.Results {
+		if r.OK {
+			fmt.Printf("ok   %s g%d (%d bytes)\n", r.File, r.Gen, r.Bytes)
+		} else {
+			fmt.Printf("BAD  %s g%d: %s\n", r.File, r.Gen, r.Error)
+		}
+	}
+	for _, name := range rep.ManifestDrift {
+		fmt.Printf("DRIFT %s: manifest head has no valid file\n", name)
+	}
+	fmt.Printf("%s: %d checked, %d bad\n", dir, rep.Checked, rep.Bad)
+	if rep.Bad > 0 || len(rep.ManifestDrift) > 0 {
+		return 1
+	}
+	return 0
 }

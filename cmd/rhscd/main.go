@@ -22,11 +22,13 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"strconv"
 	"strings"
 	"syscall"
 	"time"
 
+	"rhsc/internal/durable"
 	"rhsc/internal/hetero"
 	"rhsc/internal/serve"
 )
@@ -64,10 +66,20 @@ func main() {
 
 	srv := serve.New(cfg)
 	if *spool != "" {
-		if n, err := srv.LoadSpool(*spool); err != nil {
-			log.Printf("rhscd: spool load: %v", err)
-		} else if n > 0 {
+		// Boot recovery: verified records re-admit; corrupt or unusable
+		// ones are quarantined to <spool>/corrupt/ so a single rotten
+		// record can never wedge the boot.
+		n, err := srv.LoadSpool(*spool)
+		if err != nil {
+			log.Printf("rhscd: spool load (damaged entries quarantined to %s): %v",
+				filepath.Join(*spool, durable.QuarantineDir), err)
+		}
+		if n > 0 {
 			log.Printf("rhscd: re-admitted %d spooled job(s) from %s", n, *spool)
+		}
+		if d := srv.DurableMetrics(); d.Quarantined > 0 {
+			log.Printf("rhscd: boot quarantined %d spool file(s), skipped %d generation(s)",
+				d.Quarantined, d.SkippedGenerations)
 		}
 	}
 
@@ -96,7 +108,9 @@ func main() {
 		log.Printf("rhscd: drain: %v", err)
 		os.Exit(1)
 	}
-	log.Printf("rhscd: drained cleanly")
+	d := srv.DurableMetrics()
+	log.Printf("rhscd: drained cleanly (%d durable commit(s), %d byte(s))",
+		d.Commits, d.CommitBytes)
 }
 
 // parseQuotas decodes 'tenant=maxactive:budget' pairs.

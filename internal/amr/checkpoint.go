@@ -11,6 +11,7 @@ import (
 	"sort"
 
 	"rhsc/internal/core"
+	"rhsc/internal/durable"
 	"rhsc/internal/output"
 	"rhsc/internal/testprob"
 )
@@ -75,7 +76,13 @@ func (t *Tree) save(w io.Writer, prims bool) error {
 		}
 		cp.Leaves = append(cp.Leaves, rec)
 	}
-	return gob.NewEncoder(w).Encode(&cp)
+	// Frame the payload (per-chunk CRC32C + sealed footer) so torn
+	// writes and bit rot surface as ErrCheckpointCorrupt at load time.
+	fw := durable.NewWriter(w)
+	if err := gob.NewEncoder(fw).Encode(&cp); err != nil {
+		return err
+	}
+	return fw.Seal()
 }
 
 // Load rebuilds a tree from a checkpoint. The problem must match the one
@@ -89,9 +96,20 @@ func (t *Tree) save(w io.Writer, prims bool) error {
 // fit wraps output.ErrCheckpointMismatch. The serving layer uses this
 // to distinguish fatal resume failures from transient I/O.
 func Load(r io.Reader, coreCfg core.Config) (*Tree, error) {
+	payload, framed, err := durable.Sniff(r)
+	if err != nil {
+		return nil, err
+	}
 	var cp treeCheckpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+	if err := gob.NewDecoder(payload).Decode(&cp); err != nil {
 		return nil, output.CorruptError("amr: decode checkpoint", err)
+	}
+	if framed != nil {
+		// gob may leave the frame tail unread; Verify rules out a torn
+		// tail masquerading as a clean load.
+		if err := framed.Verify(); err != nil {
+			return nil, output.CorruptError("amr: verify checkpoint frame", err)
+		}
 	}
 	p, err := testprob.ByName(cp.Problem)
 	if err != nil {
@@ -276,10 +294,23 @@ func TreeFromLeafBlobs(p *testprob.Problem, nbx int, cfg Config,
 	blobs [][]byte, time float64, steps int, zoneUpdates int64) (*Tree, error) {
 
 	var recs []leafRecord
-	for _, b := range blobs {
+	for i, b := range blobs {
+		// Buddy-checkpoint blobs are framed (damr wraps EncodeLeavesInto
+		// output in a durable blob frame); verify integrity before
+		// trusting a contribution. Raw blobs (direct EncodeLeaves use)
+		// pass through unframed.
+		if durable.IsFramed(b) {
+			payload, err := durable.ExtractBlob(b)
+			if err != nil {
+				return nil, output.CorruptError(
+					fmt.Sprintf("amr: leaf blob %d", i), err)
+			}
+			b = payload
+		}
 		var part []leafRecord
 		if err := gob.NewDecoder(bytes.NewReader(b)).Decode(&part); err != nil {
-			return nil, fmt.Errorf("amr: decode leaf blob: %w", err)
+			return nil, output.CorruptError(
+				fmt.Sprintf("amr: decode leaf blob %d", i), err)
 		}
 		recs = append(recs, part...)
 	}

@@ -11,6 +11,7 @@ import (
 
 	"rhsc/internal/amr"
 	"rhsc/internal/cluster"
+	"rhsc/internal/durable"
 	"rhsc/internal/metrics"
 	"rhsc/internal/testprob"
 )
@@ -304,8 +305,11 @@ func (r *rankRun) checkpoint() error {
 	if err := r.t.EncodeLeavesInto(r.ep.mine, &r.encBuf); err != nil {
 		return err
 	}
+	// The blob survives in a buddy's memory and crosses the simulated
+	// network; the durable frame (CRC32C + sealed footer) lets the
+	// rebuild reject a damaged contribution instead of installing it.
 	blob := r.encBuf.Bytes()
-	r.ckOwn = append(r.ckOwn[:0], blob...)
+	r.ckOwn = durable.AppendBlob(r.ckOwn[:0], blob)
 	r.ckSteps = r.t.Steps()
 	r.ckTime = r.t.Time()
 	r.ckZU = r.t.ZoneUpdates()

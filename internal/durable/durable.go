@@ -1,0 +1,86 @@
+// Package durable is the crash-consistent checkpoint storage layer:
+// everything the stack persists across a process death flows through
+// it, so torn writes, truncation and bit rot are detected instead of
+// silently resumed from.
+//
+// Three pieces compose (see docs/RESILIENCE.md §6):
+//
+//   - Framing (frame.go). A self-describing stream format — magic,
+//     format version, length-prefixed chunks each guarded by CRC32C,
+//     and a sealed footer carrying chunk count, payload length and a
+//     whole-stream CRC. Any truncation, torn tail or flipped bit fails
+//     verification; a frame that verifies is byte-for-byte the frame
+//     that was sealed.
+//   - The generation store (store.go). Commit writes a temp file,
+//     fsyncs it, atomically renames it to a generation-numbered name,
+//     and fsyncs the directory; a manifest records the intended head.
+//     Recovery never trusts a name: it scans generations newest-first
+//     and fully verifies each until one passes, so a crash at ANY
+//     point of the commit sequence lands the reader on the newest
+//     fully-valid generation — never a half-written one.
+//   - Fault injection (faultfs.go). All I/O goes through the FS
+//     interface (fs.go); FaultFS deterministically injects crashes at
+//     a chosen operation index (with torn partial writes), ENOSPC,
+//     fsync/rename failures and read-time bit rot, so the crash- and
+//     corruption-matrix tests can prove recovery at every injection
+//     point, mirroring the hetero chaos harness.
+//
+// Corruption errors wrap ErrCorrupt, which package output aliases as
+// ErrCheckpointCorrupt — callers classify failures with a single
+// errors.Is across the whole stack.
+package durable
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrCorrupt is the corruption sentinel: the bytes cannot be what was
+// sealed — truncated file, torn write, flipped bit, or garbage.
+// Retrying the same bytes can never succeed. Package output exposes
+// this same value as ErrCheckpointCorrupt, so
+// errors.Is(err, output.ErrCheckpointCorrupt) classifies durable-layer
+// failures too.
+var ErrCorrupt = errors.New("checkpoint corrupt")
+
+// ErrNotExist reports that a store holds no generation at all for the
+// requested name (as opposed to holding only invalid ones, which is
+// corruption).
+var ErrNotExist = errors.New("durable: no such object")
+
+// Error wraps a corruption failure with the operation that detected
+// it. Unwrap exposes both ErrCorrupt and the underlying cause to
+// errors.Is/As.
+type Error struct {
+	Op  string // what was being verified, e.g. "durable: chunk crc"
+	Err error  // underlying cause; may be nil
+}
+
+// Error implements the error interface.
+func (e *Error) Error() string {
+	if e.Err != nil {
+		return fmt.Sprintf("%s: %v: %v", e.Op, ErrCorrupt, e.Err)
+	}
+	return fmt.Sprintf("%s: %v", e.Op, ErrCorrupt)
+}
+
+// Unwrap exposes the sentinel and the cause.
+func (e *Error) Unwrap() []error {
+	if e.Err == nil {
+		return []error{ErrCorrupt}
+	}
+	return []error{ErrCorrupt, e.Err}
+}
+
+// Corrupt wraps cause as a corruption failure detected by op, for
+// callers outside this package whose payload parsing fails inside an
+// otherwise-verified frame.
+func Corrupt(op string, cause error) error { return corrupt(op, cause) }
+
+// corrupt builds an *Error for op, optionally with a cause.
+func corrupt(op string, cause error) error { return &Error{Op: op, Err: cause} }
+
+// corruptf builds an *Error whose cause is a formatted message.
+func corruptf(op, format string, args ...any) error {
+	return &Error{Op: op, Err: fmt.Errorf(format, args...)}
+}

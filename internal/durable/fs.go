@@ -1,0 +1,84 @@
+package durable
+
+import (
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+)
+
+// File is the handle surface the commit protocol needs: sequential
+// read/write plus Sync, so a fault-injecting implementation can tear
+// writes and fail fsyncs deterministically.
+type File interface {
+	io.Reader
+	io.Writer
+	io.Closer
+	// Sync flushes the file's data to stable storage.
+	Sync() error
+}
+
+// FS abstracts every filesystem operation the store performs. The
+// production implementation is OS; tests swap in a FaultFS to inject
+// crashes, short writes, ENOSPC and read-time bit rot at exact
+// operation indices. Paths are ordinary slash paths rooted wherever
+// the caller says.
+type FS interface {
+	// Create truncates-or-creates name for writing.
+	Create(name string) (File, error)
+	// Open opens name for reading.
+	Open(name string) (File, error)
+	// Rename atomically replaces newname with oldname.
+	Rename(oldname, newname string) error
+	// Remove deletes name.
+	Remove(name string) error
+	// MkdirAll creates dir and any missing parents.
+	MkdirAll(dir string) error
+	// ReadDir lists the names (not paths) of dir's entries, sorted.
+	ReadDir(dir string) ([]string, error)
+	// SyncDir fsyncs the directory itself, making renames within it
+	// durable. On filesystems where directories cannot be fsynced the
+	// implementation may no-op, weakening crash consistency to what
+	// the platform offers.
+	SyncDir(dir string) error
+}
+
+// OS is the production FS backed by package os.
+var OS FS = osFS{}
+
+type osFS struct{}
+
+func (osFS) Create(name string) (File, error) { return os.Create(name) }
+func (osFS) Open(name string) (File, error)   { return os.Open(name) }
+func (osFS) Rename(o, n string) error         { return os.Rename(o, n) }
+func (osFS) Remove(name string) error         { return os.Remove(name) }
+func (osFS) MkdirAll(dir string) error        { return os.MkdirAll(dir, 0o755) }
+
+func (osFS) ReadDir(dir string) ([]string, error) {
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(ents))
+	for _, e := range ents {
+		if !e.IsDir() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}
+
+func (osFS) SyncDir(dir string) error {
+	d, err := os.Open(filepath.Clean(dir))
+	if err != nil {
+		return err
+	}
+	// Directory fsync makes the just-renamed entry durable; platforms
+	// that reject fsync on directories degrade to rename-only ordering.
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}

@@ -11,6 +11,7 @@ import (
 	"io"
 	"strconv"
 
+	"rhsc/internal/durable"
 	"rhsc/internal/grid"
 	"rhsc/internal/state"
 )
@@ -30,8 +31,13 @@ import (
 //
 // Anything else (e.g. an *os.PathError from the reader) is an I/O
 // error and may be transient.
+//
+// ErrCheckpointCorrupt aliases durable.ErrCorrupt so integrity
+// failures detected by the durable framing layer (CRC mismatch, torn
+// tail, truncation) classify identically to decode failures here —
+// one errors.Is covers both layers.
 var (
-	ErrCheckpointCorrupt  = errors.New("checkpoint corrupt")
+	ErrCheckpointCorrupt  = durable.ErrCorrupt
 	ErrCheckpointMismatch = errors.New("checkpoint mismatch")
 )
 
@@ -170,23 +176,37 @@ type checkpoint struct {
 // time and the conserved state. Restores from it re-derive primitives,
 // so a restarted run is accurate but not bitwise identical; use
 // SaveCheckpointExact when exact continuation matters.
+//
+// The payload is wrapped in a durable frame (per-chunk CRC32C plus a
+// sealed footer), so truncation, torn writes and bit rot are detected
+// at load time instead of surfacing as gob decode noise or — worse —
+// silently plausible state.
 func SaveCheckpoint(w io.Writer, g *grid.Grid, t float64) error {
 	cp := checkpoint{Geom: g.Geometry, BCs: g.BCs, Time: t}
 	cp.U = make([]float64, len(g.U.Raw()))
 	copy(cp.U, g.U.Raw())
-	return gob.NewEncoder(w).Encode(&cp)
+	return sealCheckpoint(w, &cp)
 }
 
 // SaveCheckpointExact serialises conserved and primitive fields
 // (including ghost zones) so a restore continues bit-identically to the
-// uninterrupted run.
+// uninterrupted run. Framed like SaveCheckpoint.
 func SaveCheckpointExact(w io.Writer, g *grid.Grid, t float64) error {
 	cp := checkpoint{Geom: g.Geometry, BCs: g.BCs, Time: t}
 	cp.U = make([]float64, len(g.U.Raw()))
 	copy(cp.U, g.U.Raw())
 	cp.W = make([]float64, len(g.W.Raw()))
 	copy(cp.W, g.W.Raw())
-	return gob.NewEncoder(w).Encode(&cp)
+	return sealCheckpoint(w, &cp)
+}
+
+// sealCheckpoint gob-encodes cp through a durable frame and seals it.
+func sealCheckpoint(w io.Writer, cp *checkpoint) error {
+	fw := durable.NewWriter(w)
+	if err := gob.NewEncoder(fw).Encode(cp); err != nil {
+		return err
+	}
+	return fw.Seal()
 }
 
 // LoadCheckpoint reconstructs the grid and returns it with the stored
@@ -208,9 +228,21 @@ func LoadCheckpoint(r io.Reader) (*grid.Grid, float64, error) {
 // ErrCheckpointCorrupt, structurally valid payloads that do not fit
 // the grid wrap ErrCheckpointMismatch (see CheckpointError).
 func LoadCheckpointFull(r io.Reader) (*grid.Grid, float64, bool, error) {
+	payload, framed, err := durable.Sniff(r)
+	if err != nil {
+		return nil, 0, false, err
+	}
 	var cp checkpoint
-	if err := gob.NewDecoder(r).Decode(&cp); err != nil {
+	if err := gob.NewDecoder(payload).Decode(&cp); err != nil {
 		return nil, 0, false, CorruptError("output: decode checkpoint", err)
+	}
+	if framed != nil {
+		// gob reads exactly one value and may leave the frame tail
+		// unconsumed; Verify proves the footer (stream CRC, totals) is
+		// intact so a torn tail cannot pass as a clean load.
+		if err := framed.Verify(); err != nil {
+			return nil, 0, false, CorruptError("output: verify checkpoint frame", err)
+		}
 	}
 	// grid.New panics on non-positive extents; surface a decodable-but-
 	// absurd geometry as a mismatch instead.

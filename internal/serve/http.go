@@ -97,7 +97,12 @@ func NewMux(s *Server) *http.ServeMux {
 	})
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		writeJSON(w, http.StatusOK, s.Metrics())
+		// One flat JSON object: serving counters plus durable_*-prefixed
+		// durability counters, so map[string]int64 consumers keep working.
+		writeJSON(w, http.StatusOK, struct {
+			metrics.ServeSnapshot
+			metrics.DurableSnapshot
+		}{s.Metrics(), s.DurableMetrics()})
 	})
 
 	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {

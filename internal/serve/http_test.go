@@ -117,6 +117,10 @@ func TestHTTPSubmitWatchResult(t *testing.T) {
 	if m["accepted"] != 1 || m["completed"] != 1 {
 		t.Fatalf("metrics %+v", m)
 	}
+	// The durability counters ride in the same flat object.
+	if _, ok := m["durable_commits"]; !ok {
+		t.Fatalf("metrics missing durable counters: %+v", m)
+	}
 }
 
 func TestHTTPErrorPaths(t *testing.T) {

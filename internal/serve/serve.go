@@ -33,6 +33,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"os"
 	"path/filepath"
 	"sort"
@@ -41,6 +42,7 @@ import (
 	"time"
 
 	"rhsc"
+	"rhsc/internal/durable"
 	"rhsc/internal/metrics"
 	"rhsc/internal/output"
 )
@@ -78,6 +80,13 @@ type Config struct {
 	// pool; when it refuses — every device drained or dead — the segment
 	// falls back to unrouted host capacity. See placer.go.
 	Placer Placer
+	// SpoolFS is the filesystem the spool's durable store commits
+	// through (default the real OS; tests inject durable.FaultFS).
+	SpoolFS durable.FS
+	// DurableCounters, when non-nil, shares durability counters
+	// (commits, recoveries, quarantines) with the caller; otherwise the
+	// server owns a private set.
+	DurableCounters *metrics.DurableCounters
 }
 
 // tenantAcct tracks one tenant's quota consumption.
@@ -94,6 +103,8 @@ type Server struct {
 	cfg Config
 	// C is the serving counter set (shared or owned).
 	C *metrics.ServeCounters
+	// D is the durability counter set (shared or owned).
+	D *metrics.DurableCounters
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -116,15 +127,22 @@ func New(cfg Config) *Server {
 	if cfg.MaxQueue <= 0 {
 		cfg.MaxQueue = 64
 	}
+	if cfg.SpoolFS == nil {
+		cfg.SpoolFS = durable.OS
+	}
 	s := &Server{
 		cfg:     cfg,
 		C:       cfg.Counters,
+		D:       cfg.DurableCounters,
 		jobs:    make(map[string]*job),
 		running: make(map[*job]struct{}),
 		tenants: make(map[string]*tenantAcct),
 	}
 	if s.C == nil {
 		s.C = &metrics.ServeCounters{}
+	}
+	if s.D == nil {
+		s.D = &metrics.DurableCounters{}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -139,6 +157,10 @@ func (s *Server) Workers() int { return s.cfg.Workers }
 
 // Metrics snapshots the serving counters.
 func (s *Server) Metrics() metrics.ServeSnapshot { return s.C.Snapshot() }
+
+// DurableMetrics snapshots the durability counters (spool commits,
+// recovered generations, detected corruptions, quarantined entries).
+func (s *Server) DurableMetrics() metrics.DurableSnapshot { return s.D.Snapshot() }
 
 // TenantUsage reports a tenant's quota consumption.
 func (s *Server) TenantUsage(name string) (active int, reserved, used int64) {
@@ -595,7 +617,7 @@ func buildReason(err error, resumed bool) string {
 
 // --- drain and spool ----------------------------------------------------
 
-// spoolMeta is the sidecar JSON written next to each spooled snapshot.
+// spoolMeta is the JSON metadata section of a spooled job record.
 type spoolMeta struct {
 	ID          string  `json:"id"`
 	Spec        JobSpec `json:"spec"`
@@ -607,11 +629,14 @@ type spoolMeta struct {
 
 // Drain stops the server gracefully: admission closes, every running
 // job is checkpoint-preempted, and once the pool is idle the whole
-// queue (parked snapshots and never-started jobs alike) is written to
-// dir — one <id>.json sidecar plus an optional <id>.ckpt snapshot per
-// job. The returned error joins every checkpoint or spool failure; nil
-// means every in-flight job is safely on disk (the daemon exits
-// nonzero only otherwise). An empty dir skips spooling (Close).
+// queue (parked snapshots and never-started jobs alike) is committed
+// to a durable store in dir — one framed, CRC-guarded <id>.g*.dur
+// record per job holding metadata and snapshot together, published via
+// write-temp/fsync/rename/dirsync so a crash mid-drain can never leave
+// a meta/snapshot pair that disagrees. The returned error joins every
+// checkpoint or spool failure; nil means every in-flight job is safely
+// on disk (the daemon exits nonzero only otherwise). An empty dir
+// skips spooling (Close).
 func (s *Server) Drain(dir string) error {
 	s.mu.Lock()
 	if s.stopping {
@@ -630,12 +655,13 @@ func (s *Server) Drain(dir string) error {
 	s.mu.Lock()
 	errs := s.drainErrs
 	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
+		st, err := durable.Open(s.cfg.SpoolFS, dir, s.D)
+		if err != nil {
 			errs = append(errs, err)
 		} else {
 			for len(s.queue) > 0 {
 				j := heap.Pop(&s.queue).(*job)
-				if err := spoolJob(dir, j); err != nil {
+				if err := spoolJob(st, j); err != nil {
 					errs = append(errs, err)
 				}
 			}
@@ -650,8 +676,11 @@ func (s *Server) Drain(dir string) error {
 // jobs are parked in memory and discarded.
 func (s *Server) Close() { _ = s.Drain("") }
 
-// spoolJob writes one queued/parked job to the spool directory.
-func spoolJob(dir string, j *job) error {
+// spoolJob commits one queued/parked job into the spool store: a
+// single framed record of two sections (meta JSON, then the snapshot
+// when one exists). Atomicity comes from the store's commit protocol —
+// the record is visible in full or not at all.
+func spoolJob(st *durable.Store, j *job) error {
 	j.mu.Lock()
 	meta := spoolMeta{
 		ID: j.id, Spec: j.spec, StepBase: j.stepBase, ZuBase: j.zuBase,
@@ -659,27 +688,98 @@ func spoolJob(dir string, j *job) error {
 	}
 	snap := j.snapshot
 	j.mu.Unlock()
-	blob, err := json.MarshalIndent(&meta, "", "  ")
+	blob, err := json.Marshal(&meta)
 	if err != nil {
 		return fmt.Errorf("serve: spool %s: %w", j.id, err)
 	}
-	if err := os.WriteFile(filepath.Join(dir, j.id+".json"), blob, 0o644); err != nil {
-		return fmt.Errorf("serve: spool %s: %w", j.id, err)
-	}
-	if snap != nil {
-		if err := os.WriteFile(filepath.Join(dir, j.id+".ckpt"), snap, 0o644); err != nil {
-			return fmt.Errorf("serve: spool %s: %w", j.id, err)
+	_, err = st.Commit(j.id, func(w io.Writer) error {
+		if err := durable.WriteSection(w, blob); err != nil {
+			return err
 		}
+		if snap != nil {
+			return durable.WriteSection(w, snap)
+		}
+		return nil
+	})
+	if err != nil {
+		return fmt.Errorf("serve: spool %s: %w", j.id, err)
 	}
 	return nil
 }
 
 // LoadSpool re-admits jobs spooled by a previous Drain: parked jobs
 // rejoin the queue with their snapshot (and resume bit-exactly),
-// never-started jobs rejoin as queued. Spool files are consumed.
-// Returns the number of jobs loaded; per-job failures are joined into
-// the error but do not stop the sweep.
+// never-started jobs rejoin as queued. Records are verified end to end
+// before anything is trusted; corrupt generations fall back to an
+// older valid one when the store holds it, and unreadable or unusable
+// entries are quarantined to <dir>/corrupt/ with a .reason note
+// instead of wedging the boot. Consumed records are removed. Legacy
+// two-file spools (<id>.json + <id>.ckpt) from pre-durable daemons are
+// still honoured, with the same quarantine discipline. Returns the
+// number of jobs loaded; per-job failures are joined into the error
+// but do not stop the sweep.
 func (s *Server) LoadSpool(dir string) (int, error) {
+	st, err := durable.Open(s.cfg.SpoolFS, dir, s.D)
+	if err != nil {
+		return 0, err
+	}
+	names, err := st.Names()
+	if err != nil {
+		return 0, err
+	}
+	loaded := 0
+	var errs []error
+	for _, name := range names {
+		var meta spoolMeta
+		var snap []byte
+		_, err := st.Load(name, func(r io.Reader) error {
+			mb, err := durable.ReadSection(r)
+			if err != nil {
+				return err
+			}
+			if err := json.Unmarshal(mb, &meta); err != nil {
+				// Inside a CRC-verified frame, unparseable JSON is a
+				// writer bug, but corrupt classification keeps the
+				// fallback-to-older-generation path in play.
+				return durable.Corrupt("serve: spool meta", err)
+			}
+			if meta.HasSnapshot {
+				if snap, err = durable.ReadSection(r); err != nil {
+					return err
+				}
+			}
+			return nil
+		})
+		if err != nil {
+			// Corrupt generations are already quarantined by the store.
+			errs = append(errs, fmt.Errorf("serve: spool %s: %w", name, err))
+			continue
+		}
+		if err := s.readmit(meta, snap); err != nil {
+			// Verified bytes the server cannot use (spec drift, draining):
+			// move them aside so the next boot is not poisoned the same way.
+			errs = append(errs, err)
+			_ = st.QuarantineName(name, err.Error())
+			continue
+		}
+		if err := st.Remove(name); err != nil {
+			errs = append(errs, err)
+		}
+		loaded++
+	}
+
+	n, lerrs := s.loadLegacySpool(st, dir)
+	loaded += n
+	if lerrs != nil {
+		errs = append(errs, lerrs)
+	}
+	return loaded, errors.Join(errs...)
+}
+
+// loadLegacySpool sweeps pre-durable two-file spool entries
+// (<id>.json + <id>.ckpt). Unreadable entries are quarantined through
+// the store so operators find them in the same corrupt/ directory.
+func (s *Server) loadLegacySpool(st *durable.Store, dir string) (int, error) {
 	metas, err := filepath.Glob(filepath.Join(dir, "*.json"))
 	if err != nil {
 		return 0, err
@@ -687,7 +787,17 @@ func (s *Server) LoadSpool(dir string) (int, error) {
 	sort.Strings(metas)
 	loaded := 0
 	var errs []error
+	quarantine := func(mp, cp string, cause error) {
+		errs = append(errs, cause)
+		_ = st.Quarantine(filepath.Base(mp), cause.Error())
+		if cp != "" {
+			if _, err := os.Stat(cp); err == nil {
+				_ = st.Quarantine(filepath.Base(cp), cause.Error())
+			}
+		}
+	}
 	for _, mp := range metas {
+		cp := strings.TrimSuffix(mp, ".json") + ".ckpt"
 		blob, err := os.ReadFile(mp)
 		if err != nil {
 			errs = append(errs, err)
@@ -695,19 +805,18 @@ func (s *Server) LoadSpool(dir string) (int, error) {
 		}
 		var meta spoolMeta
 		if err := json.Unmarshal(blob, &meta); err != nil {
-			errs = append(errs, fmt.Errorf("serve: spool meta %s: %w", mp, err))
+			quarantine(mp, cp, fmt.Errorf("serve: spool meta %s: %w", mp, err))
 			continue
 		}
 		var snap []byte
-		cp := strings.TrimSuffix(mp, ".json") + ".ckpt"
 		if meta.HasSnapshot {
 			if snap, err = os.ReadFile(cp); err != nil {
-				errs = append(errs, fmt.Errorf("serve: spool snapshot for %s: %w", meta.ID, err))
+				quarantine(mp, "", fmt.Errorf("serve: spool snapshot for %s: %w", meta.ID, err))
 				continue
 			}
 		}
 		if err := s.readmit(meta, snap); err != nil {
-			errs = append(errs, err)
+			quarantine(mp, cp, err)
 			continue
 		}
 		os.Remove(mp)

@@ -1,7 +1,6 @@
 package serve
 
 import (
-	"os"
 	"path/filepath"
 	"strings"
 	"testing"
@@ -359,13 +358,9 @@ func TestDrainSpoolsAndLoadSpoolResumes(t *testing.T) {
 	if err := s.Drain(dir); err != nil {
 		t.Fatalf("drain: %v", err)
 	}
-	metas, _ := filepath.Glob(filepath.Join(dir, "*.json"))
-	if len(metas) != 2 {
-		t.Fatalf("spooled %d jobs, want 2", len(metas))
-	}
-	ckpts, _ := filepath.Glob(filepath.Join(dir, "*.ckpt"))
-	if len(ckpts) != 1 {
-		t.Fatalf("spooled %d snapshots, want 1 (only the running job)", len(ckpts))
+	recs, _ := filepath.Glob(filepath.Join(dir, "*.dur"))
+	if len(recs) != 2 {
+		t.Fatalf("spooled %d durable records, want 2: %v", len(recs), recs)
 	}
 	if st, _ := s.Get(running.ID); st.State != Parked {
 		t.Fatalf("drained running job state %q, want parked", st.State)
@@ -380,8 +375,8 @@ func TestDrainSpoolsAndLoadSpoolResumes(t *testing.T) {
 	if n != 2 {
 		t.Fatalf("loaded %d jobs, want 2", n)
 	}
-	if left, _ := os.ReadDir(dir); len(left) != 0 {
-		t.Fatalf("spool not consumed: %d files left", len(left))
+	if left, _ := filepath.Glob(filepath.Join(dir, "*.dur")); len(left) != 0 {
+		t.Fatalf("spool not consumed: %d records left", len(left))
 	}
 	for _, st := range s2.List() {
 		final, err := s2.Wait(st.ID)
