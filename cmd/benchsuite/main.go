@@ -9,7 +9,7 @@
 //
 // Experiments: table1 fig2 table2 table3 fig4 fig5 table4 fig6 fig7
 // table5 fig8 damr resilience stepbench failsafe serve hetero
-// durability, or "all".
+// durability netchaos, or "all".
 //
 // Flags:
 //
@@ -53,6 +53,7 @@ var experiments = []experiment{
 	{"serve", "E16: job server throughput, queue wait and preemption latency", (*suite).serveBench},
 	{"hetero", "E17: dynamic device router vs static planner on skewed and faulty fleets", (*suite).heteroBench},
 	{"durability", "E18: durable checkpoint store crash, corruption and scrub matrices", (*suite).durabilityBench},
+	{"netchaos", "E19: reliable transport goodput and retransmit overhead vs chaos drop rate", (*suite).netChaos},
 }
 
 type suite struct {

@@ -44,12 +44,14 @@ func main() {
 		active  = flag.Int("active", 0, "default per-tenant concurrent job cap (0 = unlimited)")
 		quotas  = flag.String("quotas", "", "per-tenant overrides, e.g. 'alice=4:1e9,bob=2:0' (maxactive:budget)")
 		fleet   = flag.String("fleet", "", "routed device fleet, e.g. 'cpu8,k20,k20-staged,phi'; jobs land on health-scored capacity (GET /v1/fleet)")
+		jobTO   = flag.Duration("job-timeout", 0, "per-job running wall-clock cap, e.g. 10m; past it the job is cancelled with a typed timeout (0 = unlimited)")
 	)
 	flag.Parse()
 
 	cfg := serve.Config{
 		Workers: *workers, MaxQueue: *queue, MaxJobCost: *maxCost,
 		DefaultQuota: serve.Quota{MaxActive: *active, Budget: *budget},
+		JobTimeout:   *jobTO,
 	}
 	var err error
 	if cfg.Quotas, err = parseQuotas(*quotas); err != nil {

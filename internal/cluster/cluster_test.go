@@ -23,7 +23,7 @@ func TestCommPointToPoint(t *testing.T) {
 	go func() {
 		defer wg.Done()
 		c := w.Comm(1)
-		data, stamp := c.Recv(0, 7)
+		data, stamp, _ := c.Recv(0, 7)
 		if len(data) != 3 || data[2] != 3 || stamp != 0.5 {
 			t.Errorf("recv = %v, %v", data, stamp)
 		}
@@ -38,10 +38,10 @@ func TestCommTagStash(t *testing.T) {
 	c0, c1 := w.Comm(0), w.Comm(1)
 	c0.Send(1, 1, []float64{10}, 0)
 	c0.Send(1, 2, []float64{20}, 0)
-	if d, _ := c1.Recv(0, 2); d[0] != 20 {
+	if d, _, _ := c1.Recv(0, 2); d[0] != 20 {
 		t.Errorf("tag 2 = %v", d)
 	}
-	if d, _ := c1.Recv(0, 1); d[0] != 10 {
+	if d, _, _ := c1.Recv(0, 1); d[0] != 10 {
 		t.Errorf("tag 1 = %v", d)
 	}
 }

@@ -11,6 +11,11 @@
 // charged at a calibrated zone rate, messages charged latency + size/BW,
 // timestamps carried on messages) extrapolates the curve shape, which is
 // what the strong/weak scaling experiments (E5, E6) report.
+//
+// The default world of NewWorld is a perfect in-order fabric; see
+// transport.go for the lossy-fabric variant (deterministic chaos
+// injection, reliable seq/CRC/ack/retransmit framing, deadline-bounded
+// receives).
 package cluster
 
 import (
@@ -18,15 +23,27 @@ import (
 	"math"
 	"sync"
 	"sync/atomic"
+	"time"
+
+	"rhsc/internal/metrics"
 )
 
 // message is the unit of transport: payload plus the sender's virtual
-// timestamp at posting time.
+// timestamp at posting time. The seq/era/crc header fields are used only
+// by the reliable transport (reliable.go); a default world leaves them
+// zero.
 type message struct {
 	tag  int
 	data []float64
 	// stamp is the sender's virtual clock when the send was posted.
 	stamp float64
+	// seq is the per-(src,dst) sequence number (1-based) in reliable mode.
+	seq uint64
+	// era is the sender's recovery era; receivers discard (after
+	// acknowledging) frames from before their own era.
+	era uint64
+	// crc is the CRC32C of the payload bit patterns in reliable mode.
+	crc uint32
 }
 
 // World owns the mailboxes of a set of ranks.
@@ -41,6 +58,14 @@ type World struct {
 	failed []atomic.Bool
 	down   []chan struct{}
 	killed []sync.Once
+
+	// Lossy-transport state (see transport.go); all nil/zero for a
+	// default world.
+	tc        *TransportConfig
+	chaos     *chaosNet
+	rel       *reliableState
+	alarms    alarm
+	closeOnce sync.Once
 }
 
 // mailboxDepth is the buffer depth of each pairwise mailbox. Every
@@ -58,10 +83,20 @@ type World struct {
 // TestDeepTagExchange pins this down.
 const mailboxDepth = 8
 
-// NewWorld creates a world of n ranks with buffered pairwise mailboxes.
-func NewWorld(n int) *World {
+// NewWorld creates a world of n ranks with buffered pairwise mailboxes
+// over a perfect fabric (no loss, no deadlines; Recv still surfaces
+// ErrRankFailed when the peer is killed).
+func NewWorld(n int) *World { return newWorld(n, nil) }
+
+// newWorld is the shared constructor; tc is nil for a default world and
+// a normalized config for a transport world (NewWorldTransport).
+func newWorld(n int, tc *TransportConfig) *World {
 	if n < 1 {
 		panic("cluster: world needs at least one rank")
+	}
+	depth := mailboxDepth
+	if tc != nil {
+		depth = tc.Depth
 	}
 	w := &World{
 		size:   n,
@@ -69,15 +104,24 @@ func NewWorld(n int) *World {
 		failed: make([]atomic.Bool, n),
 		down:   make([]chan struct{}, n),
 		killed: make([]sync.Once, n),
+		tc:     tc,
 	}
 	for s := 0; s < n; s++ {
 		w.boxes[s] = make([]chan message, n)
 		w.down[s] = make(chan struct{})
 		for d := 0; d < n; d++ {
-			w.boxes[s][d] = make(chan message, mailboxDepth)
+			w.boxes[s][d] = make(chan message, depth)
 		}
 	}
 	return w
+}
+
+// counters returns the transport counters, or nil for a default world.
+func (w *World) counters() *metrics.TransportCounters {
+	if w.tc == nil {
+		return nil
+	}
+	return w.tc.Counters
 }
 
 // Size returns the number of ranks.
@@ -88,7 +132,18 @@ func (w *World) Comm(r int) *Comm {
 	if r < 0 || r >= w.size {
 		panic(fmt.Sprintf("cluster: rank %d outside world of %d", r, w.size))
 	}
-	return &Comm{w: w, rank: r, pending: make(map[int][]message)}
+	c := &Comm{w: w, rank: r, pending: make(map[int][]message)}
+	if w.rel != nil {
+		c.expect = make([]uint64, w.size)
+		for i := range c.expect {
+			c.expect[i] = 1 // sequence numbers are 1-based
+		}
+		c.ooo = make([]map[uint64]message, w.size)
+		for i := range c.ooo {
+			c.ooo[i] = map[uint64]message{}
+		}
+	}
+	return c
 }
 
 // Comm is one rank's endpoint. A Comm must only be used from its own
@@ -99,6 +154,16 @@ type Comm struct {
 	// pending stashes messages that arrived ahead of the tag being waited
 	// on (a pair can interleave halo tags, e.g. two-rank periodic rings).
 	pending map[int][]message
+	// Reliable-mode receive state (nil on a default world): era is this
+	// rank's recovery era (stamped on outgoing frames, frames below it are
+	// discarded after acknowledging), expect[src] the next in-order
+	// sequence number, ooo[src] the reorder buffer of early frames.
+	era    uint64
+	expect []uint64
+	ooo    []map[uint64]message
+	// alarmSeen is the alarm generation this rank has already processed
+	// (see SeenAlarm in fault.go).
+	alarmSeen uint64
 }
 
 // Rank returns this communicator's rank.
@@ -107,30 +172,248 @@ func (c *Comm) Rank() int { return c.rank }
 // Size returns the world size.
 func (c *Comm) Size() int { return c.w.size }
 
+// Era returns this communicator's recovery era.
+func (c *Comm) Era() uint64 { return c.era }
+
+// SetEra moves this rank into recovery era e (no-op unless e > era):
+// frames it sends from now on carry the new era, frames from before it
+// (in flight, stashed, or retransmitted later) are acknowledged and
+// discarded. Survivors derive e from lockstep-agreed state (alarm
+// generation + shrink count in the damr driver), so all of them land on
+// the same era even when they unwind at different points; without the
+// era filter, traffic from the aborted protocol phase could contaminate
+// the replay.
+func (c *Comm) SetEra(e uint64) {
+	if e <= c.era {
+		return
+	}
+	c.era = e
+	for src, q := range c.pending {
+		kept := q[:0]
+		for _, m := range q {
+			if m.era >= c.era {
+				kept = append(kept, m)
+			}
+		}
+		c.pending[src] = kept
+	}
+}
+
+// AdvanceEra is SetEra(Era()+1).
+func (c *Comm) AdvanceEra() { c.SetEra(c.era + 1) }
+
 // Send posts data to dst with a tag and the sender's virtual timestamp.
 // Delivery is in-order per (src, dst) pair. The payload is not copied; the
-// sender must not mutate it afterwards.
+// sender must not mutate it until the receiver is known to have consumed
+// it (the protocols above guarantee this with double-buffered pools).
 func (c *Comm) Send(dst, tag int, data []float64, stamp float64) {
+	if c.w.rel != nil {
+		c.w.rel.post(c.rank, dst, message{tag: tag, data: data, stamp: stamp, era: c.era})
+		return
+	}
 	c.w.boxes[c.rank][dst] <- message{tag: tag, data: data, stamp: stamp}
 }
 
 // Recv blocks for the next message from src carrying the given tag.
 // Messages from src with other tags are stashed and delivered to later
 // matching Recv calls, preserving per-tag FIFO order.
-func (c *Comm) Recv(src, tag int) ([]float64, float64) {
+//
+// Recv never hangs on a dead peer: once src has been killed and
+// everything it sent (or, in reliable mode, could still retransmit) has
+// been drained, Recv returns ErrRankFailed. On a transport world with a
+// configured RecvDeadline the wait is additionally time-bounded and
+// surfaces ErrTimeout.
+func (c *Comm) Recv(src, tag int) ([]float64, float64, error) {
+	return c.recvTagged(src, tag, c.w.RecvDeadline(), false, 0)
+}
+
+// RecvTimeout is Recv with an explicit deadline overriding the world's
+// base RecvDeadline; d <= 0 disables the deadline for this call.
+func (c *Comm) RecvTimeout(src, tag int, d time.Duration) ([]float64, float64, error) {
+	return c.recvTagged(src, tag, d, false, 0)
+}
+
+// RecvInterruptible is RecvTimeout that additionally wakes with
+// ErrInterrupted when the world alarm generation moves past seenGen
+// (see World.Alarm). Callers snapshot AlarmGen at their recovery point
+// and pass it here.
+func (c *Comm) RecvInterruptible(src, tag int, d time.Duration, seenGen uint64) ([]float64, float64, error) {
+	return c.recvTagged(src, tag, d, true, seenGen)
+}
+
+// recvTagged is the tag-matching layer over recvMsg: scan the stash,
+// then pull messages (stashing mismatched tags) until one matches.
+func (c *Comm) recvTagged(src, tag int, d time.Duration, intr bool, seenGen uint64) ([]float64, float64, error) {
 	for i, m := range c.pending[src] {
 		if m.tag == tag {
 			c.pending[src] = append(c.pending[src][:i], c.pending[src][i+1:]...)
-			return m.data, m.stamp
+			return m.data, m.stamp, nil
 		}
 	}
+	var deadline time.Time
+	if d > 0 {
+		deadline = time.Now().Add(d)
+	}
 	for {
-		m := <-c.w.boxes[src][c.rank]
+		m, err := c.recvMsg(src, deadline, intr, seenGen)
+		if err != nil {
+			return nil, 0, fmt.Errorf("%w: rank %d (tag %d)", err, src, tag)
+		}
 		if m.tag == tag {
-			return m.data, m.stamp
+			return m.data, m.stamp, nil
 		}
 		c.pending[src] = append(c.pending[src], m)
 	}
+}
+
+// recvMsg pulls the next deliverable message from src: the next frame on
+// a default world, the next in-sequence fresh-era frame on a reliable
+// world. It returns bare sentinel errors (ErrRankFailed, ErrTimeout,
+// ErrInterrupted); recvTagged adds context.
+func (c *Comm) recvMsg(src int, deadline time.Time, intr bool, seenGen uint64) (message, error) {
+	w := c.w
+	box := w.boxes[src][c.rank]
+	rel := w.rel != nil
+	nc := w.counters()
+	for {
+		if intr {
+			if _, gen := w.alarms.state(); gen != seenGen {
+				if nc != nil {
+					nc.Interrupts.Add(1)
+				}
+				return message{}, ErrInterrupted
+			}
+		}
+		if rel {
+			// Serve the reorder buffer before pulling the mailbox.
+			if m, ok := c.ooo[src][c.expect[src]]; ok {
+				delete(c.ooo[src], c.expect[src])
+				c.expect[src]++
+				c.postAck(src)
+				if m.era < c.era {
+					nc.StaleEraDropped.Add(1)
+					continue
+				}
+				nc.Delivered.Add(1)
+				return m, nil
+			}
+		}
+		var m message
+		gotMsg := false
+		select {
+		case m = <-box:
+			gotMsg = true
+		default:
+		}
+		if !gotMsg {
+			srcDead := w.Failed(src)
+			if srcDead && !(rel && w.rel.hasPending(src, c.rank)) {
+				// Dead, mailbox drained, nothing left to retransmit.
+				if nc != nil {
+					nc.PeerDeaths.Add(1)
+				}
+				return message{}, ErrRankFailed
+			}
+			downCh := w.down[src]
+			if srcDead {
+				// Already woken once; selecting on the closed channel
+				// would spin. The retransmitter (still pending) pushes to
+				// the mailbox, so wait on it with a short poll instead.
+				downCh = nil
+			}
+			var alarmCh chan struct{}
+			if intr {
+				alarmCh, _ = w.alarms.state() // generation checked above
+			}
+			wait := time.Duration(-1)
+			if !deadline.IsZero() {
+				wait = time.Until(deadline)
+				if wait <= 0 {
+					return message{}, c.deadlineError(src, nc)
+				}
+			}
+			if srcDead && rel {
+				if poll := 4 * w.tc.RTO; wait < 0 || wait > poll {
+					wait = poll // recheck hasPending after abandonment
+				}
+			}
+			var timer *time.Timer
+			var timerC <-chan time.Time
+			if wait >= 0 {
+				timer = time.NewTimer(wait)
+				timerC = timer.C
+			}
+			interrupted, fired := false, false
+			select {
+			case m = <-box:
+				gotMsg = true
+			case <-downCh:
+				// Loop back: next iteration sees Failed(src).
+			case <-alarmCh:
+				interrupted = true
+			case <-timerC:
+				fired = true
+			}
+			if timer != nil {
+				timer.Stop()
+			}
+			if interrupted {
+				if nc != nil {
+					nc.Interrupts.Add(1)
+				}
+				return message{}, ErrInterrupted
+			}
+			if fired && !deadline.IsZero() && !time.Now().Before(deadline) {
+				return message{}, c.deadlineError(src, nc)
+			}
+			if !gotMsg {
+				continue // poll tick or down wake-up
+			}
+		}
+		if !rel {
+			return m, nil
+		}
+		// Reliable reassembly. Duplicates are discarded before the CRC
+		// check (a retransmit of an already-consumed frame may carry a
+		// since-recycled buffer; it only needs re-acknowledging). In-order
+		// and early frames must pass the CRC before they can advance the
+		// window or enter the reorder buffer; a rejected frame is simply
+		// not acknowledged and retransmission repairs it.
+		e := c.expect[src]
+		switch {
+		case m.seq < e:
+			nc.DupDiscarded.Add(1)
+			c.postAck(src)
+		case crcPayload(m.data) != m.crc:
+			nc.CrcRejected.Add(1)
+		case m.seq > e:
+			c.ooo[src][m.seq] = m
+		default: // m.seq == e, CRC ok
+			c.expect[src] = e + 1
+			c.postAck(src)
+			if m.era < c.era {
+				nc.StaleEraDropped.Add(1)
+				continue
+			}
+			nc.Delivered.Add(1)
+			return m, nil
+		}
+	}
+}
+
+// deadlineError classifies an expired deadline: if the peer is dead by
+// now this is a death, not a timeout.
+func (c *Comm) deadlineError(src int, nc *metrics.TransportCounters) error {
+	if c.w.Failed(src) {
+		if nc != nil {
+			nc.PeerDeaths.Add(1)
+		}
+		return ErrRankFailed
+	}
+	if nc != nil {
+		nc.Timeouts.Add(1)
+	}
+	return ErrTimeout
 }
 
 // Collective tags (kept clear of the halo tags in halo.go).
@@ -138,6 +421,19 @@ const (
 	tagReduce = 1 << 20
 	tagBcast  = 1 << 21
 )
+
+// mustRecv unwraps a Recv inside a non-fault-tolerant protocol (the
+// plain collectives, the uniform-grid halo exchange). These have no
+// exclusion protocol, so a peer failure or timeout mid-protocol is
+// unrecoverable by construction; panicking (instead of the pre-transport
+// behavior, hanging forever) makes the misuse loud. Fault-injected runs
+// must use the FT collectives in fault.go.
+func mustRecv(v []float64, s float64, err error) ([]float64, float64) {
+	if err != nil {
+		panic("cluster: non-fault-tolerant receive cannot proceed: " + err.Error())
+	}
+	return v, s
+}
 
 // AllReduceMin returns the minimum of x across all ranks. Every rank must
 // call it (gather-to-0 + broadcast).
@@ -163,7 +459,7 @@ func (c *Comm) allReduce(x float64, op func(a, b float64) float64) float64 {
 	if c.rank == 0 {
 		acc := x
 		for src := 1; src < n; src++ {
-			v, _ := c.Recv(src, tagReduce)
+			v, _ := mustRecv(c.Recv(src, tagReduce))
 			acc = op(acc, v[0])
 		}
 		for dst := 1; dst < n; dst++ {
@@ -172,7 +468,7 @@ func (c *Comm) allReduce(x float64, op func(a, b float64) float64) float64 {
 		return acc
 	}
 	c.Send(0, tagReduce, []float64{x}, 0)
-	v, _ := c.Recv(0, tagBcast)
+	v, _ := mustRecv(c.Recv(0, tagBcast))
 	return v[0]
 }
 
@@ -190,7 +486,7 @@ func (c *Comm) Gather(data []float64) [][]float64 {
 	out := make([][]float64, n)
 	out[0] = data
 	for src := 1; src < n; src++ {
-		v, _ := c.Recv(src, tagReduce)
+		v, _ := mustRecv(c.Recv(src, tagReduce))
 		out[src] = v
 	}
 	return out
@@ -209,7 +505,7 @@ func (c *Comm) AllGather(data []float64) [][]float64 {
 		parts := make([][]float64, n)
 		parts[0] = data
 		for src := 1; src < n; src++ {
-			v, _ := c.Recv(src, tagReduce)
+			v, _ := mustRecv(c.Recv(src, tagReduce))
 			parts[src] = v
 		}
 		// Rebroadcast as one flat message: [len_0 … len_{n-1}, payload…].
@@ -226,7 +522,7 @@ func (c *Comm) AllGather(data []float64) [][]float64 {
 		return parts
 	}
 	c.Send(0, tagReduce, data, 0)
-	flat, _ := c.Recv(0, tagBcast)
+	flat, _ := mustRecv(c.Recv(0, tagBcast))
 	parts := make([][]float64, n)
 	off := n
 	for r := 0; r < n; r++ {

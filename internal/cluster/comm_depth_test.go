@@ -29,7 +29,7 @@ func TestDeepTagExchange(t *testing.T) {
 		defer wg.Done()
 		c := w.Comm(1)
 		for tag := tags - 1; tag >= 0; tag-- {
-			data, _ := c.Recv(0, tag)
+			data, _, _ := c.Recv(0, tag)
 			if len(data) != 1 || data[0] != float64(tag) {
 				t.Errorf("tag %d: got %v", tag, data)
 				return
@@ -61,10 +61,10 @@ func TestPerTagOrder(t *testing.T) {
 		defer wg.Done()
 		c := w.Comm(1)
 		// Tag 1 first: forces tag-0 messages through the stash.
-		a, _ := c.Recv(0, 1)
-		b, _ := c.Recv(0, 1)
-		x, _ := c.Recv(0, 0)
-		y, _ := c.Recv(0, 0)
+		a, _, _ := c.Recv(0, 1)
+		b, _, _ := c.Recv(0, 1)
+		x, _, _ := c.Recv(0, 0)
+		y, _, _ := c.Recv(0, 0)
 		if a[0] != 1 || b[0] != 3 || x[0] != 0 || y[0] != 2 {
 			t.Errorf("per-tag order broken: %v %v %v %v", a, b, x, y)
 		}

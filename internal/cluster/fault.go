@@ -18,6 +18,7 @@ import (
 	"errors"
 	"fmt"
 	"sort"
+	"time"
 )
 
 // ErrRankFailed reports that a peer rank failed; use errors.Is to match.
@@ -60,42 +61,57 @@ func (c *Comm) AliveRanks() []int { return c.w.AliveRanks() }
 
 // RecvErr is Recv with failure detection: it blocks for the next message
 // from src with the given tag, but returns ErrRankFailed once src is dead
-// and everything it sent before dying has been drained. Messages with
-// other tags are stashed exactly like Recv.
+// and everything it sent before dying (or, in reliable mode, everything
+// its retransmitter can still repair) has been drained. Messages with
+// other tags are stashed exactly like Recv. Since the transport layer
+// unified the receive paths, RecvErr and Recv are the same call; the
+// name is kept for the protocols written against the fail-stop model.
 func (c *Comm) RecvErr(src, tag int) ([]float64, float64, error) {
-	for i, m := range c.pending[src] {
-		if m.tag == tag {
-			c.pending[src] = append(c.pending[src][:i], c.pending[src][i+1:]...)
-			return m.data, m.stamp, nil
-		}
+	return c.recvTagged(src, tag, c.w.RecvDeadline(), false, 0)
+}
+
+// SeenAlarm records the alarm generation this rank has already processed
+// (snapshot at its recovery point). Interruptible receives — including
+// the FT collectives on a transport world — wake with ErrInterrupted as
+// soon as the world alarm moves past it.
+func (c *Comm) SeenAlarm(gen uint64) { c.alarmSeen = gen }
+
+// AlarmGen returns the world's current alarm generation.
+func (c *Comm) AlarmGen() uint64 { return c.w.AlarmGen() }
+
+// Suspect converts a timed-out receive from p into the revocation
+// protocol: if this rank has itself been excluded meanwhile (a
+// partitioned rank usually discovers its own exclusion this way, because
+// its point-to-point deadlines are longer than its peers'), it must bow
+// out; if another detector already raised the alarm, join that recovery
+// round; otherwise declare p dead and raise the alarm so every rank
+// unwinds to recovery. Kill happens strictly before Alarm, so every rank
+// woken by the alarm computes the same survivor set.
+func (c *Comm) Suspect(p int) error {
+	if c.w.Failed(c.rank) {
+		return fmt.Errorf("%w: rank %d", ErrSelfExcluded, c.rank)
 	}
-	box := c.w.boxes[src][c.rank]
-	for {
-		// A dead sender can still have messages in flight (posted before
-		// Kill); drain them non-blocking before declaring the loss.
-		if c.w.Failed(src) {
-			for {
-				select {
-				case m := <-box:
-					if m.tag == tag {
-						return m.data, m.stamp, nil
-					}
-					c.pending[src] = append(c.pending[src], m)
-				default:
-					return nil, 0, fmt.Errorf("%w: rank %d (tag %d)", ErrRankFailed, src, tag)
-				}
-			}
-		}
-		select {
-		case m := <-box:
-			if m.tag == tag {
-				return m.data, m.stamp, nil
-			}
-			c.pending[src] = append(c.pending[src], m)
-		case <-c.w.down[src]:
-			// Loop back: the Failed branch drains remaining messages.
-		}
+	if _, gen := c.w.alarms.state(); gen != c.alarmSeen {
+		return fmt.Errorf("%w: while suspecting rank %d", ErrInterrupted, p)
 	}
+	c.w.Kill(p)
+	c.w.Alarm()
+	return fmt.Errorf("%w: rank %d unresponsive, alarm raised", ErrInterrupted, p)
+}
+
+// ftRecv is the receive primitive of the FT collectives. On a default
+// world it is exactly the historical RecvErr (blocking, death-aware). On
+// a transport world it is additionally bounded by mult × the base
+// deadline and interruptible by the recovery alarm.
+func (c *Comm) ftRecv(src, tag, mult int) ([]float64, float64, error) {
+	if c.w.tc == nil {
+		return c.recvTagged(src, tag, 0, false, 0)
+	}
+	d := c.w.tc.RecvDeadline
+	if d > 0 {
+		d *= time.Duration(mult)
+	}
+	return c.recvTagged(src, tag, d, true, c.alarmSeen)
 }
 
 // Fault-tolerant collective tags (clear of halo, reduce and damr tags).
@@ -129,7 +145,13 @@ func (c *Comm) FTAllReduceMin(x float64, participants []int) (float64, []int, er
 			val := x
 			alive := []int{root}
 			for _, p := range parts[1:] {
-				v, _, err := c.RecvErr(p, tagFTReduce)
+				v, _, err := c.ftRecv(p, tagFTReduce, 1)
+				if errors.Is(err, ErrTimeout) {
+					return 0, nil, c.Suspect(p)
+				}
+				if err != nil && !errors.Is(err, ErrRankFailed) {
+					return 0, nil, err // interrupted or self-excluded
+				}
 				if err != nil {
 					continue // p died before contributing
 				}
@@ -149,7 +171,18 @@ func (c *Comm) FTAllReduceMin(x float64, participants []int) (float64, []int, er
 			return val, alive, nil
 		}
 		c.Send(root, tagFTReduce, []float64{x}, 0)
-		v, _, err := c.RecvErr(root, tagFTBcast)
+		// The non-root deadline is scaled well past the root's per-peer
+		// deadline: the root may legitimately wait ~len(parts) deadlines
+		// before broadcasting, and a partitioned rank must discover its
+		// own exclusion (ErrSelfExcluded via Suspect) before it can
+		// falsely suspect a live root.
+		v, _, err := c.ftRecv(root, tagFTBcast, len(parts)+2)
+		if errors.Is(err, ErrTimeout) {
+			return 0, nil, c.Suspect(root)
+		}
+		if err != nil && !errors.Is(err, ErrRankFailed) {
+			return 0, nil, err // interrupted or self-excluded
+		}
 		if err != nil {
 			// Root died: drop it and retry with the next participant as
 			// root. (Our contribution above is lost in its mailbox.)
@@ -188,7 +221,13 @@ func (c *Comm) FTAllGather(data []float64, participants []int) ([][]float64, []i
 			out[root] = data
 			alive := []int{root}
 			for _, p := range parts[1:] {
-				v, _, err := c.RecvErr(p, tagFTReduce)
+				v, _, err := c.ftRecv(p, tagFTReduce, 1)
+				if errors.Is(err, ErrTimeout) {
+					return nil, nil, c.Suspect(p)
+				}
+				if err != nil && !errors.Is(err, ErrRankFailed) {
+					return nil, nil, err
+				}
 				if err != nil {
 					continue
 				}
@@ -216,7 +255,13 @@ func (c *Comm) FTAllGather(data []float64, participants []int) ([][]float64, []i
 			return out, alive, nil
 		}
 		c.Send(root, tagFTReduce, data, 0)
-		flat, _, err := c.RecvErr(root, tagFTBcast)
+		flat, _, err := c.ftRecv(root, tagFTBcast, len(parts)+2)
+		if errors.Is(err, ErrTimeout) {
+			return nil, nil, c.Suspect(root)
+		}
+		if err != nil && !errors.Is(err, ErrRankFailed) {
+			return nil, nil, err
+		}
 		if err != nil {
 			parts = parts[1:]
 			continue

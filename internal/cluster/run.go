@@ -255,7 +255,7 @@ func (r *rankState) exchange(w *state.Fields) {
 	}
 
 	recvOne := func(src, tag int) {
-		data, stamp := r.comm.Recv(src, tag)
+		data, stamp := mustRecv(r.comm.Recv(src, tag))
 		switch tag {
 		case tagHaloToRight: // arrived from the left neighbour
 			unpackXHalo(g, w, 0, data)

@@ -34,6 +34,7 @@ import (
 
 	"rhsc/internal/amr"
 	"rhsc/internal/cluster"
+	"rhsc/internal/metrics"
 )
 
 // Options configures a distributed AMR run.
@@ -76,6 +77,18 @@ type Options struct {
 	// themselves, and replay — reproducing the fault-free trajectory to
 	// round-off because the run is invariant to the partition.
 	Fault *RankFault
+
+	// Transport, when non-nil, runs the ranks over the lossy-fabric
+	// transport of cluster.NewWorldTransport instead of the perfect
+	// default fabric: seeded chaos injection (Transport.Chaos), reliable
+	// seq/CRC/ack/retransmit framing, deadline-bounded receives, and the
+	// alarm/era recovery protocol (docs/RESILIENCE.md §7). Every masked
+	// chaos schedule leaves the run bit-identical to the clean run; an
+	// unmaskable fault (a silenced/partitioned rank) is detected by
+	// deadline, excluded like a dead rank, and recovered from the buddy
+	// checkpoints. A zero RecvDeadline defaults to 2s here so no receive
+	// can hang.
+	Transport *cluster.TransportConfig
 }
 
 // RankFault schedules one deterministic fail-stop rank failure: the
@@ -146,6 +159,11 @@ type Result struct {
 	// Tree is rank 0's hierarchy with every leaf's final data gathered
 	// in, for validation against a single-rank run.
 	Tree *amr.Tree
+
+	// Net is the transport counter snapshot of the run (nil unless
+	// Options.Transport was set): traffic, chaos faults injected,
+	// repairs performed, typed failures surfaced.
+	Net *metrics.TransportSnapshot
 }
 
 // mortonKey maps a block ref to its position on the Z-order curve:
@@ -269,6 +287,16 @@ func (o *Options) validate() error {
 		}
 		if o.Fault.AfterStep < 0 {
 			return fmt.Errorf("damr: fault step %d negative", o.Fault.AfterStep)
+		}
+	}
+	if o.Transport != nil {
+		if o.Transport.RecvDeadline <= 0 {
+			// Every receive must be bounded or a silenced peer would hang
+			// the run; 2s is far above any masked-chaos repair latency.
+			o.Transport.RecvDeadline = 2 * time.Second
+		}
+		if o.Transport.Chaos != nil && o.Transport.Chaos.Silence != nil && o.CheckpointEvery <= 0 {
+			return fmt.Errorf("damr: a Silence chaos fault requires CheckpointEvery > 0 to recover")
 		}
 	}
 	return nil

@@ -1,0 +1,224 @@
+package damr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"rhsc/internal/cluster"
+	"rhsc/internal/testprob"
+)
+
+// runWithin guards a distributed run with a wall-clock budget: the
+// transport contract promises typed errors, never hangs, under any
+// fault schedule.
+func runWithin(t *testing.T, d time.Duration, fn func() (*Result, error)) (*Result, error) {
+	t.Helper()
+	type out struct {
+		res *Result
+		err error
+	}
+	ch := make(chan out, 1)
+	go func() {
+		res, err := fn()
+		ch <- out{res, err}
+	}()
+	select {
+	case o := <-ch:
+		return o.res, o.err
+	case <-time.After(d):
+		t.Fatal("distributed run hung past its wall-clock budget")
+		return nil, nil
+	}
+}
+
+// TestNetChaosMaskedInvariance is the tentpole acceptance test: under a
+// seeded chaos schedule of drops, duplicates, delays, and corruptions
+// that the reliable layer can mask, the distributed run stays bitwise
+// identical to the clean single-rank reference at every rank count.
+func TestNetChaosMaskedInvariance(t *testing.T) {
+	p := testprob.Blast2D
+	cfg := blastConfig()
+	const nbx, steps = 4, 10
+
+	ref := referenceRun(t, p, nbx, steps, cfg)
+
+	for _, ranks := range []int{1, 2, 4} {
+		res, err := runWithin(t, 2*time.Minute, func() (*Result, error) {
+			return Run(p, nbx, cfg, Options{
+				Ranks: ranks,
+				Mode:  cluster.Async,
+				Net:   cluster.Infiniband(),
+				Steps: steps,
+				Transport: &cluster.TransportConfig{
+					Chaos: &cluster.ChaosSpec{
+						Seed: 1234, Drop: 0.15, Duplicate: 0.1, Delay: 0.1, Corrupt: 0.05,
+					},
+					RTO: 2 * time.Millisecond,
+				},
+			})
+		})
+		if err != nil {
+			t.Fatalf("ranks=%d: %v", ranks, err)
+		}
+		if res.Recoveries != 0 {
+			t.Errorf("ranks=%d: masked chaos triggered %d recoveries", ranks, res.Recoveries)
+		}
+		if res.Steps != steps {
+			t.Errorf("ranks=%d: took %d steps, want %d", ranks, res.Steps, steps)
+		}
+		if res.Net == nil {
+			t.Fatalf("ranks=%d: no transport snapshot", ranks)
+		}
+		if ranks > 1 {
+			if res.Net.ChaosDropped == 0 || res.Net.Retransmits == 0 {
+				t.Errorf("ranks=%d: chaos injected/repaired nothing: %+v", ranks, res.Net)
+			}
+			if res.Net.Abandoned != 0 {
+				t.Errorf("ranks=%d: %d frames abandoned under masked chaos", ranks, res.Net.Abandoned)
+			}
+		}
+		refMass := ref.TotalMass()
+		if rel := math.Abs(res.TotalMass-refMass) / refMass; rel > 1e-12 {
+			t.Errorf("ranks=%d: mass %v vs reference %v (rel %.3e)", ranks, res.TotalMass, refMass, rel)
+		}
+		linf, l1 := sampleL1(res.Tree, ref, p, 64)
+		if linf > 1e-12 || l1 > 1e-12 {
+			t.Errorf("ranks=%d: density mismatch Linf=%.3e L1=%.3e", ranks, linf, l1)
+		}
+	}
+}
+
+// TestNetChaosWithRankFault combines the two fault models: a fail-stop
+// rank failure recovered from buddy checkpoints while the fabric keeps
+// dropping and corrupting frames. The recovery and the replay both run
+// over the lossy transport and the result must still match.
+func TestNetChaosWithRankFault(t *testing.T) {
+	p := testprob.Blast2D
+	cfg := blastConfig()
+	const nbx, steps = 4, 12
+
+	ref := referenceRun(t, p, nbx, steps, cfg)
+	res, err := runWithin(t, 2*time.Minute, func() (*Result, error) {
+		return Run(p, nbx, cfg, Options{
+			Ranks:           3,
+			Net:             cluster.Infiniband(),
+			Steps:           steps,
+			CheckpointEvery: 4,
+			Fault:           &RankFault{Rank: 1, AfterStep: 6},
+			Transport: &cluster.TransportConfig{
+				Chaos: &cluster.ChaosSpec{
+					Seed: 99, Drop: 0.1, Duplicate: 0.1, Delay: 0.1, Corrupt: 0.05,
+				},
+				RTO: 2 * time.Millisecond,
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("Recoveries = %d, want >= 1", res.Recoveries)
+	}
+	if res.Survivors != 2 {
+		t.Errorf("Survivors = %d, want 2", res.Survivors)
+	}
+	if res.Steps != steps {
+		t.Errorf("Steps = %d, want %d", res.Steps, steps)
+	}
+	refMass := ref.TotalMass()
+	if rel := math.Abs(res.TotalMass-refMass) / refMass; rel > 1e-12 {
+		t.Errorf("mass %v vs reference %v (rel %.3e)", res.TotalMass, refMass, rel)
+	}
+	linf, l1 := sampleL1(res.Tree, ref, p, 64)
+	if linf > 1e-12 || l1 > 1e-12 {
+		t.Errorf("faulted chaos run diverged: Linf=%.3e L1=%.3e", linf, l1)
+	}
+}
+
+// TestNetChaosSilenceRecovery is the unmaskable-fault path end to end:
+// a rank falls permanently silent mid-run (a partition, not a crash —
+// it keeps computing and receiving). Its peers must detect the silence
+// by deadline, exclude it like a dead rank, recover from the buddy
+// checkpoints, and still finish with the reference solution. The
+// silenced rank must exit cleanly by discovering its own exclusion.
+func TestNetChaosSilenceRecovery(t *testing.T) {
+	p := testprob.Blast2D
+	cfg := blastConfig()
+	const nbx, steps, ranks = 4, 12, 3
+
+	ref := referenceRun(t, p, nbx, steps, cfg)
+	res, err := runWithin(t, 2*time.Minute, func() (*Result, error) {
+		return Run(p, nbx, cfg, Options{
+			Ranks:           ranks,
+			Net:             cluster.Infiniband(),
+			Steps:           steps,
+			CheckpointEvery: 4,
+			Transport: &cluster.TransportConfig{
+				Chaos: &cluster.ChaosSpec{
+					Seed:    5,
+					Silence: &cluster.SilenceFault{Rank: 1, AfterSends: 60},
+				},
+				RTO:          time.Millisecond,
+				RecvDeadline: 250 * time.Millisecond,
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Recoveries < 1 {
+		t.Errorf("Recoveries = %d, want >= 1", res.Recoveries)
+	}
+	// The silenced rank must be excluded; a concurrent false suspicion of
+	// one slow-but-live rank is tolerated (the protocol self-heals by
+	// recovering over the doubly-shrunken set), so allow ranks-2.
+	if res.Survivors < ranks-2 || res.Survivors >= ranks {
+		t.Errorf("Survivors = %d, want %d or %d", res.Survivors, ranks-1, ranks-2)
+	}
+	if res.Steps != steps {
+		t.Errorf("Steps = %d, want %d", res.Steps, steps)
+	}
+	if res.Net == nil || res.Net.Timeouts == 0 {
+		t.Errorf("silence left no timeout trace: %+v", res.Net)
+	}
+	refMass := ref.TotalMass()
+	if rel := math.Abs(res.TotalMass-refMass) / refMass; rel > 1e-12 {
+		t.Errorf("mass %v vs reference %v (rel %.3e)", res.TotalMass, refMass, rel)
+	}
+	linf, l1 := sampleL1(res.Tree, ref, p, 64)
+	if linf > 1e-12 || l1 > 1e-12 {
+		t.Errorf("silence recovery diverged: Linf=%.3e L1=%.3e", linf, l1)
+	}
+}
+
+// TestTransportCleanReliable runs the reliable transport with no chaos:
+// pure protocol overhead, still bitwise identical, snapshot populated.
+func TestTransportCleanReliable(t *testing.T) {
+	p := testprob.Blast2D
+	cfg := blastConfig()
+	const nbx, steps = 4, 6
+
+	ref := referenceRun(t, p, nbx, steps, cfg)
+	res, err := runWithin(t, time.Minute, func() (*Result, error) {
+		return Run(p, nbx, cfg, Options{
+			Ranks: 2,
+			Net:   cluster.Infiniband(),
+			Steps: steps,
+			Transport: &cluster.TransportConfig{
+				Reliable: true,
+				RTO:      50 * time.Millisecond,
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Net == nil || res.Net.Sent == 0 || res.Net.Delivered == 0 {
+		t.Fatalf("transport snapshot missing or empty: %+v", res.Net)
+	}
+	linf, l1 := sampleL1(res.Tree, ref, p, 64)
+	if linf > 1e-12 || l1 > 1e-12 {
+		t.Errorf("reliable run diverged: Linf=%.3e L1=%.3e", linf, l1)
+	}
+}

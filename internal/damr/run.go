@@ -245,15 +245,26 @@ type rankRun struct {
 	// collective so all survivors agree.
 	active []int
 
-	// Latest buddy-checkpoint generation: this rank's own encoded leaves
-	// plus the ring predecessor's blob, with the tree counters needed to
-	// restart from it.
-	ckOwn       []byte
-	ckBuddy     []byte
-	ckBuddyRank int
-	ckSteps     int
-	ckTime      float64
-	ckZU        int64
+	// Buddy-checkpoint generations, two deep. ckCur is the newest
+	// generation whose ring exchange completed on this rank; ckPrev the
+	// one before it. A chaos-interrupted ring exchange leaves some ranks
+	// committed at generation S and the aborters at the previous one, so
+	// recovery first agrees on min(ckCur.steps) over the survivors and
+	// every rank serves that generation from whichever slot holds it
+	// (lockstep checkpointing makes the two possibilities exhaustive
+	// under the one-fault-per-window model). On the perfect default
+	// fabric the ring never aborts and ckCur is the only slot ever read.
+	ckCur  ckSlot
+	ckPrev ckSlot
+
+	// Transport-mode recovery state: dirty is set when a protocol phase
+	// unwound on ErrInterrupted/ErrRankFailed and the loop top must run a
+	// recovery; seenGen is the alarm generation this rank has processed;
+	// shrinkEras counts recoveries entered via the (alarm-free) collective
+	// shrink path, so era = seenGen + shrinkEras stays lockstep-agreed.
+	dirty      bool
+	seenGen    uint64
+	shrinkEras int
 
 	// Pooled exchange buffers. The channel transport does not copy
 	// payloads, so a buffer may only be repacked once its previous
@@ -293,12 +304,31 @@ type rankRun struct {
 	maxLevelCfg int
 }
 
+// ckSlot is one complete buddy-checkpoint generation: this rank's own
+// encoded leaves, the ring predecessor's blob, and the tree counters
+// needed to restart from it. valid is false until the generation's ring
+// exchange completed on this rank.
+type ckSlot struct {
+	own       []byte
+	buddy     []byte
+	buddyRank int
+	steps     int
+	time      float64
+	zu        int64
+	valid     bool
+}
+
 // checkpoint encodes this rank's owned leaves and swaps blobs around the
 // ring of active ranks, so each rank's segment survives on its ring
 // successor. Lockstep guarantees every active rank checkpoints at the
 // same tree step, and a victim that dies at this loop top dies *after*
-// its send, so the generation is always complete (RecvErr drains
+// its send, so the generation is always complete (the receive drains
 // messages a rank posted before dying).
+//
+// The generation is staged: the slots rotate (prev ← cur ← new) only
+// after the ring receive succeeds. An abort (deadline or alarm on the
+// lossy transport) recycles ckPrev's storage as scrap and leaves ckCur
+// — the generation recovery will agree on — untouched.
 func (r *rankRun) checkpoint() error {
 	clock0 := r.clock
 	r.encBuf.Reset()
@@ -309,11 +339,14 @@ func (r *rankRun) checkpoint() error {
 	// network; the durable frame (CRC32C + sealed footer) lets the
 	// rebuild reject a damaged contribution instead of installing it.
 	blob := r.encBuf.Bytes()
-	r.ckOwn = durable.AppendBlob(r.ckOwn[:0], blob)
-	r.ckSteps = r.t.Steps()
-	r.ckTime = r.t.Time()
-	r.ckZU = r.t.ZoneUpdates()
-	r.ckBuddyRank = -1
+	stage := r.ckPrev // recycle the oldest slot's storage
+	r.ckPrev.valid = false
+	stage.own = durable.AppendBlob(stage.own[:0], blob)
+	stage.steps = r.t.Steps()
+	stage.time = r.t.Time()
+	stage.zu = r.t.ZoneUpdates()
+	stage.buddy = stage.buddy[:0]
+	stage.buddyRank = -1
 	if len(r.active) > 1 {
 		pos := 0
 		for k, a := range r.active {
@@ -324,18 +357,21 @@ func (r *rankRun) checkpoint() error {
 		}
 		next := r.active[(pos+1)%len(r.active)]
 		prev := r.active[(pos+len(r.active)-1)%len(r.active)]
-		r.ckPack = packBytesInto(r.ckOwn, r.ckPack)
+		r.ckPack = packBytesInto(stage.own, r.ckPack)
 		r.comm.Send(next, tagCheckpoint, r.ckPack, r.clock)
-		got, stamp, err := r.comm.RecvErr(prev, tagCheckpoint)
+		got, stamp, err := r.recvPt(prev, tagCheckpoint)
 		if err != nil {
 			return err
 		}
-		r.ckBuddy = unpackBytesInto(got, r.ckBuddy)
-		r.ckBuddyRank = prev
+		stage.buddy = unpackBytesInto(got, stage.buddy)
+		stage.buddyRank = prev
 		if avail := stamp + r.opts.Net.Cost(len(got)*8); avail > r.clock {
 			r.clock = avail
 		}
 	}
+	stage.valid = true
+	r.ckPrev = r.ckCur
+	r.ckCur = stage
 	r.checkpoints++
 	r.ckBytes += int64(len(blob))
 	r.ckClock += r.clock - clock0
@@ -354,12 +390,40 @@ func (r *rankRun) checkpoint() error {
 func (r *rankRun) recoverFromFailure(survivors []int) error {
 	start := time.Now()
 	clock0 := r.clock
-	r.recomputed += r.t.Steps() - r.ckSteps
 
-	contrib := [][]byte{r.ckOwn}
+	// Agree on the restore generation: the newest one complete on every
+	// survivor. A rank whose ring exchange aborted mid-checkpoint is
+	// still at the previous generation, so the minimum of the committed
+	// step counts is held by everyone — from ckCur on the ranks that
+	// aborted, from ckPrev on the ranks that had already rotated. (On
+	// the default fabric the ring never aborts and this reduces to
+	// everyone's identical ckCur.)
+	curSteps := -1.0
+	if r.ckCur.valid {
+		curSteps = float64(r.ckCur.steps)
+	}
+	targetF, _, err := r.comm.FTAllReduceMin(curSteps, survivors)
+	if err != nil {
+		return err
+	}
+	if targetF < 0 {
+		return fmt.Errorf("damr: no complete checkpoint generation to recover from")
+	}
+	target := int(targetF)
+	slot := &r.ckCur
+	if !slot.valid || slot.steps != target {
+		slot = &r.ckPrev
+	}
+	if !slot.valid || slot.steps != target {
+		return fmt.Errorf("damr: checkpoint generations diverged (need step %d, have cur=%d/%v prev=%d/%v)",
+			target, r.ckCur.steps, r.ckCur.valid, r.ckPrev.steps, r.ckPrev.valid)
+	}
+	r.recomputed += r.t.Steps() - slot.steps
+
+	contrib := [][]byte{slot.own}
 	for _, d := range r.active {
-		if !contains(survivors, d) && d == r.ckBuddyRank {
-			contrib = append(contrib, r.ckBuddy)
+		if !contains(survivors, d) && d == slot.buddyRank {
+			contrib = append(contrib, slot.buddy)
 		}
 	}
 	parts, alive, err := r.comm.FTAllGather(packBlobs(contrib), survivors)
@@ -380,7 +444,7 @@ func (r *rankRun) recoverFromFailure(survivors []int) error {
 	// Coarse gather-and-rebroadcast charge, as in regridPhase.
 	r.clock += 2 * r.opts.Net.Cost(total)
 
-	t, err := amr.TreeFromLeafBlobs(r.p, r.nbx, r.cfg, blobs, r.ckTime, r.ckSteps, r.ckZU)
+	t, err := amr.TreeFromLeafBlobs(r.p, r.nbx, r.cfg, blobs, slot.time, slot.steps, slot.zu)
 	if err != nil {
 		return err
 	}
@@ -393,12 +457,36 @@ func (r *rankRun) recoverFromFailure(survivors []int) error {
 	return nil
 }
 
+// recvPt is the point-to-point receive of every damr protocol phase.
+// On the default fabric it is a plain (death-aware) Recv. On the lossy
+// transport it is interruptible by the recovery alarm and bounded by 3×
+// the base deadline — longer than any deadline the FT collectives use,
+// so a partitioned rank discovers its own exclusion (its loop-top
+// collective deadline fires first, or the alarm wakes it) before it can
+// falsely suspect a live peer here. A timeout is converted into the
+// revocation protocol: the unresponsive peer is killed, the alarm
+// raised, and the caller unwinds to the loop top dirty.
+func (r *rankRun) recvPt(src, tag int) ([]float64, float64, error) {
+	if r.opts.Transport == nil {
+		return r.comm.Recv(src, tag)
+	}
+	d := r.opts.Transport.RecvDeadline
+	if d > 0 {
+		d *= 3
+	}
+	data, stamp, err := r.comm.RecvInterruptible(src, tag, d, r.seenGen)
+	if errors.Is(err, cluster.ErrTimeout) {
+		err = r.comm.Suspect(src)
+	}
+	return data, stamp, err
+}
+
 // exchangeHalos runs one halo phase: post packed conserved blocks to
 // every peer, receive the symmetric sets, then restore the recover/ghost
 // invariant on the fresh set. When stageZones > 0 the phase also charges
 // that much compute to the virtual clock, split interior/boundary for
 // the Async overlap model exactly as cluster.rankState.exchange does.
-func (r *rankRun) exchangeHalos(stageZones bool) {
+func (r *rankRun) exchangeHalos(stageZones bool) error {
 	t, ep := r.t, r.ep
 	dims := float64(t.Dim())
 	full, boundary := 0.0, 0.0
@@ -427,7 +515,10 @@ func (r *rankRun) exchangeHalos(stageZones bool) {
 		r.clock += interior
 	}
 	for _, src := range ep.peersIn {
-		data, stamp := r.comm.Recv(src, tagHalo)
+		data, stamp, err := r.recvPt(src, tagHalo)
+		if err != nil {
+			return err
+		}
 		off := 0
 		for _, j := range ep.recvFrom[src] {
 			raw := t.LeafRawU(j)
@@ -461,6 +552,7 @@ func (r *rankRun) exchangeHalos(stageZones bool) {
 		rec = ep.halo
 	}
 	t.SyncSubset(rec, ep.mine)
+	return nil
 }
 
 // exchangeMasks swaps the troubled-cell masks of boundary leaves with
@@ -469,7 +561,7 @@ func (r *rankRun) exchangeHalos(stageZones bool) {
 // flag. The payload packs 8 mask bytes per float64 word into the
 // parity send buffers sized by setEpoch, so a clean steady-state stage
 // allocates nothing.
-func (r *rankRun) exchangeMasks(localTroubled int) bool {
+func (r *rankRun) exchangeMasks(localTroubled int) (bool, error) {
 	t, ep := r.t, r.ep
 	par := r.maskPhase & 1
 	r.maskPhase++
@@ -485,7 +577,10 @@ func (r *rankRun) exchangeMasks(localTroubled int) bool {
 	}
 	dirty := localTroubled > 0
 	for _, src := range ep.peersIn {
-		data, stamp := r.comm.Recv(src, tagFSMask)
+		data, stamp, err := r.recvPt(src, tagFSMask)
+		if err != nil {
+			return false, err
+		}
 		off := 0
 		for _, j := range ep.recvFrom[src] {
 			m := t.LeafFSMask(j)
@@ -498,7 +593,7 @@ func (r *rankRun) exchangeMasks(localTroubled int) bool {
 			r.clock = avail
 		}
 	}
-	return dirty
+	return dirty, nil
 }
 
 // step advances one global CFL step, mirroring amr.Tree.Step stage for
@@ -514,22 +609,32 @@ func (r *rankRun) step(dt float64) error {
 	if r.cfg.Core.FailSafe {
 		for s := 1; s <= 2; s++ {
 			troubled := t.StageAdvanceFS(ep.mine, s, dt)
-			if r.exchangeMasks(troubled) {
+			repair, err := r.exchangeMasks(troubled)
+			if err != nil {
+				return err
+			}
+			if repair {
 				t.FSGhostMasks(ep.mine)
 				if err := t.FSRepairLeaves(ep.mine, s, dt); err != nil {
 					return err
 				}
 			}
-			r.exchangeHalos(true)
+			if err := r.exchangeHalos(true); err != nil {
+				return err
+			}
 		}
 	} else {
 		for s := 0; s < 2; s++ {
 			t.StageAdvance(ep.mine, dt)
-			r.exchangeHalos(true)
+			if err := r.exchangeHalos(true); err != nil {
+				return err
+			}
 		}
 	}
 	t.CombineStage(ep.mine)
-	r.exchangeHalos(false)
+	if err := r.exchangeHalos(false); err != nil {
+		return err
+	}
 	t.AdvanceTime(dt)
 	r.imbAccum += r.ep.imbalance
 	r.execSteps++
@@ -657,7 +762,10 @@ func (r *rankRun) regridPhase() error {
 		r.comm.Send(dst, tagMigrate, r.migPack[dst], r.clock)
 	}
 	for _, src := range sortedKeys(recvPlan) {
-		payload, stamp := r.comm.Recv(src, tagMigrate)
+		payload, stamp, err := r.recvPt(src, tagMigrate)
+		if err != nil {
+			return err
+		}
 		if avail := stamp + opts.Net.Cost(len(payload) * 8); avail > r.clock {
 			r.clock = avail
 		}
@@ -809,7 +917,13 @@ func Run(p *testprob.Problem, nbx int, cfg amr.Config, opts Options) (*Result, e
 	if err := opts.validate(); err != nil {
 		return nil, err
 	}
-	world := cluster.NewWorld(opts.Ranks)
+	var world *cluster.World
+	if opts.Transport != nil {
+		world = cluster.NewWorldTransport(opts.Ranks, *opts.Transport)
+	} else {
+		world = cluster.NewWorld(opts.Ranks)
+	}
+	defer world.Close()
 	results := make([]*Result, opts.Ranks)
 	errs := make([]error, opts.Ranks)
 	var wg sync.WaitGroup
@@ -835,6 +949,10 @@ func Run(p *testprob.Problem, nbx int, cfg amr.Config, opts Options) (*Result, e
 	// the fault victim.
 	for _, res := range results {
 		if res != nil && res.Tree != nil {
+			if nc := world.NetCounters(); nc != nil {
+				snap := nc.Snapshot()
+				res.Net = &snap
+			}
 			return res, nil
 		}
 	}
@@ -860,10 +978,11 @@ func newRankRun(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config
 		rate:        opts.ZoneRate,
 		maxLevelCfg: cfg.MaxLevel,
 		p:           p, nbx: nbx, cfg: cfg,
-		active:      active,
-		ckBuddyRank: -1,
-		migPack:     map[int][]float64{},
+		active:  active,
+		migPack: map[int][]float64{},
 	}
+	r.ckCur.buddyRank = -1
+	r.ckPrev.buddyRank = -1
 	if len(opts.RankRates) > 0 {
 		r.rate = opts.RankRates[rank]
 	}
@@ -883,22 +1002,100 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		tEnd = opts.TEnd
 	}
 
+	transport := opts.Transport != nil
+
+	// classify routes a protocol-phase error on the lossy transport:
+	// self-exclusion is the clean victim exit; an interrupt or an
+	// observed peer death unwinds to the loop top dirty, where the next
+	// iteration runs the recovery; anything else is fatal. On the
+	// default fabric every error is fatal, exactly as before.
+	classify := func(err error) (retry bool, ret error) {
+		if !transport {
+			return false, err
+		}
+		if errors.Is(err, cluster.ErrSelfExcluded) || comm.Failed(rank) {
+			return false, errKilled
+		}
+		if errors.Is(err, cluster.ErrInterrupted) || errors.Is(err, cluster.ErrRankFailed) {
+			r.dirty = true
+			return true, nil
+		}
+		return false, err
+	}
+
 	start := time.Now()
 	iters := 0
 	// Termination, checkpointing, regrids, and the fault trigger all key
 	// off the tree's committed step count, so a recovery that rewinds the
 	// tree transparently replays the lost window.
 	for {
-		if opts.Steps > 0 {
-			if r.t.Steps() >= opts.Steps {
-				break
+		iters++
+		if iters > 1_000_000 {
+			return nil, fmt.Errorf("damr: step budget exhausted")
+		}
+		if transport {
+			// Revocation check: an alarm raised since this rank's last
+			// recovery point — or a phase this rank itself unwound from,
+			// dirty — sends it straight into recovery over the survivor
+			// set. Kill happens-before Alarm on the detector, so by the
+			// time any rank observes the new generation the Failed flags
+			// identify the same victim everywhere, and no agreement round
+			// is needed. A rank that finds *itself* among the failed was
+			// presumed dead by its peers (partition or silence); it bows
+			// out like a killed rank.
+			gen := comm.AlarmGen()
+			if r.dirty || gen != r.seenGen {
+				r.seenGen = gen
+				comm.SeenAlarm(gen)
+				r.dirty = false
+				if comm.Failed(rank) {
+					return nil, errKilled
+				}
+				survivors := make([]int, 0, len(r.active))
+				for _, a := range r.active {
+					if !comm.Failed(a) {
+						survivors = append(survivors, a)
+					}
+				}
+				if len(survivors) == 0 || !contains(survivors, rank) {
+					return nil, errKilled
+				}
+				// The era is derived from lockstep-agreed state, so every
+				// survivor lands on the same value and the receive path
+				// can discard all traffic of the aborted phase.
+				comm.SetEra(r.seenGen + uint64(r.shrinkEras))
+				if err := r.recoverFromFailure(survivors); err != nil {
+					if retry, ret := classify(err); !retry {
+						return nil, ret
+					}
+				}
+				continue
 			}
-		} else if r.t.Time() >= tEnd-1e-14 {
-			break
+		}
+		done := false
+		if opts.Steps > 0 {
+			done = r.t.Steps() >= opts.Steps
+		} else {
+			done = r.t.Time() >= tEnd-1e-14
+		}
+		if done {
+			res, err := r.finalize(time.Since(start))
+			if err != nil {
+				if retry, ret := classify(err); retry {
+					continue // recover, replay the lost window, finalize again
+				} else {
+					return nil, ret
+				}
+			}
+			return res, nil
 		}
 		if opts.CheckpointEvery > 0 && r.t.Steps()%opts.CheckpointEvery == 0 {
 			if err := r.checkpoint(); err != nil {
-				return nil, err
+				if retry, ret := classify(err); retry {
+					continue
+				} else {
+					return nil, ret
+				}
 			}
 		}
 		if f := opts.Fault; f != nil && rank == f.Rank && r.t.Steps() == f.AfterStep {
@@ -907,15 +1104,31 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		}
 		dt, alive, err := comm.FTAllReduceMin(r.t.MaxDtOf(r.ep.mine), r.active)
 		if err != nil {
-			return nil, err
+			if retry, ret := classify(err); retry {
+				continue
+			} else {
+				return nil, ret
+			}
 		}
 		r.clock += opts.Net.AllReduceCost(len(r.active))
 		if len(alive) < len(r.active) {
 			// A peer died: restore the checkpoint generation over the
 			// survivors and replay (the loop top re-checkpoints first,
 			// restoring buddy redundancy on the new ring).
+			if transport {
+				// This recovery is entered without an alarm, so it bumps
+				// the era through the shrink count instead — the shrink is
+				// agreed through the collective, so the count stays
+				// lockstep too.
+				r.shrinkEras++
+				comm.SetEra(r.seenGen + uint64(r.shrinkEras))
+			}
 			if err := r.recoverFromFailure(alive); err != nil {
-				return nil, err
+				if retry, ret := classify(err); retry {
+					continue
+				} else {
+					return nil, ret
+				}
 			}
 			continue
 		}
@@ -923,20 +1136,35 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 			dt = tEnd - r.t.Time()
 		}
 		if err := r.step(dt); err != nil {
-			return nil, err
+			if retry, ret := classify(err); retry {
+				continue
+			} else {
+				return nil, ret
+			}
 		}
 		if r.t.Steps()%r.t.RegridEvery() == 0 {
 			if err := r.regridPhase(); err != nil {
-				return nil, err
+				if retry, ret := classify(err); retry {
+					continue
+				} else {
+					return nil, ret
+				}
 			}
 		}
-		iters++
-		if iters > 1_000_000 {
-			return nil, fmt.Errorf("damr: step budget exhausted")
-		}
 	}
-	real := time.Since(start)
+}
+
+// finalize runs the end-of-run collectives — the per-rank stats gather
+// and the final leaf gather onto the lowest surviving rank — and builds
+// the Result. On the lossy transport an error here unwinds to the step
+// loop like any phase error: recovery rewinds the tree below the
+// termination condition, the lost window replays, and finalize runs
+// again in the new era (the root discards the aborted attempt's frames
+// by their stale era).
+func (r *rankRun) finalize(real time.Duration) (*Result, error) {
 	t := r.t
+	comm := r.comm
+	opts := r.opts
 
 	// Diagnostics (uncharged, like the uniform-grid driver): one
 	// fault-tolerant gather carries every per-rank stat, folded locally.
@@ -972,7 +1200,7 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 	// rank so its replica becomes globally fresh — deliberately without
 	// a re-sync, which would apply one recover more than the reference.
 	root := r.active[0]
-	if rank != root {
+	if r.rank != root {
 		blob, err := t.EncodeLeaves(r.ep.mine)
 		if err != nil {
 			return nil, err
@@ -981,7 +1209,7 @@ func runRank(comm *cluster.Comm, p *testprob.Problem, nbx int, cfg amr.Config, o
 		return &Result{}, nil
 	}
 	for _, src := range r.active[1:] {
-		payload, _, err := comm.RecvErr(src, tagGather)
+		payload, _, err := r.recvPt(src, tagGather)
 		if err != nil {
 			return nil, err
 		}

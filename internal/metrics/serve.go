@@ -21,6 +21,7 @@ type ServeCounters struct {
 	Resumed   atomic.Int64 // parked jobs restored from their snapshot
 	Completed atomic.Int64 // jobs run to their end time or step budget
 	Failed    atomic.Int64 // jobs terminated by an absorbed error or panic
+	TimedOut  atomic.Int64 // jobs cancelled by the per-job wall-clock watchdog
 
 	QueueDepth  atomic.Int64 // gauge: jobs waiting (queued + parked)
 	Parked      atomic.Int64 // gauge: preempted jobs holding a snapshot
@@ -36,6 +37,7 @@ type ServeSnapshot struct {
 	Resumed   int64 `json:"resumed"`
 	Completed int64 `json:"completed"`
 	Failed    int64 `json:"failed"`
+	TimedOut  int64 `json:"timed_out"`
 
 	QueueDepth  int64 `json:"queue_depth"`
 	Parked      int64 `json:"parked"`
@@ -51,6 +53,7 @@ func (c *ServeCounters) Snapshot() ServeSnapshot {
 		Resumed:     c.Resumed.Load(),
 		Completed:   c.Completed.Load(),
 		Failed:      c.Failed.Load(),
+		TimedOut:    c.TimedOut.Load(),
 		QueueDepth:  c.QueueDepth.Load(),
 		Parked:      c.Parked.Load(),
 		BusyWorkers: c.BusyWorkers.Load(),
@@ -65,6 +68,7 @@ func (c *ServeCounters) Reset() {
 	c.Resumed.Store(0)
 	c.Completed.Store(0)
 	c.Failed.Store(0)
+	c.TimedOut.Store(0)
 	c.QueueDepth.Store(0)
 	c.Parked.Store(0)
 	c.BusyWorkers.Store(0)

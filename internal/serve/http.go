@@ -97,12 +97,14 @@ func NewMux(s *Server) *http.ServeMux {
 	})
 
 	mux.HandleFunc("GET /v1/metrics", func(w http.ResponseWriter, r *http.Request) {
-		// One flat JSON object: serving counters plus durable_*-prefixed
-		// durability counters, so map[string]int64 consumers keep working.
+		// One flat JSON object: serving counters plus durable_*- and
+		// net_*-prefixed counters, so map[string]int64 consumers keep
+		// working.
 		writeJSON(w, http.StatusOK, struct {
 			metrics.ServeSnapshot
 			metrics.DurableSnapshot
-		}{s.Metrics(), s.DurableMetrics()})
+			metrics.TransportSnapshot
+		}{s.Metrics(), s.DurableMetrics(), s.NetMetrics()})
 	})
 
 	mux.HandleFunc("GET /v1/fleet", func(w http.ResponseWriter, r *http.Request) {

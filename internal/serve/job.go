@@ -276,6 +276,7 @@ type job struct {
 	snapshot    []byte // exact checkpoint while parked (or spooled)
 	stepBase    int    // committed steps before the current segment (serial)
 	zuBase      int64  // zone updates of earlier segments (serial; AMR persists its own)
+	ran         time.Duration // running wall-clock of finished segments (watchdog)
 	result      []byte // final deliverable (CSV)
 	submitted   time.Time
 	started     time.Time

@@ -87,7 +87,20 @@ type Config struct {
 	// (commits, recoveries, quarantines) with the caller; otherwise the
 	// server owns a private set.
 	DurableCounters *metrics.DurableCounters
+	// JobTimeout caps each job's cumulative *running* wall-clock time
+	// (time parked or queued does not count). A job past the cap is
+	// cancelled between steps with ErrJobTimeout and counted in the
+	// TimedOut metric. 0 disables the watchdog.
+	JobTimeout time.Duration
+	// NetCounters, when non-nil, shares transport counters (reliable
+	// fabric traffic, chaos faults, repairs) with the caller so they
+	// surface on /v1/metrics; otherwise the server owns a private set.
+	NetCounters *metrics.TransportCounters
 }
+
+// ErrJobTimeout is the typed cancellation cause of the per-job
+// wall-clock watchdog; a timed-out job's Reason carries its text.
+var ErrJobTimeout = errors.New("serve: job exceeded its wall-clock timeout")
 
 // tenantAcct tracks one tenant's quota consumption.
 type tenantAcct struct {
@@ -105,6 +118,8 @@ type Server struct {
 	C *metrics.ServeCounters
 	// D is the durability counter set (shared or owned).
 	D *metrics.DurableCounters
+	// N is the transport counter set (shared or owned).
+	N *metrics.TransportCounters
 
 	mu        sync.Mutex
 	cond      *sync.Cond
@@ -134,6 +149,7 @@ func New(cfg Config) *Server {
 		cfg:     cfg,
 		C:       cfg.Counters,
 		D:       cfg.DurableCounters,
+		N:       cfg.NetCounters,
 		jobs:    make(map[string]*job),
 		running: make(map[*job]struct{}),
 		tenants: make(map[string]*tenantAcct),
@@ -143,6 +159,9 @@ func New(cfg Config) *Server {
 	}
 	if s.D == nil {
 		s.D = &metrics.DurableCounters{}
+	}
+	if s.N == nil {
+		s.N = &metrics.TransportCounters{}
 	}
 	s.cond = sync.NewCond(&s.mu)
 	for i := 0; i < cfg.Workers; i++ {
@@ -161,6 +180,10 @@ func (s *Server) Metrics() metrics.ServeSnapshot { return s.C.Snapshot() }
 // DurableMetrics snapshots the durability counters (spool commits,
 // recovered generations, detected corruptions, quarantined entries).
 func (s *Server) DurableMetrics() metrics.DurableSnapshot { return s.D.Snapshot() }
+
+// NetMetrics snapshots the transport counters (reliable-fabric traffic,
+// injected chaos faults, repairs, typed failures).
+func (s *Server) NetMetrics() metrics.TransportSnapshot { return s.N.Snapshot() }
 
 // TenantUsage reports a tenant's quota consumption.
 func (s *Server) TenantUsage(name string) (active int, reserved, used int64) {
@@ -411,6 +434,7 @@ func (s *Server) runJob(j *job) {
 		}
 	}()
 
+	segStart := time.Now()
 	j.mu.Lock()
 	spec := j.spec
 	snap := j.snapshot
@@ -418,9 +442,10 @@ func (s *Server) runJob(j *job) {
 	resumed := snap != nil
 	j.state = Running
 	if j.started.IsZero() {
-		j.started = time.Now()
+		j.started = segStart
 	}
 	stepBase := j.stepBase
+	ranBase := j.ran
 	j.mu.Unlock()
 	if resumed {
 		s.C.Parked.Add(-1)
@@ -469,8 +494,14 @@ func (s *Server) runJob(j *job) {
 			s.complete(j, runner)
 			return
 		}
+		if s.cfg.JobTimeout > 0 && ranBase+time.Since(segStart) > s.cfg.JobTimeout {
+			s.C.TimedOut.Add(1)
+			s.fail(j, fmt.Sprintf("%v (ran %v of allowed %v)",
+				ErrJobTimeout, (ranBase + time.Since(segStart)).Round(time.Millisecond), s.cfg.JobTimeout))
+			return
+		}
 		if j.preempt.Load() {
-			if s.park(j, runner) {
+			if s.park(j, runner, segStart) {
 				return
 			}
 		}
@@ -505,7 +536,7 @@ func (s *Server) progress(j *job, runner rhsc.JobRunner) {
 // checkpoint failure outside a drain abandons the preemption (the job
 // keeps its worker); during a drain it fails the job and records the
 // error so the daemon can exit nonzero.
-func (s *Server) park(j *job, runner rhsc.JobRunner) bool {
+func (s *Server) park(j *job, runner rhsc.JobRunner, segStart time.Time) bool {
 	var buf bytes.Buffer
 	if err := runner.CheckpointExact(&buf); err != nil {
 		j.preempt.Store(false)
@@ -525,6 +556,7 @@ func (s *Server) park(j *job, runner rhsc.JobRunner) bool {
 	s.progress(j, runner)
 	j.mu.Lock()
 	j.snapshot = buf.Bytes()
+	j.ran += time.Since(segStart) // parked time stays off the watchdog clock
 	j.stepBase = runner.Steps()
 	if !j.spec.AMR {
 		// Serial solvers count zone updates per segment; AMR trees
